@@ -1,0 +1,32 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test stress bench examples artifacts clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+stress:
+	dune build @stress
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/volunteer_computing.exe
+	dune exec examples/layered_network.exe
+	dune exec examples/deadline_harvest.exe
+	dune exec examples/tree_frontier.exe
+
+# The release artefacts referenced by EXPERIMENTS.md
+artifacts:
+	dune runtest --force --no-buffer 2>&1 | tee test_output.txt
+	dune exec bench/main.exe 2>&1 | tee bench_output.txt
+
+clean:
+	dune clean

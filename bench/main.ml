@@ -1,0 +1,38 @@
+(* Benchmark and experiment harness.
+
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- fig2      # one experiment by name
+     dune exec bench/main.exe -- --list    # available names
+
+   Reproduction experiments (DESIGN.md par.3) come first, then the
+   ablations, then the Bechamel timing benches backing the complexity
+   claims. *)
+
+let registry = Experiments.all @ Ablations.all @ Timing.all
+
+let run_one (name, description, fn) =
+  Printf.printf "\n==================== %s ====================\n" name;
+  Printf.printf "-- %s\n\n" description;
+  fn ();
+  flush stdout
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] ->
+      List.iter
+        (fun (name, description, _) -> Printf.printf "%-20s %s\n" name description)
+        registry
+  | [] ->
+      print_endline "msts reproduction harness: experiments, ablations, timing";
+      List.iter run_one registry;
+      print_endline "\nall experiments completed; assertions all held."
+  | names ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) registry with
+          | Some entry -> run_one entry
+          | None ->
+              Printf.eprintf "unknown experiment %S (try --list)\n" name;
+              exit 2)
+        names

@@ -1,0 +1,435 @@
+(* msts — command-line front-end to the library.
+
+   Every subcommand works on a platform description file (see
+   Msts.Platform_format for the format); `msts generate` produces such
+   files.  Chains get the §3 algorithm, spiders the §7 algorithm. *)
+
+open Cmdliner
+
+let read_platform path =
+  match Msts.Platform_format.load path with
+  | Ok platform -> platform
+  | Error msg ->
+      Printf.eprintf "error: cannot load platform %s: %s\n" path msg;
+      exit 2
+
+let as_spider = function
+  | Msts.Platform_format.Chain_platform chain -> Msts.Spider.of_chain chain
+  | Msts.Platform_format.Fork_platform fork -> Msts.Spider.of_fork fork
+  | Msts.Platform_format.Spider_platform spider -> spider
+  | Msts.Platform_format.Tree_platform tree -> (
+      (* exact only when nothing branches below the master *)
+      match Msts.Tree.to_spider tree with
+      | Some spider -> spider
+      | None ->
+          Printf.eprintf
+            "error: this tree branches below the master; use `msts tree` for \
+             the cover heuristics\n";
+          exit 2)
+
+(* ---------- common arguments ---------- *)
+
+let platform_arg =
+  let doc = "Platform description file." in
+  Arg.(required & opt (some file) None & info [ "p"; "platform" ] ~docv:"FILE" ~doc)
+
+let tasks_arg =
+  let doc = "Number of tasks to schedule." in
+  Arg.(required & opt (some int) None & info [ "n"; "tasks" ] ~docv:"N" ~doc)
+
+let width_arg =
+  let doc = "Maximum width (columns) of ASCII Gantt charts." in
+  Arg.(value & opt int 100 & info [ "width" ] ~docv:"COLS" ~doc)
+
+let output_arg =
+  let doc = "Write to $(docv) instead of standard output." in
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let emit output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text)
+
+(* ---------- generate ---------- *)
+
+let profile_conv =
+  let parse = function
+    | "default" -> Ok Msts.Generator.default_profile
+    | "balanced" -> Ok Msts.Generator.balanced_profile
+    | "compute-bound" -> Ok Msts.Generator.compute_bound_profile
+    | "comm-bound" -> Ok Msts.Generator.comm_bound_profile
+    | other -> Error (`Msg (Printf.sprintf "unknown profile %S" other))
+  in
+  Arg.conv (parse, fun ppf _ -> Format.pp_print_string ppf "<profile>")
+
+let generate_cmd =
+  let kind =
+    let doc = "Platform kind: chain, fork, spider or tree." in
+    Arg.(value & opt string "chain" & info [ "kind" ] ~docv:"KIND" ~doc)
+  in
+  let size =
+    let doc = "Processors per chain / slaves per fork / legs per spider." in
+    Arg.(value & opt int 4 & info [ "size" ] ~docv:"P" ~doc)
+  in
+  let depth =
+    let doc = "Maximum leg depth (spiders only)." in
+    Arg.(value & opt int 3 & info [ "depth" ] ~docv:"D" ~doc)
+  in
+  let seed =
+    let doc = "PRNG seed (results are reproducible)." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let profile =
+    let doc =
+      "Heterogeneity profile: default, balanced, compute-bound or comm-bound."
+    in
+    Arg.(value & opt profile_conv Msts.Generator.default_profile
+         & info [ "profile" ] ~docv:"PROFILE" ~doc)
+  in
+  let run kind size depth seed profile output =
+    let rng = Msts.Prng.create seed in
+    let platform =
+      match kind with
+      | "chain" ->
+          Msts.Platform_format.Chain_platform (Msts.Generator.chain rng profile ~p:size)
+      | "fork" ->
+          Msts.Platform_format.Fork_platform (Msts.Generator.fork rng profile ~slaves:size)
+      | "spider" ->
+          Msts.Platform_format.Spider_platform
+            (Msts.Generator.spider rng profile ~legs:size ~max_depth:depth)
+      | "tree" ->
+          Msts.Platform_format.Tree_platform
+            (Msts.Generator.tree rng profile ~nodes:size ~max_children:3)
+      | other ->
+          Printf.eprintf "error: unknown kind %S\n" other;
+          exit 2
+    in
+    emit output (Msts.Platform_format.platform_to_string platform)
+  in
+  let doc = "Generate a random platform description." in
+  Cmd.v (Cmd.info "generate" ~doc)
+    Term.(const run $ kind $ size $ depth $ seed $ profile $ output_arg)
+
+(* ---------- schedule ---------- *)
+
+let schedule_cmd =
+  let gantt =
+    let doc = "Also print an ASCII Gantt chart." in
+    Arg.(value & flag & info [ "gantt" ] ~doc)
+  in
+  let svg =
+    let doc = "Write an SVG Gantt chart to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "svg" ] ~docv:"FILE" ~doc)
+  in
+  let plan_out =
+    let doc = "Write the machine-readable schedule to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "plan-out" ] ~docv:"FILE" ~doc)
+  in
+  let csv =
+    let doc = "Write a per-task CSV table to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let run path n gantt svg plan_out csv width =
+    match read_platform path with
+    | Msts.Platform_format.Chain_platform chain ->
+        let sched = Msts.Chain_algorithm.schedule chain n in
+        Printf.printf "optimal makespan: %d\n%s\n"
+          (Msts.Schedule.makespan sched)
+          (Msts.Schedule.to_string sched);
+        if gantt then print_endline (Msts.Gantt.render ~width sched);
+        Option.iter (fun f -> Msts.Svg.save f (Msts.Svg.render sched)) svg;
+        Option.iter (fun f -> emit (Some f) (Msts.Serial.schedule_to_string sched)) plan_out;
+        Option.iter
+          (fun f -> emit (Some f) (Msts.Serial.schedule_to_csv sched ^ "\n"))
+          csv
+    | platform ->
+        let spider = as_spider platform in
+        let sched = Msts.Spider_algorithm.schedule_tasks spider n in
+        Printf.printf "optimal makespan: %d\n%s\n"
+          (Msts.Spider_schedule.makespan sched)
+          (Msts.Spider_schedule.to_string sched);
+        if gantt then print_endline (Msts.Gantt.render_spider ~width sched);
+        Option.iter (fun f -> Msts.Svg.save f (Msts.Svg.render_spider sched)) svg;
+        Option.iter
+          (fun f -> emit (Some f) (Msts.Serial.spider_schedule_to_string sched))
+          plan_out;
+        Option.iter
+          (fun f -> emit (Some f) (Msts.Serial.spider_schedule_to_csv sched ^ "\n"))
+          csv
+  in
+  let doc = "Compute the optimal schedule for N tasks." in
+  Cmd.v (Cmd.info "schedule" ~doc)
+    Term.(const run $ platform_arg $ tasks_arg $ gantt $ svg $ plan_out $ csv $ width_arg)
+
+(* ---------- deadline ---------- *)
+
+let deadline_cmd =
+  let deadline =
+    let doc = "Time limit." in
+    Arg.(required & opt (some int) None & info [ "d"; "deadline" ] ~docv:"T" ~doc)
+  in
+  let run path deadline =
+    match read_platform path with
+    | Msts.Platform_format.Chain_platform chain ->
+        let sched = Msts.Chain_deadline.schedule chain ~deadline in
+        Printf.printf "tasks completed by %d: %d\n%s\n" deadline
+          (Msts.Schedule.task_count sched)
+          (Msts.Schedule.to_string sched)
+    | platform ->
+        let spider = as_spider platform in
+        let sched = Msts.Spider_algorithm.schedule spider ~deadline in
+        Printf.printf "tasks completed by %d: %d\n%s\n" deadline
+          (Msts.Spider_schedule.task_count sched)
+          (Msts.Spider_schedule.to_string sched)
+  in
+  let doc = "Maximise the number of tasks completed within a deadline." in
+  Cmd.v (Cmd.info "deadline" ~doc) Term.(const run $ platform_arg $ deadline)
+
+(* ---------- validate ---------- *)
+
+let validate_cmd =
+  let plan =
+    let doc = "Schedule file produced by $(b,schedule --plan-out)." in
+    Arg.(required & opt (some file) None & info [ "plan" ] ~docv:"FILE" ~doc)
+  in
+  let run path plan_path =
+    let text = In_channel.with_open_text plan_path In_channel.input_all in
+    match read_platform path with
+    | Msts.Platform_format.Chain_platform chain -> (
+        match Msts.Serial.schedule_of_string chain text with
+        | Error msg ->
+            Printf.eprintf "parse error: %s\n" msg;
+            exit 2
+        | Ok sched -> (
+            match Msts.Feasibility.check ~require_nonnegative:true sched with
+            | [] ->
+                Printf.printf "feasible; makespan %d\n" (Msts.Schedule.makespan sched)
+            | violations ->
+                List.iter
+                  (fun v ->
+                    print_endline (Msts.Feasibility.violation_to_string v))
+                  violations;
+                exit 1))
+    | platform -> (
+        let spider = as_spider platform in
+        match Msts.Serial.spider_schedule_of_string spider text with
+        | Error msg ->
+            Printf.eprintf "parse error: %s\n" msg;
+            exit 2
+        | Ok sched -> (
+            match Msts.Spider_schedule.check ~require_nonnegative:true sched with
+            | [] ->
+                Printf.printf "feasible; makespan %d\n"
+                  (Msts.Spider_schedule.makespan sched)
+            | violations ->
+                List.iter print_endline violations;
+                exit 1))
+  in
+  let doc = "Check a schedule against Definition 1 (exit 1 if infeasible)." in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ platform_arg $ plan)
+
+(* ---------- explain ---------- *)
+
+let explain_cmd =
+  let run path n =
+    match read_platform path with
+    | Msts.Platform_format.Chain_platform chain ->
+        print_string (Msts.Chain_trace.render (Msts.Chain_trace.run chain n))
+    | platform ->
+        let spider = as_spider platform in
+        let deadline = Msts.Spider_algorithm.min_makespan spider n in
+        print_string
+          (Msts.Spider_trace.render (Msts.Spider_trace.run ~budget:n spider ~deadline))
+  in
+  let doc = "Narrate the construction step by step (chains and spiders)." in
+  Cmd.v (Cmd.info "explain" ~doc) Term.(const run $ platform_arg $ tasks_arg)
+
+(* ---------- bounds ---------- *)
+
+let bounds_cmd =
+  let run path n =
+    match read_platform path with
+    | Msts.Platform_format.Chain_platform chain ->
+        let table =
+          Msts.Table.create ~title:(Printf.sprintf "bounds and schedulers, n=%d" n)
+            ~columns:[ "method"; "makespan" ]
+        in
+        Msts.Table.add_row table
+          [ "port lower bound"; string_of_int (Msts.Bounds.port_bound chain n) ];
+        Msts.Table.add_row table
+          [ "capacity lower bound"; string_of_int (Msts.Bounds.capacity_bound chain n) ];
+        Msts.Table.add_row table
+          [ "fluid lower bound"; Msts.Table.cell_float (Msts.Bounds.fluid_bound chain n) ];
+        Msts.Table.add_row table
+          [ "optimal (this paper)"; string_of_int (Msts.Chain_algorithm.makespan chain n) ];
+        List.iter
+          (fun policy ->
+            Msts.Table.add_row table
+              [
+                "heuristic " ^ Msts.List_sched.chain_policy_name policy;
+                string_of_int (Msts.List_sched.chain_makespan policy chain n);
+              ])
+          Msts.List_sched.all_chain_policies;
+        Msts.Table.print table
+    | platform ->
+        let spider = as_spider platform in
+        let table =
+          Msts.Table.create ~title:(Printf.sprintf "bounds and schedulers, n=%d" n)
+            ~columns:[ "method"; "makespan" ]
+        in
+        Msts.Table.add_row table
+          [
+            "port lower bound";
+            string_of_int (Msts.Bounds.spider_port_bound spider n);
+          ];
+        Msts.Table.add_row table
+          [
+            "capacity lower bound";
+            string_of_int (Msts.Bounds.spider_capacity_bound spider n);
+          ];
+        Msts.Table.add_row table
+          [
+            "fluid lower bound";
+            Msts.Table.cell_float (Msts.Bounds.spider_fluid_bound spider n);
+          ];
+        Msts.Table.add_row table
+          [
+            "optimal (this paper)";
+            string_of_int (Msts.Spider_algorithm.min_makespan spider n);
+          ];
+        List.iter
+          (fun policy ->
+            Msts.Table.add_row table
+              [
+                "heuristic " ^ Msts.List_sched.spider_policy_name policy;
+                string_of_int (Msts.List_sched.spider_makespan policy spider n);
+              ])
+          Msts.List_sched.all_spider_policies;
+        Msts.Table.print table
+  in
+  let doc = "Compare the optimal makespan with lower bounds and heuristics." in
+  Cmd.v (Cmd.info "bounds" ~doc) Term.(const run $ platform_arg $ tasks_arg)
+
+(* ---------- throughput ---------- *)
+
+let throughput_cmd =
+  let run path =
+    let spider = as_spider (read_platform path) in
+    let rates = Msts.Steady_state.spider_leg_rates spider in
+    Printf.printf "steady-state throughput: %.4f tasks/unit\n"
+      (Msts.Steady_state.spider_throughput spider);
+    Array.iteri
+      (fun idx rate -> Printf.printf "  leg %d: %.4f tasks/unit\n" (idx + 1) rate)
+      rates
+  in
+  let doc = "Bandwidth-centric steady-state analysis." in
+  Cmd.v (Cmd.info "throughput" ~doc) Term.(const run $ platform_arg)
+
+(* ---------- pull ---------- *)
+
+let pull_cmd =
+  let buffer =
+    let doc = "Per-processor credit of the demand-driven master." in
+    Arg.(value & opt int 1 & info [ "buffer" ] ~docv:"B" ~doc)
+  in
+  let run path n buffer =
+    let spider = as_spider (read_platform path) in
+    let sched = Msts.Netsim.pull_policy ~buffer spider ~tasks:n in
+    let optimal = Msts.Spider_algorithm.min_makespan spider n in
+    Printf.printf
+      "demand-driven makespan: %d (optimal %d, overhead %.1f%%)\n"
+      (Msts.Spider_schedule.makespan sched)
+      optimal
+      (100.0
+      *. (float_of_int (Msts.Spider_schedule.makespan sched - optimal)
+         /. float_of_int (max optimal 1)))
+  in
+  let doc = "Simulate the online demand-driven baseline (SETI@home style)." in
+  Cmd.v (Cmd.info "pull" ~doc) Term.(const run $ platform_arg $ tasks_arg $ buffer)
+
+(* ---------- tree ---------- *)
+
+let tree_cmd =
+  let run path n =
+    match read_platform path with
+    | Msts.Platform_format.Tree_platform tree ->
+        let table =
+          Msts.Table.create
+            ~title:(Printf.sprintf "tree scheduling, n=%d" n)
+            ~columns:[ "method"; "makespan" ]
+        in
+        List.iter
+          (fun (name, policy) ->
+            Msts.Table.add_row table
+              [
+                "cover: " ^ name;
+                string_of_int (Msts.Tree_heuristics.spider_cover_makespan policy tree n);
+              ])
+          [
+            ("fastest processor", Msts.Tree.Fastest_processor);
+            ("cheapest link", Msts.Tree.Cheapest_link);
+            ("best subtree rate", Msts.Tree.Best_rate);
+          ];
+        List.iter
+          (fun policy ->
+            Msts.Table.add_row table
+              [
+                "forward: " ^ Msts.Tree_heuristics.policy_name policy;
+                string_of_int (Msts.Tree_heuristics.makespan policy tree n);
+              ])
+          Msts.Tree_heuristics.all_policies;
+        Msts.Table.add_row table
+          [ "lower bound"; string_of_int (Msts.Tree_search.lower_bound tree n) ];
+        Msts.Table.print table;
+        Printf.printf "steady-state rate of the full tree: %.4f tasks/unit\n"
+          (Msts.Tree_steady.throughput tree)
+    | _ ->
+        Printf.eprintf "error: `msts tree` expects a tree platform\n";
+        exit 2
+  in
+  let doc = "Schedule on a general tree via spider covers and heuristics." in
+  Cmd.v (Cmd.info "tree" ~doc) Term.(const run $ platform_arg $ tasks_arg)
+
+(* ---------- metrics ---------- *)
+
+let metrics_cmd =
+  let run path n =
+    match read_platform path with
+    | Msts.Platform_format.Chain_platform chain ->
+        let sched = Msts.Chain_algorithm.schedule chain n in
+        print_string (Msts.Metrics.summary sched)
+    | platform ->
+        let spider = as_spider platform in
+        let sched = Msts.Spider_algorithm.schedule_tasks spider n in
+        print_string (Msts.Metrics.spider_summary sched)
+  in
+  let doc = "Waiting, buffering and utilisation report for the optimal schedule." in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ platform_arg $ tasks_arg)
+
+(* ---------- dot ---------- *)
+
+let dot_cmd =
+  let run path output = emit output (Msts.Dot.of_platform (read_platform path)) in
+  let doc = "Export the platform as a Graphviz DOT graph." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ platform_arg $ output_arg)
+
+let main_cmd =
+  let doc = "optimal master-slave tasking on heterogeneous chains and spiders" in
+  let info = Cmd.info "msts" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      generate_cmd;
+      schedule_cmd;
+      deadline_cmd;
+      validate_cmd;
+      explain_cmd;
+      bounds_cmd;
+      throughput_cmd;
+      pull_cmd;
+      metrics_cmd;
+      tree_cmd;
+      dot_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

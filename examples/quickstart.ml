@@ -1,0 +1,42 @@
+(* Quickstart: schedule 8 identical tasks on a small heterogeneous chain,
+   inspect the result, check it against Definition 1, and compare with what
+   a naive forward heuristic would have done.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A chain of three workers behind the master: each pair is
+     (link latency, per-task work time), nearest worker first. *)
+  let chain = Msts.Chain.of_pairs [ (2, 5); (1, 4); (3, 3) ] in
+  let n = 8 in
+
+  (* The paper's algorithm: optimal makespan, O(n p^2). *)
+  let schedule = Msts.Chain_algorithm.schedule chain n in
+  Printf.printf "Optimal makespan for %d tasks: %d\n\n" n
+    (Msts.Schedule.makespan schedule);
+  print_endline (Msts.Schedule.to_string schedule);
+
+  (* The feasibility checker shares no code with the constructor. *)
+  assert (Msts.Feasibility.is_feasible ~require_nonnegative:true schedule);
+
+  (* Where did each task go, and how busy was each processor? *)
+  List.iter
+    (fun k ->
+      Printf.printf "processor %d runs tasks %s\n" k
+        (String.concat ", "
+           (List.map string_of_int (Msts.Schedule.tasks_on schedule k))))
+    [ 1; 2; 3 ];
+
+  print_newline ();
+  print_endline (Msts.Gantt.render ~width:80 schedule);
+
+  (* How much does optimality buy over sensible heuristics? *)
+  print_newline ();
+  List.iter
+    (fun policy ->
+      Printf.printf "%-22s -> makespan %d\n"
+        (Msts.List_sched.chain_policy_name policy)
+        (Msts.List_sched.chain_makespan policy chain n))
+    Msts.List_sched.all_chain_policies;
+  Printf.printf "%-22s -> makespan %d\n" "optimal (this paper)"
+    (Msts.Schedule.makespan schedule)

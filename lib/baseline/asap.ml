@@ -1,0 +1,113 @@
+module Chain = Msts_platform.Chain
+module Spider = Msts_platform.Spider
+module Schedule = Msts_schedule.Schedule
+module Spider_schedule = Msts_schedule.Spider_schedule
+
+type chain_state = {
+  chain : Chain.t;
+  link_free : int array; (* next time link k is available *)
+  proc_free : int array; (* next time processor k is available *)
+}
+
+let chain_start chain =
+  let p = Chain.length chain in
+  { chain; link_free = Array.make p 0; proc_free = Array.make p 0 }
+
+let chain_copy st =
+  {
+    chain = st.chain;
+    link_free = Array.copy st.link_free;
+    proc_free = Array.copy st.proc_free;
+  }
+
+let chain_push st ~dest =
+  let chain = st.chain in
+  if dest < 1 || dest > Chain.length chain then
+    invalid_arg "Asap.chain_push: destination outside the chain";
+  let comms = Array.make dest 0 in
+  comms.(0) <- st.link_free.(0);
+  st.link_free.(0) <- comms.(0) + Chain.latency chain 1;
+  for j = 2 to dest do
+    let ready = comms.(j - 2) + Chain.latency chain (j - 1) in
+    comms.(j - 1) <- max ready st.link_free.(j - 1);
+    st.link_free.(j - 1) <- comms.(j - 1) + Chain.latency chain j
+  done;
+  let arrival = comms.(dest - 1) + Chain.latency chain dest in
+  let start = max arrival st.proc_free.(dest - 1) in
+  st.proc_free.(dest - 1) <- start + Chain.work chain dest;
+  { Schedule.proc = dest; start; comms }
+
+let chain_of_sequence chain seq =
+  let st = chain_start chain in
+  Schedule.make chain (Array.map (fun dest -> chain_push st ~dest) seq)
+
+let chain_makespan chain seq =
+  let st = chain_start chain in
+  Array.fold_left
+    (fun acc dest ->
+      let e = chain_push st ~dest in
+      max acc (e.Schedule.start + Chain.work chain dest))
+    0 seq
+
+type spider_state = {
+  spider : Spider.t;
+  port_free : int ref; (* master's outgoing port *)
+  leg_link_free : int array array; (* per leg, per link *)
+  leg_proc_free : int array array;
+}
+
+let spider_start spider =
+  let legs = Spider.legs spider in
+  {
+    spider;
+    port_free = ref 0;
+    leg_link_free =
+      Array.init legs (fun idx ->
+          Array.make (Chain.length (Spider.leg_chain spider (idx + 1))) 0);
+    leg_proc_free =
+      Array.init legs (fun idx ->
+          Array.make (Chain.length (Spider.leg_chain spider (idx + 1))) 0);
+  }
+
+let spider_copy st =
+  {
+    spider = st.spider;
+    port_free = ref !(st.port_free);
+    leg_link_free = Array.map Array.copy st.leg_link_free;
+    leg_proc_free = Array.map Array.copy st.leg_proc_free;
+  }
+
+let spider_push st ~dest =
+  let { Spider.leg; depth } = dest in
+  let chain = Spider.leg_chain st.spider leg in
+  if depth < 1 || depth > Chain.length chain then
+    invalid_arg "Asap.spider_push: destination outside the leg";
+  let link_free = st.leg_link_free.(leg - 1) in
+  let proc_free = st.leg_proc_free.(leg - 1) in
+  let comms = Array.make depth 0 in
+  (* the first hop occupies both the master's port and the leg's first link *)
+  comms.(0) <- max !(st.port_free) link_free.(0);
+  let c1 = Chain.latency chain 1 in
+  st.port_free := comms.(0) + c1;
+  link_free.(0) <- comms.(0) + c1;
+  for j = 2 to depth do
+    let ready = comms.(j - 2) + Chain.latency chain (j - 1) in
+    comms.(j - 1) <- max ready link_free.(j - 1);
+    link_free.(j - 1) <- comms.(j - 1) + Chain.latency chain j
+  done;
+  let arrival = comms.(depth - 1) + Chain.latency chain depth in
+  let start = max arrival proc_free.(depth - 1) in
+  proc_free.(depth - 1) <- start + Chain.work chain depth;
+  { Spider_schedule.address = dest; start; comms }
+
+let spider_of_sequence spider seq =
+  let st = spider_start spider in
+  Spider_schedule.make spider (Array.map (fun dest -> spider_push st ~dest) seq)
+
+let spider_makespan spider seq =
+  let st = spider_start spider in
+  Array.fold_left
+    (fun acc dest ->
+      let e = spider_push st ~dest in
+      max acc (e.Spider_schedule.start + Spider.work spider dest))
+    0 seq

@@ -1,0 +1,45 @@
+(** ASAP timing of a fixed destination sequence.
+
+    Both brute-force oracles and the forward list-scheduling heuristics
+    share one primitive: given the order in which the master emits tasks and
+    each task's destination, compute the earliest-possible dates of every
+    transfer and execution.  Because tasks are identical, any feasible
+    schedule can be renamed so that every link serves tasks in emission
+    (FIFO) order; and with the order fixed, every Definition 1 constraint is
+    a lower bound that the ASAP sweep attains pointwise — so ASAP timing is
+    makespan-optimal for its sequence.  Minimising over sequences therefore
+    yields the true optimum (the brute-force oracle). *)
+
+type chain_state
+(** Mutable resource clocks for one chain (master port, links,
+    processors). *)
+
+val chain_start : Msts_platform.Chain.t -> chain_state
+
+val chain_push : chain_state -> dest:int -> Msts_schedule.Schedule.entry
+(** Route one more task to processor [dest]; returns its dates. *)
+
+val chain_copy : chain_state -> chain_state
+(** Snapshot for one-step lookahead in greedy heuristics. *)
+
+val chain_of_sequence : Msts_platform.Chain.t -> int array -> Msts_schedule.Schedule.t
+(** Timing of a whole destination sequence. *)
+
+val chain_makespan : Msts_platform.Chain.t -> int array -> int
+(** Makespan of {!chain_of_sequence} without materialising entries. *)
+
+type spider_state
+
+val spider_start : Msts_platform.Spider.t -> spider_state
+
+val spider_push :
+  spider_state -> dest:Msts_platform.Spider.address -> Msts_schedule.Spider_schedule.entry
+
+val spider_copy : spider_state -> spider_state
+
+val spider_of_sequence :
+  Msts_platform.Spider.t -> Msts_platform.Spider.address array ->
+  Msts_schedule.Spider_schedule.t
+
+val spider_makespan :
+  Msts_platform.Spider.t -> Msts_platform.Spider.address array -> int

@@ -1,0 +1,143 @@
+module Chain = Msts_platform.Chain
+module Spider = Msts_platform.Spider
+
+(* Generic depth-first enumeration: [targets] are the possible destinations,
+   [push] advances a state copy, [measure] reads the partial makespan.  The
+   partial makespan only grows as tasks are appended (ASAP dates of placed
+   tasks never move), so branches already worse than the incumbent are cut. *)
+let search ~targets ~start ~copy ~push ~n =
+  let best = ref max_int in
+  let best_seq = ref [||] in
+  let seq = Array.make n (List.hd targets) in
+  let rec explore state depth makespan =
+    if makespan < !best then begin
+      if depth = n then begin
+        best := makespan;
+        best_seq := Array.copy seq
+      end
+      else
+        List.iter
+          (fun dest ->
+            let state' = copy state in
+            let completion = push state' dest in
+            seq.(depth) <- dest;
+            explore state' (depth + 1) (max makespan completion))
+          targets
+    end
+  in
+  if n = 0 then (0, [||])
+  else begin
+    explore (start ()) 0 0;
+    (!best, !best_seq)
+  end
+
+let chain_targets chain = Msts_util.Intx.range 1 (Chain.length chain)
+
+let chain_search chain n =
+  if n < 0 then invalid_arg "Brute_force: negative task count";
+  search
+    ~targets:(chain_targets chain)
+    ~start:(fun () -> Asap.chain_start chain)
+    ~copy:Asap.chain_copy
+    ~push:(fun st dest ->
+      let e = Asap.chain_push st ~dest in
+      e.Msts_schedule.Schedule.start + Chain.work chain dest)
+    ~n
+
+let chain_makespan chain n = fst (chain_search chain n)
+
+let chain_schedule chain n =
+  let _, seq = chain_search chain n in
+  Asap.chain_of_sequence chain seq
+
+let chain_max_tasks chain ~deadline ~limit =
+  if deadline < 0 || limit < 0 then invalid_arg "Brute_force.chain_max_tasks";
+  let rec grow m =
+    if m >= limit then m
+    else if chain_makespan chain (m + 1) <= deadline then grow (m + 1)
+    else m
+  in
+  grow 0
+
+let spider_search spider n =
+  if n < 0 then invalid_arg "Brute_force: negative task count";
+  search
+    ~targets:(Spider.addresses spider)
+    ~start:(fun () -> Asap.spider_start spider)
+    ~copy:Asap.spider_copy
+    ~push:(fun st dest ->
+      let e = Asap.spider_push st ~dest in
+      e.Msts_schedule.Spider_schedule.start + Spider.work spider dest)
+    ~n
+
+let spider_makespan spider n = fst (spider_search spider n)
+
+let spider_schedule spider n =
+  let _, seq = spider_search spider n in
+  Asap.spider_of_sequence spider seq
+
+let spider_max_tasks spider ~deadline ~limit =
+  if deadline < 0 || limit < 0 then invalid_arg "Brute_force.spider_max_tasks";
+  let rec grow m =
+    if m >= limit then m
+    else if spider_makespan spider (m + 1) <= deadline then grow (m + 1)
+    else m
+  in
+  grow 0
+
+(* ---------- dominance-pruned exact search ----------
+
+   A state after placing some tasks is the vector of resource clocks
+   (link_free(1..p), proc_free(1..p)) plus the partial makespan; every
+   future completion is a monotone function of these, so a componentwise-
+   smaller-or-equal state always leads to an optimum at least as good. *)
+
+let dominates a b =
+  let len = Array.length a in
+  let rec loop i = i >= len || (a.(i) <= b.(i) && loop (i + 1)) in
+  loop 0
+
+(* Pareto-minimal insertion: drop [candidate] if dominated, evict states it
+   dominates. *)
+let pareto_insert pool candidate =
+  if List.exists (fun s -> dominates s candidate) pool then pool
+  else candidate :: List.filter (fun s -> not (dominates candidate s)) pool
+
+let chain_makespan_pruned chain n =
+  if n < 0 then invalid_arg "Brute_force: negative task count";
+  if n = 0 then 0
+  else begin
+    let p = Chain.length chain in
+    (* layout: [0..p-1] link clocks, [p..2p-1] processor clocks,
+       [2p] partial makespan *)
+    let push state dest =
+      let state = Array.copy state in
+      let emit = ref state.(0) in
+      state.(0) <- !emit + Chain.latency chain 1;
+      let arrival = ref (!emit + Chain.latency chain 1) in
+      for j = 2 to dest do
+        emit := max !arrival state.(j - 1);
+        state.(j - 1) <- !emit + Chain.latency chain j;
+        arrival := !emit + Chain.latency chain j
+      done;
+      let start = max !arrival state.(p + dest - 1) in
+      let completion = start + Chain.work chain dest in
+      state.(p + dest - 1) <- completion;
+      state.(2 * p) <- max state.(2 * p) completion;
+      state
+    in
+    let level = ref [ Array.make ((2 * p) + 1) 0 ] in
+    for _ = 1 to n do
+      let next = ref [] in
+      List.iter
+        (fun state ->
+          for dest = 1 to p do
+            next := pareto_insert !next (push state dest)
+          done)
+        !level;
+      level := !next
+    done;
+    List.fold_left (fun acc state -> min acc state.(2 * p)) max_int !level
+  end
+
+let search_space ~procs ~tasks = float_of_int procs ** float_of_int tasks

@@ -1,0 +1,127 @@
+module Chain = Msts_platform.Chain
+module Spider = Msts_platform.Spider
+module Schedule = Msts_schedule.Schedule
+module Spider_schedule = Msts_schedule.Spider_schedule
+module Prng = Msts_util.Prng
+
+type chain_policy =
+  | Earliest_completion
+  | Round_robin
+  | Master_only
+  | Fastest_processor
+  | Random of int
+
+let chain_policy_name = function
+  | Earliest_completion -> "earliest-completion"
+  | Round_robin -> "round-robin"
+  | Master_only -> "master-only"
+  | Fastest_processor -> "fastest-processor"
+  | Random seed -> Printf.sprintf "random(%d)" seed
+
+let all_chain_policies =
+  [ Earliest_completion; Round_robin; Master_only; Fastest_processor; Random 0 ]
+
+(* One-step lookahead on a state snapshot: completion time of this task if
+   routed to [dest]. *)
+let chain_completion_if st dest chain =
+  let probe = Asap.chain_copy st in
+  let e = Asap.chain_push probe ~dest in
+  e.Schedule.start + Chain.work chain dest
+
+let chain_chooser policy chain =
+  let p = Chain.length chain in
+  let rr = ref 0 in
+  let rng = match policy with Random seed -> Some (Prng.create seed) | _ -> None in
+  let fastest =
+    Msts_util.Intx.argmin (Array.init p (fun idx -> Chain.work chain (idx + 1))) + 1
+  in
+  fun st ->
+    match policy with
+    | Earliest_completion ->
+        let best = ref 1 and best_time = ref (chain_completion_if st 1 chain) in
+        for dest = 2 to p do
+          let t = chain_completion_if st dest chain in
+          if t < !best_time then begin
+            best := dest;
+            best_time := t
+          end
+        done;
+        !best
+    | Round_robin ->
+        let dest = (!rr mod p) + 1 in
+        incr rr;
+        dest
+    | Master_only -> 1
+    | Fastest_processor -> fastest
+    | Random _ -> Prng.int_in (Option.get rng) 1 p
+
+let chain policy chain_ n =
+  if n < 0 then invalid_arg "List_sched.chain: negative task count";
+  let choose = chain_chooser policy chain_ in
+  let st = Asap.chain_start chain_ in
+  Schedule.make chain_
+    (Array.init n (fun _ -> Asap.chain_push st ~dest:(choose st)))
+
+let chain_makespan policy chain_ n = Schedule.makespan (chain policy chain_ n)
+
+type spider_policy =
+  | Spider_earliest_completion
+  | Spider_round_robin
+  | Spider_first_leg
+  | Spider_random of int
+
+let spider_policy_name = function
+  | Spider_earliest_completion -> "earliest-completion"
+  | Spider_round_robin -> "round-robin"
+  | Spider_first_leg -> "first-leg"
+  | Spider_random seed -> Printf.sprintf "random(%d)" seed
+
+let all_spider_policies =
+  [
+    Spider_earliest_completion;
+    Spider_round_robin;
+    Spider_first_leg;
+    Spider_random 0;
+  ]
+
+let spider_completion_if st dest spider =
+  let probe = Asap.spider_copy st in
+  let e = Asap.spider_push probe ~dest in
+  e.Spider_schedule.start + Spider.work spider dest
+
+let spider_chooser policy spider =
+  let addresses = Array.of_list (Spider.addresses spider) in
+  let rr = ref 0 in
+  let rng =
+    match policy with Spider_random seed -> Some (Prng.create seed) | _ -> None
+  in
+  fun st ->
+    match policy with
+    | Spider_earliest_completion ->
+        let best = ref addresses.(0)
+        and best_time = ref (spider_completion_if st addresses.(0) spider) in
+        Array.iter
+          (fun dest ->
+            let t = spider_completion_if st dest spider in
+            if t < !best_time then begin
+              best := dest;
+              best_time := t
+            end)
+          addresses;
+        !best
+    | Spider_round_robin ->
+        let dest = addresses.(!rr mod Array.length addresses) in
+        incr rr;
+        dest
+    | Spider_first_leg -> { Spider.leg = 1; depth = 1 }
+    | Spider_random _ -> Prng.choice (Option.get rng) addresses
+
+let spider policy spider_ n =
+  if n < 0 then invalid_arg "List_sched.spider: negative task count";
+  let choose = spider_chooser policy spider_ in
+  let st = Asap.spider_start spider_ in
+  Spider_schedule.make spider_
+    (Array.init n (fun _ -> Asap.spider_push st ~dest:(choose st)))
+
+let spider_makespan policy spider_ n =
+  Spider_schedule.makespan (spider policy spider_ n)

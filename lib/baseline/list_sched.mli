@@ -1,0 +1,42 @@
+(** Forward list-scheduling heuristics.
+
+    The natural competitors a practitioner would reach for before reading
+    the paper: emit tasks forwards (earliest first), choose each task's
+    destination with a myopic rule, and time everything ASAP.  All of them
+    are feasible by construction; none is optimal in general.  They provide
+    the comparison points of experiment E11 and the ablation showing why
+    the paper's {e backward} construction matters. *)
+
+type chain_policy =
+  | Earliest_completion
+      (** one-step lookahead: send to the processor finishing this task
+          soonest (ties to the nearer processor) *)
+  | Round_robin  (** cycle through processors 1..p *)
+  | Master_only  (** keep every task on processor 1 *)
+  | Fastest_processor  (** always the processor with minimal [w] *)
+  | Random of int  (** uniform destination, seeded *)
+
+val chain_policy_name : chain_policy -> string
+
+val all_chain_policies : chain_policy list
+(** One representative of each constructor ([Random] seeded with 0). *)
+
+val chain : chain_policy -> Msts_platform.Chain.t -> int -> Msts_schedule.Schedule.t
+(** Schedule [n] tasks with the given rule. *)
+
+val chain_makespan : chain_policy -> Msts_platform.Chain.t -> int -> int
+
+type spider_policy =
+  | Spider_earliest_completion
+  | Spider_round_robin  (** cycle through all addresses *)
+  | Spider_first_leg  (** keep every task on the first leg's first node *)
+  | Spider_random of int
+
+val spider_policy_name : spider_policy -> string
+
+val all_spider_policies : spider_policy list
+
+val spider :
+  spider_policy -> Msts_platform.Spider.t -> int -> Msts_schedule.Spider_schedule.t
+
+val spider_makespan : spider_policy -> Msts_platform.Spider.t -> int -> int

@@ -1,0 +1,117 @@
+module Chain = Msts_platform.Chain
+module Schedule = Msts_schedule.Schedule
+module Prng = Msts_util.Prng
+
+let random_restarts ?(seed = 0) ~restarts chain n =
+  if restarts < 0 then invalid_arg "Local_search.random_restarts: negative restarts";
+  if n < 0 then invalid_arg "Local_search.random_restarts: negative task count";
+  let p = Chain.length chain in
+  let rng = Prng.create seed in
+  let best_seq = ref (Array.make n 1) in
+  let best = ref (Asap.chain_makespan chain !best_seq) in
+  for _ = 1 to restarts do
+    let seq = Array.init n (fun _ -> Prng.int_in rng 1 p) in
+    let makespan = Asap.chain_makespan chain seq in
+    if makespan < !best then begin
+      best := makespan;
+      best_seq := seq
+    end
+  done;
+  Asap.chain_of_sequence chain !best_seq
+
+type climb_report = {
+  schedule : Schedule.t;
+  start_makespan : int;
+  iterations : int;
+  evaluations : int;
+}
+
+(* initial sequence: the earliest-completion greedy *)
+let greedy_sequence chain n =
+  let sched = List_sched.chain List_sched.Earliest_completion chain n in
+  Array.map (fun (e : Schedule.entry) -> e.proc) (Schedule.entries sched)
+
+let hill_climb ?(seed = 0) ?(max_rounds = 50) chain n =
+  if n < 0 then invalid_arg "Local_search.hill_climb: negative task count";
+  let p = Chain.length chain in
+  let rng = Prng.create seed in
+  let seq = greedy_sequence chain n in
+  let evaluations = ref 1 in
+  let current = ref (Asap.chain_makespan chain seq) in
+  let start_makespan = !current in
+  let iterations = ref 0 in
+  let evaluate () =
+    incr evaluations;
+    Asap.chain_makespan chain seq
+  in
+  (* first-improvement over a randomly ordered neighbourhood sweep *)
+  let try_retarget position dest =
+    let previous = seq.(position) in
+    if previous = dest then false
+    else begin
+      seq.(position) <- dest;
+      let makespan = evaluate () in
+      if makespan < !current then begin
+        current := makespan;
+        true
+      end
+      else begin
+        seq.(position) <- previous;
+        false
+      end
+    end
+  in
+  let try_swap a b =
+    if a = b || seq.(a) = seq.(b) then false
+    else begin
+      let sa = seq.(a) and sb = seq.(b) in
+      seq.(a) <- sb;
+      seq.(b) <- sa;
+      let makespan = evaluate () in
+      if makespan < !current then begin
+        current := makespan;
+        true
+      end
+      else begin
+        seq.(a) <- sa;
+        seq.(b) <- sb;
+        false
+      end
+    end
+  in
+  let round () =
+    let improved = ref false in
+    if n > 0 then begin
+      let order = Prng.permutation rng n in
+      Array.iter
+        (fun position ->
+          for dest = 1 to p do
+            if try_retarget position dest then begin
+              improved := true;
+              incr iterations
+            end
+          done)
+        order;
+      for _ = 1 to n do
+        let a = Prng.int rng n and b = Prng.int rng n in
+        if try_swap a b then begin
+          improved := true;
+          incr iterations
+        end
+      done
+    end;
+    !improved
+  in
+  let rounds = ref 0 in
+  while !rounds < max_rounds && round () do
+    incr rounds
+  done;
+  {
+    schedule = Asap.chain_of_sequence chain seq;
+    start_makespan;
+    iterations = !iterations;
+    evaluations = !evaluations;
+  }
+
+let hill_climb_makespan ?seed ?max_rounds chain n =
+  Schedule.makespan (hill_climb ?seed ?max_rounds chain n).schedule

@@ -1,0 +1,33 @@
+(** Metaheuristic baselines over destination sequences.
+
+    Between the myopic forward rules and the exact algorithm sits the
+    practitioner's favourite middle ground: search the space of destination
+    sequences directly, timing each candidate with the ASAP sweep.  These
+    baselines answer the question "could a generic optimiser have found the
+    paper's result?" — experiment `local-search` shows how much effort that
+    costs compared to the O(n·p²) construction.
+
+    All functions are deterministic for a given [seed]. *)
+
+val random_restarts :
+  ?seed:int -> restarts:int -> Msts_platform.Chain.t -> int -> Msts_schedule.Schedule.t
+(** Best ASAP timing over [restarts] uniformly random destination
+    sequences (plus the all-on-processor-1 sequence as a safety net).
+    @raise Invalid_argument on negative arguments. *)
+
+type climb_report = {
+  schedule : Msts_schedule.Schedule.t;
+  start_makespan : int;  (** makespan of the initial greedy sequence *)
+  iterations : int;  (** improving moves applied *)
+  evaluations : int;  (** ASAP timings performed *)
+}
+
+val hill_climb :
+  ?seed:int -> ?max_rounds:int -> Msts_platform.Chain.t -> int -> climb_report
+(** First-improvement hill climbing from the earliest-completion greedy
+    sequence.  Neighbourhood: change one task's destination, or swap the
+    destinations of two positions.  Stops at a local optimum or after
+    [max_rounds] (default 50) full sweeps. *)
+
+val hill_climb_makespan :
+  ?seed:int -> ?max_rounds:int -> Msts_platform.Chain.t -> int -> int

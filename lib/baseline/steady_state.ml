@@ -1,0 +1,44 @@
+module Chain = Msts_platform.Chain
+module Spider = Msts_platform.Spider
+
+let chain_prefix_throughputs chain =
+  let p = Chain.length chain in
+  let rho = Array.make (p + 1) 0.0 in
+  for j = p downto 1 do
+    rho.(j - 1) <-
+      min
+        (1.0 /. float_of_int (Chain.latency chain j))
+        ((1.0 /. float_of_int (Chain.work chain j)) +. rho.(j))
+  done;
+  Array.sub rho 0 p
+
+let chain_throughput chain = (chain_prefix_throughputs chain).(0)
+
+let spider_leg_rates spider =
+  let legs = Spider.legs spider in
+  let caps =
+    Array.init legs (fun idx -> chain_throughput (Spider.leg_chain spider (idx + 1)))
+  in
+  let order = Array.init legs (fun idx -> idx) in
+  (* bandwidth-centric: cheapest first link first *)
+  Array.sort
+    (fun a b ->
+      Int.compare
+        (Chain.latency (Spider.leg_chain spider (a + 1)) 1)
+        (Chain.latency (Spider.leg_chain spider (b + 1)) 1))
+    order;
+  let rates = Array.make legs 0.0 in
+  let port_left = ref 1.0 in
+  Array.iter
+    (fun idx ->
+      let c1 = float_of_int (Chain.latency (Spider.leg_chain spider (idx + 1)) 1) in
+      let rate = min caps.(idx) (!port_left /. c1) in
+      rates.(idx) <- rate;
+      port_left := !port_left -. (rate *. c1))
+    order;
+  rates
+
+let spider_throughput spider =
+  Array.fold_left ( +. ) 0.0 (spider_leg_rates spider)
+
+let asymptotic_makespan chain n = float_of_int n /. chain_throughput chain

@@ -1,0 +1,29 @@
+(** Steady-state throughput analysis (bandwidth-centric allocation).
+
+    The companion viewpoint from Beaumont et al. [2], which the paper cites
+    for trees: ignore start-up and wind-down and ask how many tasks per time
+    unit a platform absorbs in the long run.  For large [n] the optimal
+    makespan behaves like [n/ρ + O(1)], which the tests and experiment E11
+    verify against the exact algorithm.
+
+    For a chain, the deliverable rate beyond link [j] obeys
+    [ρ(j) = min(1/c_j, 1/w_j + ρ(j+1))].  For a spider the master's port is
+    shared: maximising total rate subject to [Σ_l ρ_l·c₁(l) ≤ 1] and each
+    leg's cap is a fractional knapsack solved greedily by ascending [c₁] —
+    the "bandwidth-centric" rule: priority goes to the child cheapest to
+    feed, regardless of its speed. *)
+
+val chain_throughput : Msts_platform.Chain.t -> float
+(** Tasks per time unit a chain absorbs in steady state. *)
+
+val chain_prefix_throughputs : Msts_platform.Chain.t -> float array
+(** [ρ(j)] for each [j] — where the chain saturates. *)
+
+val spider_throughput : Msts_platform.Spider.t -> float
+
+val spider_leg_rates : Msts_platform.Spider.t -> float array
+(** Per-leg rates of the optimal steady state (bandwidth-centric
+    allocation); sums to {!spider_throughput}. *)
+
+val asymptotic_makespan : Msts_platform.Chain.t -> int -> float
+(** [n /. chain_throughput] — the first-order makespan prediction. *)

@@ -1,0 +1,96 @@
+module Chain = Msts_platform.Chain
+module Comm_vector = Msts_schedule.Comm_vector
+module Schedule = Msts_schedule.Schedule
+
+type state = { hull : int array; occupancy : int array }
+
+let initial_state chain ~horizon =
+  let p = Chain.length chain in
+  { hull = Array.make p horizon; occupancy = Array.make p horizon }
+
+let copy_state st =
+  { hull = Array.copy st.hull; occupancy = Array.copy st.occupancy }
+
+let candidate chain st k =
+  let v = Array.make k 0 in
+  v.(k - 1) <-
+    min
+      (st.occupancy.(k - 1) - Chain.work chain k - Chain.latency chain k)
+      (st.hull.(k - 1) - Chain.latency chain k);
+  for j = k - 1 downto 1 do
+    v.(j - 1) <-
+      min (v.(j) - Chain.latency chain j) (st.hull.(j - 1) - Chain.latency chain j)
+  done;
+  v
+
+let candidates chain st =
+  Array.init (Chain.length chain) (fun idx -> candidate chain st (idx + 1))
+
+let select cands =
+  if Array.length cands = 0 then invalid_arg "Algorithm.select: no candidates";
+  let best = ref 0 in
+  for idx = 1 to Array.length cands - 1 do
+    if Comm_vector.precedes cands.(!best) cands.(idx) then best := idx
+  done;
+  !best
+
+type step = {
+  task : int;
+  chosen_proc : int;
+  chosen_vector : Comm_vector.t;
+  start : int;
+  all_candidates : Comm_vector.t array;
+  state_before : state;
+}
+
+let place_with ~select chain st ~task =
+  let state_before = copy_state st in
+  let all_candidates = candidates chain st in
+  let chosen_proc = select all_candidates + 1 in
+  let chosen_vector = all_candidates.(chosen_proc - 1) in
+  let start = st.occupancy.(chosen_proc - 1) - Chain.work chain chosen_proc in
+  st.occupancy.(chosen_proc - 1) <- start;
+  for j = 1 to chosen_proc do
+    st.hull.(j - 1) <- chosen_vector.(j - 1)
+  done;
+  { task; chosen_proc; chosen_vector; start; all_candidates; state_before }
+
+let place = place_with ~select
+
+let horizon = Chain.master_only_makespan
+
+let schedule_core ~select ?on_step chain n =
+  if n < 0 then invalid_arg "Algorithm.schedule: negative task count";
+  let st = initial_state chain ~horizon:(horizon chain n) in
+  let entries =
+    Array.init n (fun _ -> { Schedule.proc = 1; start = 0; comms = [| 0 |] })
+  in
+  for task = n downto 1 do
+    let step = place_with ~select chain st ~task in
+    (match on_step with Some f -> f step | None -> ());
+    entries.(task - 1) <-
+      {
+        Schedule.proc = step.chosen_proc;
+        start = step.start;
+        comms = step.chosen_vector;
+      }
+  done;
+  Schedule.normalise (Schedule.make chain entries)
+
+let schedule ?on_step chain n = schedule_core ~select ?on_step chain n
+
+let schedule_with_selector ~select chain n = schedule_core ~select chain n
+
+let makespan chain n =
+  if n = 0 then 0
+  else begin
+    (* The last-placed (first-emitted) task fixes the shift; task n always
+       finishes exactly at the horizon. *)
+    let st = initial_state chain ~horizon:(horizon chain n) in
+    let first_emission = ref 0 in
+    for task = n downto 1 do
+      let step = place chain st ~task in
+      if task = 1 then first_emission := step.chosen_vector.(0)
+    done;
+    horizon chain n - !first_emission
+  end

@@ -1,0 +1,47 @@
+module Chain = Msts_platform.Chain
+module Schedule = Msts_schedule.Schedule
+
+let tasks_per_processor chain n =
+  let sched = Algorithm.schedule chain n in
+  let counts = Array.make (Chain.length chain) 0 in
+  Array.iter
+    (fun (e : Schedule.entry) -> counts.(e.proc - 1) <- counts.(e.proc - 1) + 1)
+    (Schedule.entries sched);
+  counts
+
+let used_depth chain n =
+  let counts = tasks_per_processor chain n in
+  let deepest = ref 0 in
+  Array.iteri (fun idx count -> if count > 0 then deepest := idx + 1) counts;
+  !deepest
+
+let activation_threshold chain ~k ~max_n =
+  if k < 1 || k > Chain.length chain then
+    invalid_arg "Analysis.activation_threshold: processor out of range";
+  let rec scan n =
+    if n > max_n then None
+    else if (tasks_per_processor chain n).(k - 1) > 0 then Some n
+    else scan (n + 1)
+  in
+  scan 1
+
+let depth_profile chain ~ns = List.map (fun n -> (n, tasks_per_processor chain n)) ns
+
+(* The steady-state recursion rho_j = min(1/c_j, 1/w_j + rho_{j+1}), kept
+   local: the full analysis lives in Msts_baseline.Steady_state, which sits
+   above this library in the dependency order. *)
+let throughput chain =
+  let p = Chain.length chain in
+  let rec rho j =
+    if j > p then 0.0
+    else
+      min
+        (1.0 /. float_of_int (Chain.latency chain j))
+        ((1.0 /. float_of_int (Chain.work chain j)) +. rho (j + 1))
+  in
+  rho 1
+
+let efficiency chain n =
+  if n <= 0 then 0.0
+  else
+    float_of_int n /. (float_of_int (Algorithm.makespan chain n) *. throughput chain)

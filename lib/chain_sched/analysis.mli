@@ -1,0 +1,28 @@
+(** How optimal schedules use a chain.
+
+    The questions a platform owner asks once makespans are optimal: which
+    processors actually receive work, how the load spreads as the batch
+    grows, and how close a finite batch gets to the steady-state rate.
+    Everything here just runs the §3 algorithm and summarises the result. *)
+
+val tasks_per_processor : Msts_platform.Chain.t -> int -> int array
+(** Index [k-1]: tasks executed on processor [k] in the optimal [n]-task
+    schedule.  Entries sum to [n]. *)
+
+val used_depth : Msts_platform.Chain.t -> int -> int
+(** Deepest processor executing at least one task (0 when [n = 0]). *)
+
+val activation_threshold :
+  Msts_platform.Chain.t -> k:int -> max_n:int -> int option
+(** Least [n ≤ max_n] whose optimal schedule gives processor [k] work, if
+    any.  A deep processor activates once nearer ones saturate; the
+    threshold marks the crossover the layered-network example studies. *)
+
+val depth_profile :
+  Msts_platform.Chain.t -> ns:int list -> (int * int array) list
+(** [(n, tasks_per_processor n)] for each requested [n]. *)
+
+val efficiency : Msts_platform.Chain.t -> int -> float
+(** [n / (makespan(n) · ρ)] where ρ is the steady-state throughput: 1.0
+    means the batch already runs at the asymptotic rate, small values mean
+    start-up/wind-down dominate. *)

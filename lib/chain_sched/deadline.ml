@@ -1,0 +1,28 @@
+module Chain = Msts_platform.Chain
+
+let schedule ?max_tasks chain ~deadline =
+  if deadline < 0 then invalid_arg "Deadline.schedule: negative deadline";
+  (match max_tasks with
+  | Some budget when budget < 0 -> invalid_arg "Deadline.schedule: negative max_tasks"
+  | _ -> ());
+  let construction = Incremental.create chain ~horizon:deadline in
+  let (_ : int) = Incremental.fill construction ?max_tasks () in
+  Incremental.schedule construction
+
+let max_tasks chain ~deadline =
+  if deadline < 0 then invalid_arg "Deadline.max_tasks: negative deadline";
+  let construction = Incremental.create chain ~horizon:deadline in
+  Incremental.fill construction ()
+
+let min_makespan_via_deadline chain n =
+  if n < 0 then invalid_arg "Deadline.min_makespan_via_deadline: negative n";
+  if n = 0 then 0
+  else begin
+    let hi = Chain.master_only_makespan chain n in
+    match
+      Msts_util.Intx.binary_search_least ~lo:0 ~hi (fun d ->
+          max_tasks chain ~deadline:d >= n)
+    with
+    | Some d -> d
+    | None -> hi (* unreachable: the master-only schedule meets [hi] *)
+  end

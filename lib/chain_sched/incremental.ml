@@ -1,0 +1,64 @@
+module Schedule = Msts_schedule.Schedule
+
+type t = {
+  chain : Msts_platform.Chain.t;
+  st : Algorithm.state;
+  mutable entries : Schedule.entry list; (* emission order: earliest first *)
+  mutable placed : int;
+  mutable full : bool;
+}
+
+let create chain ~horizon =
+  if horizon < 0 then invalid_arg "Incremental.create: negative horizon";
+  {
+    chain;
+    st = Algorithm.initial_state chain ~horizon;
+    entries = [];
+    placed = 0;
+    full = false;
+  }
+
+let add_task t =
+  if t.full then false
+  else begin
+    (* Probe with the would-be greatest candidate before committing. *)
+    let cands = Algorithm.candidates t.chain t.st in
+    let best = Algorithm.select cands in
+    if cands.(best).(0) < 0 then begin
+      t.full <- true;
+      false
+    end
+    else begin
+      let step = Algorithm.place t.chain t.st ~task:(t.placed + 1) in
+      t.entries <-
+        {
+          Schedule.proc = step.Algorithm.chosen_proc;
+          start = step.Algorithm.start;
+          comms = step.Algorithm.chosen_vector;
+        }
+        :: t.entries;
+      t.placed <- t.placed + 1;
+      true
+    end
+  end
+
+let placed t = t.placed
+
+let schedule t = Schedule.make t.chain (Array.of_list t.entries)
+
+let state t =
+  {
+    Algorithm.hull = Array.copy t.st.Algorithm.hull;
+    occupancy = Array.copy t.st.Algorithm.occupancy;
+  }
+
+let earliest_emission t =
+  match t.entries with
+  | [] -> None
+  | e :: _ -> Some (Msts_schedule.Comm_vector.first_emission e.Schedule.comms)
+
+let fill t ?(max_tasks = max_int) () =
+  while t.placed < max_tasks && add_task t do
+    ()
+  done;
+  t.placed

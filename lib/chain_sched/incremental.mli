@@ -1,0 +1,39 @@
+(** Incremental backward construction.
+
+    The algorithm builds the optimal [n]-task schedule as an extension of
+    the optimal [(n−1)]-task one (the suffix property behind Lemma 4), so
+    the construction can be driven one task at a time: start from a
+    horizon, keep placing tasks while they fit.  This powers the deadline
+    variant and lets clients answer "how many more tasks until [T]?"
+    without recomputing from scratch.
+
+    Dates are absolute in [\[0, horizon\]]; no final shift is applied. *)
+
+type t
+
+val create : Msts_platform.Chain.t -> horizon:int -> t
+(** Fresh construction ending at [horizon].
+    @raise Invalid_argument on a negative horizon. *)
+
+val add_task : t -> bool
+(** Place one more task (earlier than everything placed so far).  Returns
+    [false] — and places nothing — when the task's first emission would
+    fall before time 0, i.e. the horizon is full. *)
+
+val placed : t -> int
+(** Number of tasks placed so far. *)
+
+val schedule : t -> Msts_schedule.Schedule.t
+(** Snapshot of the current schedule; tasks renumbered 1.. in emission
+    order.  O(placed). *)
+
+val state : t -> Algorithm.state
+(** Deep copy of the hull/occupancy state (for inspection and tests). *)
+
+val earliest_emission : t -> int option
+(** First-link emission of the earliest task placed ([None] when empty) —
+    how much of the horizon remains. *)
+
+val fill : t -> ?max_tasks:int -> unit -> int
+(** Place tasks until full (or until [max_tasks] in total); returns
+    {!placed}. *)

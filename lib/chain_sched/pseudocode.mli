@@ -1,0 +1,17 @@
+(** Literal transcription of the paper's Figure 3 pseudo-code.
+
+    {!Algorithm} is the production implementation (arrays, no intermediate
+    allocation, shared candidate machinery).  This module is a deliberate,
+    line-by-line transcription of the pseudo-code as printed — including
+    its quirks: communication vectors initialised to an all-zero vector of
+    length [p], candidate replacement by strict [≺] comparison while
+    scanning [k = p downto 1], and the final shift by [C¹₁].  It exists
+    only for differential testing: on every input the two implementations
+    must produce the same schedule, which ties the code base back to the
+    paper's own text.
+
+    Do not use this in production: it allocates lists per candidate and is
+    noticeably slower. *)
+
+val schedule : Msts_platform.Chain.t -> int -> Msts_schedule.Schedule.t
+(** Figure 3, verbatim.  @raise Invalid_argument if [n < 0]. *)

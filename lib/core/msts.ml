@@ -1,0 +1,86 @@
+(** Master-Slave Task Scheduling — umbrella module.
+
+    Reproduction of {e "Master-slave Tasking on Heterogeneous Processors"}
+    (Pierre-François Dutot, IPPS 2003): optimal scheduling of independent
+    identical tasks on heterogeneous chains and spiders under the one-port,
+    store-and-forward model.
+
+    The sub-libraries remain directly usable; this module only collects the
+    public entry points under one namespace:
+
+    {ul
+    {- platform descriptions: {!Chain}, {!Fork}, {!Spider}, {!Tree},
+       {!Generator}, {!Platform_format}, {!Dot};}
+    {- schedules and their audit: {!Comm_vector}, {!Schedule},
+       {!Spider_schedule}, {!Feasibility}, {!Intervals}, {!Gantt}, {!Svg};}
+    {- the paper's algorithms: {!Chain_algorithm}, {!Chain_deadline},
+       {!Chain_lemmas}, {!Chain_trace}, {!Fork_expansion}, {!Fork_allocator},
+       {!Fork_builder}, {!Spider_transform}, {!Spider_algorithm};}
+    {- oracles and baselines: {!Asap}, {!Brute_force}, {!List_sched},
+       {!Bounds}, {!Steady_state};}
+    {- execution substrate: {!Engine}, {!Resource}, {!Netsim};}
+    {- utilities: {!Prng}, {!Heap}, {!Stats}, {!Table}, {!Intx}.} } *)
+
+(* Platforms *)
+module Chain = Msts_platform.Chain
+module Fork = Msts_platform.Fork
+module Spider = Msts_platform.Spider
+module Tree = Msts_platform.Tree
+module Generator = Msts_platform.Generator
+module Platform_format = Msts_platform.Parse
+module Dot = Msts_platform.Dot
+
+(* Schedules *)
+module Comm_vector = Msts_schedule.Comm_vector
+module Schedule = Msts_schedule.Schedule
+module Spider_schedule = Msts_schedule.Spider_schedule
+module Feasibility = Msts_schedule.Feasibility
+module Intervals = Msts_schedule.Intervals
+module Gantt = Msts_schedule.Gantt
+module Svg = Msts_schedule.Svg
+module Serial = Msts_schedule.Serial
+module Metrics = Msts_schedule.Metrics
+
+(* The paper's algorithms *)
+module Chain_algorithm = Msts_chain.Algorithm
+module Chain_deadline = Msts_chain.Deadline
+module Chain_incremental = Msts_chain.Incremental
+module Chain_pseudocode = Msts_chain.Pseudocode
+module Chain_analysis = Msts_chain.Analysis
+module Chain_lemmas = Msts_chain.Lemmas
+module Chain_trace = Msts_chain.Trace
+module Fork_expansion = Msts_fork.Expansion
+module Fork_allocator = Msts_fork.Allocator
+module Fork_builder = Msts_fork.Builder
+module Spider_transform = Msts_spider.Transform
+module Spider_algorithm = Msts_spider.Algorithm
+module Spider_trace = Msts_spider.Trace
+module Spider_analysis = Msts_spider.Analysis
+
+(* Tree extension (the paper's stated future work) *)
+module Tree_flat = Msts_tree.Flat
+module Tree_schedule = Msts_tree.Tree_schedule
+module Tree_asap = Msts_tree.Asap
+module Tree_heuristics = Msts_tree.Heuristics
+module Tree_search = Msts_tree.Search
+module Tree_steady = Msts_tree.Steady
+
+(* Oracles and baselines *)
+module Asap = Msts_baseline.Asap
+module Brute_force = Msts_baseline.Brute_force
+module List_sched = Msts_baseline.List_sched
+module Local_search = Msts_baseline.Local_search
+module Bounds = Msts_baseline.Bounds
+module Steady_state = Msts_baseline.Steady_state
+
+(* Execution substrate *)
+module Engine = Msts_sim.Engine
+module Resource = Msts_sim.Resource
+module Netsim = Msts_sim.Netsim
+
+(* Utilities *)
+module Prng = Msts_util.Prng
+module Heap = Msts_util.Heap
+module Stats = Msts_util.Stats
+module Table = Msts_util.Table
+module Intx = Msts_util.Intx

@@ -1,0 +1,78 @@
+type allocation = {
+  node : Expansion.vnode;
+  emission : int;
+  position : int;
+}
+
+(* Accepted nodes kept sorted by non-increasing [work]; ties keep insertion
+   order.  [prefix] is the sum of comm times strictly before each node. *)
+let emission_schedule accepted =
+  let rec loop prefix position = function
+    | [] -> []
+    | (node : Expansion.vnode) :: rest ->
+        { node; emission = prefix; position }
+        :: loop (prefix + node.comm) (position + 1) rest
+  in
+  loop 0 0 accepted
+
+(* Feasibility of inserting [candidate]: it lands after every node with
+   strictly greater or equal work; its own transfer must end early enough,
+   and every node pushed later by its comm time must still fit. *)
+let try_insert accepted ~deadline (candidate : Expansion.vnode) =
+  let rec scan prefix before = function
+    | (node : Expansion.vnode) :: rest when node.work >= candidate.work ->
+        scan (prefix + node.comm) (node :: before) rest
+    | after ->
+        let own_ok = prefix + candidate.comm + candidate.work <= deadline in
+        let rec suffix_ok prefix = function
+          | [] -> true
+          | (node : Expansion.vnode) :: rest ->
+              prefix + node.comm + node.work <= deadline
+              && suffix_ok (prefix + node.comm) rest
+        in
+        if own_ok && suffix_ok (prefix + candidate.comm) after then
+          Some (List.rev_append before (candidate :: after))
+        else None
+  in
+  scan 0 [] accepted
+
+let allocate candidates ~deadline ~budget =
+  if deadline < 0 then invalid_arg "Allocator.allocate: negative deadline";
+  if budget < 0 then invalid_arg "Allocator.allocate: negative budget";
+  let rec loop accepted count = function
+    | [] -> accepted
+    | _ when count >= budget -> accepted
+    | candidate :: rest -> (
+        match try_insert accepted ~deadline candidate with
+        | Some accepted -> loop accepted (count + 1) rest
+        | None -> loop accepted count rest)
+  in
+  let accepted = loop [] 0 (Expansion.allocation_order candidates) in
+  emission_schedule accepted
+
+let max_tasks fork ~deadline ~budget =
+  let nodes = Expansion.expand fork ~count:budget in
+  List.length (allocate nodes ~deadline ~budget)
+
+let tasks_per_slave allocations =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun { node; _ } ->
+      let current = Option.value ~default:0 (Hashtbl.find_opt tbl node.Expansion.slave) in
+      Hashtbl.replace tbl node.Expansion.slave (current + 1))
+    allocations;
+  List.sort compare (Hashtbl.fold (fun slave count acc -> (slave, count) :: acc) tbl [])
+
+let is_feasible_set nodes ~deadline =
+  let sorted =
+    List.sort
+      (fun (a : Expansion.vnode) b -> Int.compare b.work a.work)
+      nodes
+  in
+  let rec check prefix = function
+    | [] -> true
+    | (node : Expansion.vnode) :: rest ->
+        prefix + node.comm + node.work <= deadline
+        && check (prefix + node.comm) rest
+  in
+  check 0 sorted

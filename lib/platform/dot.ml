@@ -1,0 +1,59 @@
+let buffer_graph body =
+  "digraph platform {\n  rankdir=LR;\n  master [shape=doublecircle, label=\"M\"];\n"
+  ^ body ^ "}\n"
+
+let node_line name work =
+  Printf.sprintf "  %s [shape=circle, label=\"w=%d\"];\n" name work
+
+let edge_line src dst latency =
+  Printf.sprintf "  %s -> %s [label=\"c=%d\"];\n" src dst latency
+
+let chain_body ~prefix ~attach chain =
+  let buf = Buffer.create 128 in
+  let p = Chain.length chain in
+  for k = 1 to p do
+    let name = Printf.sprintf "%s%d" prefix k in
+    Buffer.add_string buf (node_line name (Chain.work chain k));
+    let src = if k = 1 then attach else Printf.sprintf "%s%d" prefix (k - 1) in
+    Buffer.add_string buf (edge_line src name (Chain.latency chain k))
+  done;
+  Buffer.contents buf
+
+let of_chain chain = buffer_graph (chain_body ~prefix:"p" ~attach:"master" chain)
+
+let of_fork fork =
+  let buf = Buffer.create 128 in
+  for j = 1 to Fork.slave_count fork do
+    let name = Printf.sprintf "s%d" j in
+    Buffer.add_string buf (node_line name (Fork.work fork j));
+    Buffer.add_string buf (edge_line "master" name (Fork.latency fork j))
+  done;
+  buffer_graph (Buffer.contents buf)
+
+let of_spider spider =
+  let buf = Buffer.create 256 in
+  for l = 1 to Spider.legs spider do
+    Buffer.add_string buf
+      (chain_body ~prefix:(Printf.sprintf "l%d_" l) ~attach:"master"
+         (Spider.leg_chain spider l))
+  done;
+  buffer_graph (Buffer.contents buf)
+
+let of_tree tree =
+  let buf = Buffer.create 256 in
+  let counter = ref 0 in
+  let rec emit parent (n : Tree.node) =
+    incr counter;
+    let name = Printf.sprintf "t%d" !counter in
+    Buffer.add_string buf (node_line name n.work);
+    Buffer.add_string buf (edge_line parent name n.latency);
+    List.iter (emit name) n.children
+  in
+  List.iter (emit "master") (Tree.roots tree);
+  buffer_graph (Buffer.contents buf)
+
+let of_platform = function
+  | Parse.Chain_platform chain -> of_chain chain
+  | Parse.Fork_platform fork -> of_fork fork
+  | Parse.Spider_platform spider -> of_spider spider
+  | Parse.Tree_platform tree -> of_tree tree

@@ -1,0 +1,41 @@
+type t = { slaves : (int * int) array }
+
+let make slaves =
+  if Array.length slaves = 0 then invalid_arg "Fork.make: no slaves";
+  Array.iter
+    (fun (c, w) ->
+      if c <= 0 || w <= 0 then invalid_arg "Fork.make: non-positive value")
+    slaves;
+  { slaves = Array.copy slaves }
+
+let of_pairs pairs = make (Array.of_list pairs)
+
+let slave_count t = Array.length t.slaves
+
+let check_index t j =
+  if j < 1 || j > slave_count t then
+    invalid_arg
+      (Printf.sprintf "Fork: slave %d outside 1..%d" j (slave_count t))
+
+let latency t j =
+  check_index t j;
+  fst t.slaves.(j - 1)
+
+let work t j =
+  check_index t j;
+  snd t.slaves.(j - 1)
+
+let to_pairs t = Array.to_list t.slaves
+
+let equal a b = a.slaves = b.slaves
+
+let pp ppf t =
+  let pair ppf (c, w) = Format.fprintf ppf "(c=%d,w=%d)" c w in
+  Format.fprintf ppf "fork[%a]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ") pair)
+    (to_pairs t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let as_chains t =
+  Array.map (fun (c, w) -> Chain.make ~c:[| c |] ~w:[| w |]) t.slaves

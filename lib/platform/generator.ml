@@ -1,0 +1,109 @@
+module Prng = Msts_util.Prng
+
+type profile = {
+  latency_min : int;
+  latency_max : int;
+  work_min : int;
+  work_max : int;
+}
+
+let default_profile =
+  { latency_min = 1; latency_max = 10; work_min = 1; work_max = 20 }
+
+let balanced_profile =
+  { latency_min = 1; latency_max = 10; work_min = 1; work_max = 10 }
+
+let compute_bound_profile =
+  { latency_min = 1; latency_max = 3; work_min = 10; work_max = 50 }
+
+let comm_bound_profile =
+  { latency_min = 5; latency_max = 20; work_min = 1; work_max = 5 }
+
+let spread_profile ~mean_latency ~mean_work ~spread =
+  if mean_latency <= 0 || mean_work <= 0 then
+    invalid_arg "Generator.spread_profile: non-positive mean";
+  if spread < 0.0 then invalid_arg "Generator.spread_profile: negative spread";
+  let bounds mean =
+    let m = float_of_int mean in
+    ( max 1 (int_of_float (floor (m /. (1.0 +. spread)))),
+      int_of_float (ceil (m *. (1.0 +. spread))) )
+  in
+  let latency_min, latency_max = bounds mean_latency in
+  let work_min, work_max = bounds mean_work in
+  { latency_min; latency_max; work_min; work_max }
+
+let coefficient_of_variation values =
+  let n = float_of_int (List.length values) in
+  let mean = List.fold_left ( +. ) 0.0 values /. n in
+  let var =
+    List.fold_left (fun acc v -> acc +. ((v -. mean) *. (v -. mean))) 0.0 values /. n
+  in
+  if mean = 0.0 then 0.0 else sqrt var /. mean
+
+let heterogeneity chain =
+  let pairs = Chain.to_pairs chain in
+  let latencies = List.map (fun (c, _) -> float_of_int c) pairs in
+  let works = List.map (fun (_, w) -> float_of_int w) pairs in
+  0.5 *. (coefficient_of_variation latencies +. coefficient_of_variation works)
+
+let draw_latency rng profile = Prng.int_in rng profile.latency_min profile.latency_max
+
+let draw_work rng profile = Prng.int_in rng profile.work_min profile.work_max
+
+let chain rng profile ~p =
+  if p <= 0 then invalid_arg "Generator.chain: p must be positive";
+  let c = Array.init p (fun _ -> draw_latency rng profile) in
+  let w = Array.init p (fun _ -> draw_work rng profile) in
+  Chain.make ~c ~w
+
+let fork rng profile ~slaves =
+  if slaves <= 0 then invalid_arg "Generator.fork: slaves must be positive";
+  Fork.make
+    (Array.init slaves (fun _ -> (draw_latency rng profile, draw_work rng profile)))
+
+let spider rng profile ~legs ~max_depth =
+  if legs <= 0 then invalid_arg "Generator.spider: legs must be positive";
+  if max_depth <= 0 then invalid_arg "Generator.spider: max_depth must be positive";
+  Spider.make
+    (Array.init legs (fun _ -> chain rng profile ~p:(Prng.int_in rng 1 max_depth)))
+
+let tree rng profile ~nodes ~max_children =
+  if nodes <= 0 then invalid_arg "Generator.tree: nodes must be positive";
+  if max_children <= 0 then invalid_arg "Generator.tree: max_children must be positive";
+  (* parent.(i) = -1 means the node hangs directly off the master. *)
+  let parent = Array.make nodes (-1) in
+  let child_count = Array.make (nodes + 1) 0 in
+  (* slot nodes = master *)
+  let slot i = if i = -1 then nodes else i in
+  for i = 1 to nodes - 1 do
+    let candidates =
+      List.filter
+        (fun j -> child_count.(slot j) < max_children)
+        (-1 :: Msts_util.Intx.range 0 (i - 1))
+    in
+    let chosen =
+      match candidates with
+      | [] -> -1 (* master always accepts as a fallback *)
+      | _ -> List.nth candidates (Prng.int rng (List.length candidates))
+    in
+    parent.(i) <- chosen;
+    child_count.(slot chosen) <- child_count.(slot chosen) + 1
+  done;
+  child_count.(nodes) <- child_count.(nodes) + 1 (* node 0 is a master child *)
+  ;
+  let latency = Array.init nodes (fun _ -> draw_latency rng profile) in
+  let work = Array.init nodes (fun _ -> draw_work rng profile) in
+  let rec build i =
+    let children =
+      List.filter_map
+        (fun j -> if parent.(j) = i then Some (build j) else None)
+        (Msts_util.Intx.range 0 (nodes - 1))
+    in
+    Tree.node ~children ~latency:latency.(i) ~work:work.(i) ()
+  in
+  let top =
+    List.filter_map
+      (fun j -> if parent.(j) = -1 then Some (build j) else None)
+      (Msts_util.Intx.range 0 (nodes - 1))
+  in
+  Tree.make top

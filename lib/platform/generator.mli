@@ -1,0 +1,61 @@
+(** Random platform generators.
+
+    The paper evaluates on abstract heterogeneous platforms; these
+    generators provide the synthetic instances for the optimality tests,
+    the heuristic-gap experiments and the scaling benchmarks.  Everything is
+    driven by {!Msts_util.Prng} so each instance is reproducible from its
+    seed. *)
+
+type profile = {
+  latency_min : int;
+  latency_max : int;
+  work_min : int;
+  work_max : int;
+}
+(** Inclusive uniform ranges for link latencies and work times. *)
+
+val default_profile : profile
+(** Latencies in [1..10], work in [1..20] — moderately communication-bound,
+    the regime where placement decisions matter. *)
+
+val balanced_profile : profile
+(** Latencies and work both in [1..10]. *)
+
+val compute_bound_profile : profile
+(** Cheap links (1..3), expensive work (10..50): deep processors are worth
+    feeding. *)
+
+val comm_bound_profile : profile
+(** Expensive links (5..20), cheap work (1..5): most tasks should stay close
+    to the master. *)
+
+val chain : Msts_util.Prng.t -> profile -> p:int -> Chain.t
+(** Random chain of [p] processors. @raise Invalid_argument if [p <= 0]. *)
+
+val fork : Msts_util.Prng.t -> profile -> slaves:int -> Fork.t
+(** Random fork. @raise Invalid_argument if [slaves <= 0]. *)
+
+val spider :
+  Msts_util.Prng.t -> profile -> legs:int -> max_depth:int -> Spider.t
+(** Random spider with [legs] legs, each of uniform depth in
+    [1..max_depth]. *)
+
+val tree :
+  Msts_util.Prng.t -> profile -> nodes:int -> max_children:int -> Tree.t
+(** Random tree over exactly [nodes] processors, attaching each new node to
+    a uniformly chosen node (or the master) that still has fewer than
+    [max_children] children. *)
+
+val spread_profile :
+  mean_latency:int -> mean_work:int -> spread:float -> profile
+(** Controlled-heterogeneity profile: values uniform in
+    [\[max 1 ⌊mean/(1+spread)⌋, ⌈mean·(1+spread)⌉\]].  [spread = 0.0] is a
+    homogeneous platform; larger spreads widen the range around the same
+    mean scale.  Used by the heterogeneity-sweep experiment.
+    @raise Invalid_argument on non-positive means or negative spread. *)
+
+val heterogeneity : Chain.t -> float
+(** Mean of the coefficients of variation (σ/μ) of the chain's latencies
+    and of its work times (computed separately, so a homogeneous platform
+    scores 0 even when the two means differ) — the knob the sweep
+    experiment reports against. *)

@@ -1,0 +1,50 @@
+type t = { legs_ : Chain.t array }
+
+type address = { leg : int; depth : int }
+
+let make legs_ =
+  if Array.length legs_ = 0 then invalid_arg "Spider.make: no legs";
+  { legs_ = Array.copy legs_ }
+
+let of_legs legs = make (Array.of_list legs)
+
+let legs t = Array.length t.legs_
+
+let leg_chain t l =
+  if l < 1 || l > legs t then
+    invalid_arg (Printf.sprintf "Spider.leg_chain: leg %d outside 1..%d" l (legs t));
+  t.legs_.(l - 1)
+
+let processor_count t =
+  Array.fold_left (fun acc chain -> acc + Chain.length chain) 0 t.legs_
+
+let addresses t =
+  List.concat_map
+    (fun l ->
+      let chain = leg_chain t l in
+      List.init (Chain.length chain) (fun i -> { leg = l; depth = i + 1 }))
+    (List.init (legs t) (fun i -> i + 1))
+
+let latency t { leg; depth } = Chain.latency (leg_chain t leg) depth
+
+let work t { leg; depth } = Chain.work (leg_chain t leg) depth
+
+let of_chain chain = make [| chain |]
+
+let of_fork fork = make (Fork.as_chains fork)
+
+let equal a b =
+  legs a = legs b
+  && Array.for_all2 Chain.equal a.legs_ b.legs_
+
+let pp ppf t =
+  Format.fprintf ppf "spider{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Chain.pp)
+    (Array.to_list t.legs_)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let max_depth t =
+  Array.fold_left (fun acc chain -> max acc (Chain.length chain)) 0 t.legs_

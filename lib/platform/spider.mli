@@ -1,0 +1,48 @@
+(** Spider platforms (paper §6, Figure 5).
+
+    A spider is a tree in which only the master (the root) may have several
+    children: it is a bundle of chains ("legs") sharing the master.  A
+    processor is addressed by its leg index and its depth within that leg.
+    The master sends at most one task at a time over all legs combined
+    (one-port), while within each leg the chain rules apply. *)
+
+type t
+
+type address = { leg : int; depth : int }
+(** [leg] in [1..legs t], [depth] in [1..Chain.length (leg_chain t leg)]. *)
+
+val make : Chain.t array -> t
+(** @raise Invalid_argument on an empty array. *)
+
+val of_legs : Chain.t list -> t
+
+val legs : t -> int
+(** Number of legs (the master's arity). *)
+
+val leg_chain : t -> int -> Chain.t
+(** [leg_chain t l], [1 <= l <= legs t]. *)
+
+val processor_count : t -> int
+(** Total number of processors across all legs. *)
+
+val addresses : t -> address list
+(** Every processor address, legs in order, shallow first. *)
+
+val latency : t -> address -> int
+
+val work : t -> address -> int
+
+val of_chain : Chain.t -> t
+(** A chain is the spider with a single leg. *)
+
+val of_fork : Fork.t -> t
+(** A fork is the spider whose legs all have depth 1. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+val max_depth : t -> int
+(** Length of the longest leg. *)

@@ -1,0 +1,43 @@
+type t = int array
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let n = min la lb in
+  let rec loop j =
+    if j < n then
+      if a.(j) < b.(j) then -1
+      else if a.(j) > b.(j) then 1
+      else loop (j + 1)
+    else Int.compare lb la (* equal common prefix: the longer vector is smaller *)
+  in
+  loop 0
+
+let precedes a b = compare a b < 0
+
+let max_of = function
+  | [] -> invalid_arg "Comm_vector.max_of: empty list"
+  | v :: vs -> List.fold_left (fun acc u -> if precedes acc u then u else acc) v vs
+
+let shift d v = Array.map (fun x -> x - d) v
+
+let target v = Array.length v
+
+let first_emission v =
+  if Array.length v = 0 then invalid_arg "Comm_vector.first_emission: empty vector";
+  v.(0)
+
+let is_prefix a b =
+  let la = Array.length a in
+  la <= Array.length b
+  &&
+  let rec loop j = j >= la || (a.(j) = b.(j) && loop (j + 1)) in
+  loop 0
+
+let pp ppf v =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf "; ")
+       Format.pp_print_int)
+    (Array.to_list v)
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,93 @@
+module Chain = Msts_platform.Chain
+
+type violation =
+  | Reemitted_before_received of { task : int; link : int }
+  | Started_before_received of { task : int }
+  | Computation_overlap of { first : int; second : int; proc : int }
+  | Communication_overlap of { first : int; second : int; link : int }
+  | Negative_date of { task : int }
+
+let pp_violation ppf = function
+  | Reemitted_before_received { task; link } ->
+      Format.fprintf ppf
+        "task %d re-emitted on link %d before its reception completed" task link
+  | Started_before_received { task } ->
+      Format.fprintf ppf "task %d starts before it is fully received" task
+  | Computation_overlap { first; second; proc } ->
+      Format.fprintf ppf "tasks %d and %d overlap on processor %d" first second proc
+  | Communication_overlap { first; second; link } ->
+      Format.fprintf ppf "transfers of tasks %d and %d overlap on link %d" first
+        second link
+  | Negative_date { task } ->
+      Format.fprintf ppf "task %d has a date before time 0" task
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+(* Properties 1 and 2, one task at a time. *)
+let per_task_violations chain i (e : Schedule.entry) =
+  let store_and_forward =
+    List.filter_map
+      (fun k ->
+        if e.comms.(k - 2) + Chain.latency chain (k - 1) > e.comms.(k - 1) then
+          Some (Reemitted_before_received { task = i; link = k })
+        else None)
+      (Msts_util.Intx.range 2 e.proc)
+  in
+  let reception =
+    if e.comms.(e.proc - 1) + Chain.latency chain e.proc > e.start then
+      [ Started_before_received { task = i } ]
+    else []
+  in
+  store_and_forward @ reception
+
+(* Properties 3 and 4 via sorted busy intervals: since all intervals on a
+   given resource have the same duration, pairwise disjointness is
+   equivalent to consecutive disjointness in start order. *)
+let resource_violations t =
+  let chain = Schedule.chain t in
+  let p = Chain.length chain in
+  let on_proc k =
+    match Intervals.overlap_witness (Schedule.proc_intervals t k) with
+    | Some (a, b) ->
+        [ Computation_overlap { first = a.Intervals.tag; second = b.Intervals.tag; proc = k } ]
+    | None -> []
+  in
+  let on_link k =
+    match Intervals.overlap_witness (Schedule.link_intervals t k) with
+    | Some (a, b) ->
+        [ Communication_overlap { first = a.Intervals.tag; second = b.Intervals.tag; link = k } ]
+    | None -> []
+  in
+  List.concat_map (fun k -> on_link k @ on_proc k) (Msts_util.Intx.range 1 p)
+
+let negative_dates t =
+  List.filter_map
+    (fun i ->
+      let e = Schedule.entry t i in
+      if e.start < 0 || Array.exists (fun x -> x < 0) e.comms then
+        Some (Negative_date { task = i })
+      else None)
+    (Msts_util.Intx.range 1 (Schedule.task_count t))
+
+let check ?(require_nonnegative = false) t =
+  let chain = Schedule.chain t in
+  let per_task =
+    List.concat_map
+      (fun i -> per_task_violations chain i (Schedule.entry t i))
+      (Msts_util.Intx.range 1 (Schedule.task_count t))
+  in
+  let negatives = if require_nonnegative then negative_dates t else [] in
+  negatives @ per_task @ resource_violations t
+
+let is_feasible ?require_nonnegative t = check ?require_nonnegative t = []
+
+let check_exn ?require_nonnegative t =
+  match check ?require_nonnegative t with
+  | [] -> ()
+  | violations ->
+      failwith
+        ("infeasible schedule: "
+        ^ String.concat "; " (List.map violation_to_string violations))
+
+let meets_deadline t ~deadline =
+  is_feasible ~require_nonnegative:true t && Schedule.makespan t <= deadline

@@ -1,0 +1,87 @@
+module Chain = Msts_platform.Chain
+module Spider = Msts_platform.Spider
+
+let task_symbol i =
+  if i < 1 then '?'
+  else if i <= 9 then Char.chr (Char.code '0' + i)
+  else if i <= 9 + 26 then Char.chr (Char.code 'a' + i - 10)
+  else '#'
+
+type row = { label : string; cells : Bytes.t }
+
+let blank_row label columns = { label; cells = Bytes.make columns '.' }
+
+let paint ~scale row intervals =
+  List.iter
+    (fun { Intervals.start; duration; tag } ->
+      let col_start = start / scale in
+      let col_end = (start + duration - 1) / scale in
+      for col = col_start to min col_end (Bytes.length row.cells - 1) do
+        if col >= 0 && Bytes.get row.cells col = '.' then
+          Bytes.set row.cells col (task_symbol tag)
+      done)
+    intervals
+
+let ruler ~scale ~columns =
+  let b = Bytes.make columns ' ' in
+  let mark = ref 0 in
+  while !mark / scale < columns do
+    let col = !mark / scale in
+    let s = string_of_int !mark in
+    if col + String.length s <= columns then
+      String.iteri (fun j ch -> Bytes.set b (col + j) ch) s;
+    mark := !mark + (10 * scale)
+  done;
+  Bytes.to_string b
+
+let assemble ~scale ~columns rows =
+  let label_width =
+    List.fold_left (fun acc r -> max acc (String.length r.label)) 0 rows
+  in
+  let pad s = s ^ String.make (label_width - String.length s) ' ' in
+  let line r = pad r.label ^ " |" ^ Bytes.to_string r.cells ^ "|" in
+  let header = String.make label_width ' ' ^ "  " ^ ruler ~scale ~columns in
+  String.concat "\n" (header :: List.map line rows)
+
+let plan_scale ~width horizon =
+  let horizon = max horizon 1 in
+  let scale = (horizon + width - 1) / width in
+  let scale = max scale 1 in
+  (scale, (horizon + scale - 1) / scale)
+
+let render ?(width = 100) sched =
+  let chain = Schedule.chain sched in
+  let scale, columns = plan_scale ~width (Schedule.makespan sched) in
+  let p = Chain.length chain in
+  let rows =
+    List.concat_map
+      (fun k ->
+        let link = blank_row (Printf.sprintf "link %d" k) columns in
+        paint ~scale link (Schedule.link_intervals sched k);
+        let proc = blank_row (Printf.sprintf "proc %d" k) columns in
+        paint ~scale proc (Schedule.proc_intervals sched k);
+        [ link; proc ])
+      (Msts_util.Intx.range 1 p)
+  in
+  assemble ~scale ~columns rows
+
+let render_spider ?(width = 100) sched =
+  let spider = Spider_schedule.spider sched in
+  let scale, columns = plan_scale ~width (Spider_schedule.makespan sched) in
+  let master = blank_row "master port" columns in
+  paint ~scale master (Spider_schedule.master_port_intervals sched);
+  let leg_rows =
+    List.concat_map
+      (fun l ->
+        let chain = Spider.leg_chain spider l in
+        List.concat_map
+          (fun k ->
+            let link = blank_row (Printf.sprintf "leg %d link %d" l k) columns in
+            paint ~scale link (Spider_schedule.leg_link_intervals sched ~leg:l ~link:k);
+            let proc = blank_row (Printf.sprintf "leg %d proc %d" l k) columns in
+            paint ~scale proc (Spider_schedule.leg_proc_intervals sched ~leg:l ~depth:k);
+            [ link; proc ])
+          (Msts_util.Intx.range 1 (Chain.length chain)))
+      (Msts_util.Intx.range 1 (Spider.legs spider))
+  in
+  assemble ~scale ~columns (master :: leg_rows)

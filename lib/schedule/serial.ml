@@ -1,0 +1,131 @@
+let ints_line ints = String.concat " " (List.map string_of_int ints)
+
+let schedule_to_string sched =
+  let entry (e : Schedule.entry) =
+    "task " ^ ints_line (e.proc :: e.start :: Array.to_list e.comms)
+  in
+  String.concat "\n"
+    ("chain-schedule"
+    :: List.map entry (Array.to_list (Schedule.entries sched)))
+  ^ "\n"
+
+let spider_schedule_to_string sched =
+  let entry (e : Spider_schedule.entry) =
+    "task "
+    ^ ints_line
+        (e.address.Msts_platform.Spider.leg
+        :: e.address.Msts_platform.Spider.depth
+        :: e.start
+        :: Array.to_list e.comms)
+  in
+  String.concat "\n"
+    ("spider-schedule"
+    :: List.map entry (Array.to_list (Spider_schedule.entries sched)))
+  ^ "\n"
+
+let schedule_to_csv sched =
+  let chain = Schedule.chain sched in
+  let table =
+    Msts_util.Table.create ~title:"schedule"
+      ~columns:[ "task"; "processor"; "start"; "completion"; "emissions" ]
+  in
+  Array.iteri
+    (fun idx (e : Schedule.entry) ->
+      Msts_util.Table.add_row table
+        [
+          string_of_int (idx + 1);
+          string_of_int e.proc;
+          string_of_int e.start;
+          string_of_int (e.start + Msts_platform.Chain.work chain e.proc);
+          String.concat ";" (List.map string_of_int (Array.to_list e.comms));
+        ])
+    (Schedule.entries sched);
+  Msts_util.Table.to_csv table
+
+let spider_schedule_to_csv sched =
+  let spider = Spider_schedule.spider sched in
+  let table =
+    Msts_util.Table.create ~title:"schedule"
+      ~columns:[ "task"; "leg"; "depth"; "start"; "completion"; "emissions" ]
+  in
+  Array.iteri
+    (fun idx (e : Spider_schedule.entry) ->
+      Msts_util.Table.add_row table
+        [
+          string_of_int (idx + 1);
+          string_of_int e.address.Msts_platform.Spider.leg;
+          string_of_int e.address.Msts_platform.Spider.depth;
+          string_of_int e.start;
+          string_of_int (e.start + Msts_platform.Spider.work spider e.address);
+          String.concat ";" (List.map string_of_int (Array.to_list e.comms));
+        ])
+    (Spider_schedule.entries sched);
+  Msts_util.Table.to_csv table
+
+let meaningful_lines text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun i line -> (i + 1, String.trim line))
+  |> List.filter (fun (_, line) ->
+         line <> "" && not (String.length line > 0 && line.[0] = '#'))
+
+let parse_task_line (lineno, line) =
+  match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+  | "task" :: fields -> (
+      let ints = List.map int_of_string_opt fields in
+      if List.exists Option.is_none ints then
+        Error (Printf.sprintf "line %d: non-integer field" lineno)
+      else Ok (List.map Option.get ints))
+  | _ -> Error (Printf.sprintf "line %d: expected 'task ...'" lineno)
+
+let parse_body ~header ~entry_of_ints lines =
+  match lines with
+  | [] -> Error "empty schedule description"
+  | (lineno, first) :: rest ->
+      if first <> header then
+        Error (Printf.sprintf "line %d: expected %S header" lineno header)
+      else begin
+        let rec loop acc = function
+          | [] -> Ok (List.rev acc)
+          | entry_line :: more -> (
+              match parse_task_line entry_line with
+              | Error e -> Error e
+              | Ok ints -> (
+                  match entry_of_ints (fst entry_line) ints with
+                  | Error e -> Error e
+                  | Ok entry -> loop (entry :: acc) more))
+        in
+        loop [] rest
+      end
+
+let schedule_of_string chain text =
+  let entry_of_ints lineno = function
+    | proc :: start :: comms when List.length comms = proc ->
+        Ok { Schedule.proc; start; comms = Array.of_list comms }
+    | _ -> Error (Printf.sprintf "line %d: malformed chain task" lineno)
+  in
+  match parse_body ~header:"chain-schedule" ~entry_of_ints (meaningful_lines text) with
+  | Error e -> Error e
+  | Ok entries -> (
+      match Schedule.make chain (Array.of_list entries) with
+      | sched -> Ok sched
+      | exception Invalid_argument msg -> Error msg)
+
+let spider_schedule_of_string spider text =
+  let entry_of_ints lineno = function
+    | leg :: depth :: start :: comms when List.length comms = depth ->
+        Ok
+          {
+            Spider_schedule.address = { Msts_platform.Spider.leg; depth };
+            start;
+            comms = Array.of_list comms;
+          }
+    | _ -> Error (Printf.sprintf "line %d: malformed spider task" lineno)
+  in
+  match
+    parse_body ~header:"spider-schedule" ~entry_of_ints (meaningful_lines text)
+  with
+  | Error e -> Error e
+  | Ok entries -> (
+      match Spider_schedule.make spider (Array.of_list entries) with
+      | sched -> Ok sched
+      | exception Invalid_argument msg -> Error msg)

@@ -1,0 +1,31 @@
+(** Textual (de)serialisation of schedules.
+
+    Format, one task per line after a header (blank lines and [#] comments
+    ignored):
+
+    {v
+    chain-schedule                 spider-schedule
+    task <proc> <start> <C1> ...   task <leg> <depth> <start> <C1> ...
+    v}
+
+    The platform itself travels separately (see
+    {!Msts_platform.Parse}); loading re-checks structural consistency
+    against the platform it is paired with. *)
+
+val schedule_to_string : Schedule.t -> string
+
+val schedule_of_string :
+  Msts_platform.Chain.t -> string -> (Schedule.t, string) result
+
+val spider_schedule_to_string : Spider_schedule.t -> string
+
+val spider_schedule_of_string :
+  Msts_platform.Spider.t -> string -> (Spider_schedule.t, string) result
+
+val schedule_to_csv : Schedule.t -> string
+(** Spreadsheet-friendly export: one row per task with columns
+    [task,processor,start,completion,emissions] (emissions
+    semicolon-separated within the field). *)
+
+val spider_schedule_to_csv : Spider_schedule.t -> string
+(** Columns [task,leg,depth,start,completion,emissions]. *)

@@ -1,0 +1,15 @@
+(** SVG Gantt rendering.
+
+    Produces a self-contained SVG document: one horizontal lane per resource
+    (links, processors, master port), one rectangle per busy interval,
+    colour-coded by task.  Used by the CLI's [gantt --svg] command and the
+    examples to produce figures comparable to the paper's Figure 2. *)
+
+val render : ?px_per_unit:float -> Schedule.t -> string
+(** SVG for a chain schedule.  [px_per_unit] (default 8.0) is the horizontal
+    scale in pixels per time unit. *)
+
+val render_spider : ?px_per_unit:float -> Spider_schedule.t -> string
+
+val save : string -> string -> unit
+(** [save path svg] writes the document to a file. *)

@@ -1,0 +1,46 @@
+type event = { time : int; seq : int; action : unit -> unit }
+
+type t = {
+  queue : event Msts_util.Heap.t;
+  mutable clock : int;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let compare_events a b =
+  let by_time = Int.compare a.time b.time in
+  if by_time <> 0 then by_time else Int.compare a.seq b.seq
+
+let create () =
+  {
+    queue = Msts_util.Heap.create ~cmp:compare_events;
+    clock = 0;
+    next_seq = 0;
+    processed = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t time action =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is before now (%d)" time t.clock);
+  Msts_util.Heap.push t.queue { time; seq = t.next_seq; action };
+  t.next_seq <- t.next_seq + 1
+
+let schedule_after t delay action =
+  if delay < 0 then invalid_arg "Engine.schedule_after: negative delay";
+  schedule_at t (t.clock + delay) action
+
+let step t =
+  match Msts_util.Heap.pop t.queue with
+  | None -> false
+  | Some ev ->
+      t.clock <- ev.time;
+      t.processed <- t.processed + 1;
+      ev.action ();
+      true
+
+let run t = while step t do () done
+
+let events_processed t = t.processed

@@ -1,0 +1,29 @@
+(** Minimal deterministic discrete-event engine.
+
+    Integer simulated time, events executed in (time, insertion) order so
+    that runs are reproducible.  Callbacks may schedule further events at
+    the current time or later; scheduling in the past is a programming
+    error and raises. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulated time (0 before the first event). *)
+
+val schedule_at : t -> int -> (unit -> unit) -> unit
+(** Run a callback at an absolute time. @raise Invalid_argument if the time
+    is before {!now}. *)
+
+val schedule_after : t -> int -> (unit -> unit) -> unit
+(** Relative variant. @raise Invalid_argument on a negative delay. *)
+
+val run : t -> unit
+(** Execute events until the queue is empty. *)
+
+val step : t -> bool
+(** Execute the single next event; [false] when the queue was empty. *)
+
+val events_processed : t -> int
+(** Total callbacks executed (cheap sanity metric for tests). *)

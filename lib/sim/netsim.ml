@@ -1,0 +1,297 @@
+module Spider = Msts_platform.Spider
+module Chain = Msts_platform.Chain
+module Schedule = Msts_schedule.Schedule
+module Spider_schedule = Msts_schedule.Spider_schedule
+
+type record = {
+  mutable address : Spider.address;
+  mutable start : int;
+  comms : int array; (* length = depth of the destination *)
+}
+
+type net = {
+  engine : Engine.t;
+  spider : Spider.t;
+  port : Resource.t;
+  links : Resource.t array array; (* links.(l-1).(k-1) = link k of leg l, k >= 2 unused slot 0 *)
+  procs : Resource.t array array;
+}
+
+let build spider =
+  let engine = Engine.create () in
+  let legs = Spider.legs spider in
+  let make_bank kind =
+    Array.init legs (fun lidx ->
+        let chain = Spider.leg_chain spider (lidx + 1) in
+        Array.init (Chain.length chain) (fun kidx ->
+            Resource.create engine
+              ~name:(Printf.sprintf "%s l%d k%d" kind (lidx + 1) (kidx + 1))))
+  in
+  {
+    engine;
+    spider;
+    port = Resource.create engine ~name:"master port";
+    links = make_bank "link";
+    procs = make_bank "proc";
+  }
+
+(* Forward a task that just became available at node [at] of its leg at the
+   current simulated time; executes when it reaches its destination. *)
+let rec forward net record ~task ~at ~on_complete =
+  let { Spider.leg; depth } = record.address in
+  let chain = Spider.leg_chain net.spider leg in
+  if at = depth then
+    Resource.request net.procs.(leg - 1).(depth - 1)
+      ~duration:(Chain.work chain depth) ~tag:task ~on_start:(fun start ->
+        record.start <- start;
+        Engine.schedule_at net.engine (start + Chain.work chain depth)
+          on_complete)
+  else begin
+    let next = at + 1 in
+    let c = Chain.latency chain next in
+    Resource.request net.links.(leg - 1).(next - 1) ~duration:c ~tag:task
+      ~on_start:(fun start ->
+        record.comms.(next - 1) <- start;
+        Engine.schedule_at net.engine (start + c) (fun () ->
+            forward net record ~task ~at:next ~on_complete))
+  end
+
+(* Emit through the master's shared port, then forward down the leg. *)
+let emit net record ~task ~on_complete =
+  let { Spider.leg; _ } = record.address in
+  let chain = Spider.leg_chain net.spider leg in
+  let c1 = Chain.latency chain 1 in
+  Resource.request net.port ~duration:c1 ~tag:task ~on_start:(fun start ->
+      record.comms.(0) <- start;
+      Engine.schedule_at net.engine (start + c1) (fun () ->
+          forward net record ~task ~at:1 ~on_complete))
+
+let fresh_record address =
+  { address; start = 0; comms = Array.make address.Spider.depth 0 }
+
+let to_schedule spider records =
+  Spider_schedule.make spider
+    (Array.map
+       (fun r ->
+         { Spider_schedule.address = r.address; start = r.start; comms = r.comms })
+       records)
+
+let run_sequence_spider spider seq =
+  let net = build spider in
+  let records = Array.map fresh_record seq in
+  Array.iteri
+    (fun idx record ->
+      emit net record ~task:(idx + 1) ~on_complete:(fun () -> ()))
+    records;
+  Engine.run net.engine;
+  to_schedule spider records
+
+let chain_schedule_of_spider sched =
+  let spider = Spider_schedule.spider sched in
+  let chain = Spider.leg_chain spider 1 in
+  Schedule.make chain
+    (Array.map
+       (fun (e : Spider_schedule.entry) ->
+         { Schedule.proc = e.address.Spider.depth; start = e.start; comms = e.comms })
+       (Spider_schedule.entries sched))
+
+let run_sequence_chain chain seq =
+  let spider = Spider.of_chain chain in
+  let addresses = Array.map (fun depth -> { Spider.leg = 1; depth }) seq in
+  chain_schedule_of_spider (run_sequence_spider spider addresses)
+
+type execution_report = {
+  realized : Spider_schedule.t;
+  planned_makespan : int;
+  realized_makespan : int;
+  per_task_slack : int array;
+}
+
+let execute_plan plan =
+  (match Spider_schedule.check ~require_nonnegative:true plan with
+  | [] -> ()
+  | problems ->
+      invalid_arg
+        ("Netsim.execute_plan: infeasible plan: " ^ String.concat "; " problems));
+  let spider = Spider_schedule.spider plan in
+  let net = build spider in
+  let entries = Spider_schedule.entries plan in
+  let records = Array.map (fun (e : Spider_schedule.entry) -> fresh_record e.address) entries in
+  Array.iteri
+    (fun idx (e : Spider_schedule.entry) ->
+      let record = records.(idx) in
+      let chain = Spider.leg_chain spider e.address.Spider.leg in
+      let c1 = Chain.latency chain 1 in
+      let planned_emission = Msts_schedule.Comm_vector.first_emission e.comms in
+      (* Release at the planned time: the port is known free then (the plan
+         is feasible), so the reservation starts exactly at that date. *)
+      Engine.schedule_at net.engine planned_emission (fun () ->
+          record.comms.(0) <- planned_emission;
+          Engine.schedule_at net.engine (planned_emission + c1) (fun () ->
+              forward net record ~task:(idx + 1) ~at:1 ~on_complete:(fun () -> ()))))
+    entries;
+  Engine.run net.engine;
+  let realized = to_schedule spider records in
+  let slack =
+    Array.mapi
+      (fun idx (e : Spider_schedule.entry) ->
+        let w = Spider.work spider e.address in
+        e.start + w - (records.(idx).start + w))
+      entries
+  in
+  {
+    realized;
+    planned_makespan = Spider_schedule.makespan plan;
+    realized_makespan = Spider_schedule.makespan realized;
+    per_task_slack = slack;
+  }
+
+let execute_chain_plan plan =
+  execute_plan (Spider_schedule.of_chain_schedule plan)
+
+(* ---------- finite buffers ---------- *)
+
+(* A counting credit gate: [acquire] runs the continuation immediately when
+   a slot is free, otherwise queues it; [release] hands the slot to the
+   oldest waiter (the credit passes directly, so capacity is never
+   exceeded). *)
+module Credit = struct
+  type t = { mutable free : int; waiting : (unit -> unit) Queue.t }
+
+  let create capacity = { free = capacity; waiting = Queue.create () }
+
+  let acquire t k =
+    if t.free > 0 then begin
+      t.free <- t.free - 1;
+      k ()
+    end
+    else Queue.push k t.waiting
+
+  let release t =
+    match Queue.take_opt t.waiting with
+    | Some k -> k ()
+    | None -> t.free <- t.free + 1
+end
+
+let same_shape a b =
+  Spider.legs a = Spider.legs b
+  && List.for_all
+       (fun l -> Chain.length (Spider.leg_chain a l) = Chain.length (Spider.leg_chain b l))
+       (List.init (Spider.legs a) (fun i -> i + 1))
+
+let replay_routing ?(buffer = max_int) ?on plan =
+  if buffer < 1 then invalid_arg "Netsim.execute_plan_bounded: buffer must be >= 1";
+  let spider =
+    match on with
+    | None -> Spider_schedule.spider plan
+    | Some other ->
+        if not (same_shape other (Spider_schedule.spider plan)) then
+          invalid_arg "Netsim.replay_routing: platform shape mismatch";
+        other
+  in
+  let net = build spider in
+  let credits =
+    Array.init (Spider.legs spider) (fun lidx ->
+        Array.init
+          (Chain.length (Spider.leg_chain spider (lidx + 1)))
+          (fun _ -> Credit.create buffer))
+  in
+  let credit { Spider.leg; depth } = credits.(leg - 1).(depth - 1) in
+  let entries = Spider_schedule.entries plan in
+  let records =
+    Array.map (fun (e : Spider_schedule.entry) -> fresh_record e.address) entries
+  in
+  (* forward from node [at] (just fully received there) towards the
+     destination, holding [at]'s slot; slots move strictly forward. *)
+  let rec forward_bounded record ~task ~at =
+    let { Spider.leg; depth } = record.address in
+    let chain = Spider.leg_chain net.spider leg in
+    if at = depth then
+      Resource.request net.procs.(leg - 1).(depth - 1)
+        ~duration:(Chain.work chain depth) ~tag:task ~on_start:(fun start ->
+          record.start <- start;
+          (* execution begins: the buffer slot at the destination frees *)
+          Credit.release (credit { Spider.leg; depth = at }))
+    else begin
+      let next = at + 1 in
+      let c = Chain.latency chain next in
+      Credit.acquire (credit { Spider.leg; depth = next }) (fun () ->
+          Resource.request net.links.(leg - 1).(next - 1) ~duration:c ~tag:task
+            ~on_start:(fun start ->
+              record.comms.(next - 1) <- start;
+              Engine.schedule_at net.engine (start + c) (fun () ->
+                  (* outgoing transfer done: the relay's slot frees *)
+                  Credit.release (credit { Spider.leg; depth = at });
+                  forward_bounded record ~task ~at:next)))
+    end
+  in
+  (* release tasks in the plan's emission order; dates are recomputed *)
+  Array.iteri
+    (fun idx record ->
+      let { Spider.leg; _ } = record.address in
+      let chain = Spider.leg_chain net.spider leg in
+      let c1 = Chain.latency chain 1 in
+      Credit.acquire (credit { Spider.leg; depth = 1 }) (fun () ->
+          Resource.request net.port ~duration:c1 ~tag:(idx + 1)
+            ~on_start:(fun start ->
+              record.comms.(0) <- start;
+              Engine.schedule_at net.engine (start + c1) (fun () ->
+                  forward_bounded record ~task:(idx + 1) ~at:1))))
+    records;
+  Engine.run net.engine;
+  let realized = to_schedule spider records in
+  let slack =
+    Array.mapi
+      (fun idx (e : Spider_schedule.entry) ->
+        let w = Spider.work spider e.address in
+        e.start + w - (records.(idx).start + w))
+      entries
+  in
+  {
+    realized;
+    planned_makespan = Spider_schedule.makespan plan;
+    realized_makespan = Spider_schedule.makespan realized;
+    per_task_slack = slack;
+  }
+
+let execute_plan_bounded ~buffer plan = replay_routing ~buffer plan
+
+let degrade spider ~address ~work_factor =
+  if work_factor < 1 then invalid_arg "Netsim.degrade: work_factor must be >= 1";
+  let { Spider.leg; depth } = address in
+  Spider.make
+    (Array.init (Spider.legs spider) (fun lidx ->
+         let chain = Spider.leg_chain spider (lidx + 1) in
+         if lidx + 1 <> leg then chain
+         else
+           Chain.of_pairs
+             (List.mapi
+                (fun didx (c, w) ->
+                  if didx + 1 = depth then (c, w * work_factor) else (c, w))
+                (Chain.to_pairs chain))))
+
+let pull_policy ?(buffer = 1) spider ~tasks =
+  if buffer < 1 then invalid_arg "Netsim.pull_policy: buffer must be >= 1";
+  if tasks < 0 then invalid_arg "Netsim.pull_policy: negative task count";
+  let net = build spider in
+  let emitted = ref 0 in
+  let records = ref [] in
+  let rec serve address =
+    if !emitted < tasks then begin
+      incr emitted;
+      let task = !emitted in
+      let record = fresh_record address in
+      records := record :: !records;
+      (* A processor re-requests as soon as one of its tasks completes. *)
+      emit net record ~task ~on_complete:(fun () -> serve address)
+    end
+  in
+  (* Initial credits, shallow processors first within each leg. *)
+  List.iter
+    (fun address ->
+      for _ = 1 to buffer do
+        serve address
+      done)
+    (Spider.addresses spider);
+  Engine.run net.engine;
+  to_schedule spider (Array.of_list (List.rev !records))

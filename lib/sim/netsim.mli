@@ -1,0 +1,80 @@
+(** Event-driven execution of master-slave platforms.
+
+    An independent execution substrate for the scheduling model: the master,
+    every link and every processor become FIFO unit resources on the event
+    engine, tasks are store-and-forward messages, and the one-port rule is
+    enforced by construction.  Three entry points:
+
+    - {!run_sequence_spider} / {!run_sequence_chain}: eager execution of a
+      destination sequence.  Must coincide exactly with the analytic ASAP
+      timing of {!Msts_baseline.Asap} — the test suite uses this as a
+      cross-validation of both.
+    - {!execute_plan}: release each task at the {e planned} emission time of
+      a schedule and let the rest flow eagerly.  For a feasible plan the
+      realised completion of every task is never later than planned — this
+      validates schedules by actually executing them.
+    - {!pull_policy}: an online, demand-driven master (the SETI@home-style
+      baseline): idle processors request work, the master serves requests
+      first-come-first-served.  No global knowledge, no optimality. *)
+
+val run_sequence_spider :
+  Msts_platform.Spider.t -> Msts_platform.Spider.address array ->
+  Msts_schedule.Spider_schedule.t
+
+val run_sequence_chain :
+  Msts_platform.Chain.t -> int array -> Msts_schedule.Schedule.t
+
+type execution_report = {
+  realized : Msts_schedule.Spider_schedule.t;
+  planned_makespan : int;
+  realized_makespan : int;
+  per_task_slack : int array;
+      (** planned completion − realised completion, per task (≥ 0 for a
+          feasible plan) *)
+}
+
+val execute_plan : Msts_schedule.Spider_schedule.t -> execution_report
+(** The plan must be feasible with non-negative dates (checked; @raise
+    Invalid_argument otherwise). *)
+
+val execute_chain_plan : Msts_schedule.Schedule.t -> execution_report
+
+val pull_policy :
+  ?buffer:int -> Msts_platform.Spider.t -> tasks:int -> Msts_schedule.Spider_schedule.t
+(** Demand-driven online baseline.  [buffer] (default 1) is each
+    processor's credit: how many tasks it may have queued or in flight
+    before requesting more.  Initial requests are issued in address order.
+    @raise Invalid_argument if [buffer < 1] or [tasks < 0]. *)
+
+val replay_routing :
+  ?buffer:int -> ?on:Msts_platform.Spider.t -> Msts_schedule.Spider_schedule.t ->
+  execution_report
+(** Execute a plan's {e decisions} — routing and emission order — under
+    conditions the planner did not assume; the plan's dates are recomputed
+    eagerly.  Two knobs:
+
+    - [buffer]: each processor holds at most that many tasks that are
+      present but not yet executing (a relay frees its slot when its
+      outgoing transfer completes, a destination when execution starts).
+      Default: unbounded, like the paper's model.  Deadlock-free: slots
+      only flow forward along a leg.
+    - [on]: run on this platform instead of the plan's own — it must have
+      the same shape (legs and depths), but latencies and work times may
+      differ.  This is the failure-injection hook: slow a node down and
+      see what the static plan costs compared to replanning.
+
+    The realised makespan can exceed the planned one when buffers stall
+    the pipeline or the platform degraded.
+    @raise Invalid_argument if [buffer < 1] or [on] has a different
+    shape. *)
+
+val execute_plan_bounded :
+  buffer:int -> Msts_schedule.Spider_schedule.t -> execution_report
+(** [replay_routing ~buffer] on the plan's own platform. *)
+
+val degrade :
+  Msts_platform.Spider.t -> address:Msts_platform.Spider.address ->
+  work_factor:int -> Msts_platform.Spider.t
+(** A copy of the spider in which one processor's work time is multiplied
+    by [work_factor] — the standard fault model for the robustness
+    experiments.  @raise Invalid_argument if [work_factor < 1]. *)

@@ -1,0 +1,25 @@
+type t = {
+  engine : Engine.t;
+  name : string;
+  mutable free_at : int;
+  mutable log : int Msts_schedule.Intervals.interval list; (* newest first *)
+  mutable served : int;
+}
+
+let create engine ~name = { engine; name; free_at = 0; log = []; served = 0 }
+
+let name t = t.name
+
+let request t ~duration ~tag ~on_start =
+  if duration < 0 then invalid_arg "Resource.request: negative duration";
+  let start = max t.free_at (Engine.now t.engine) in
+  t.free_at <- start + duration;
+  t.log <- { Msts_schedule.Intervals.start; duration; tag } :: t.log;
+  t.served <- t.served + 1;
+  Engine.schedule_at t.engine start (fun () -> on_start start)
+
+let busy_log t = List.rev t.log
+
+let served t = t.served
+
+let idle_until t = t.free_at

@@ -1,0 +1,27 @@
+(** Unit-capacity FIFO resource on top of the event engine.
+
+    Models the paper's exclusivity rules: a link carries one transfer at a
+    time, a processor runs one task at a time, the master's port drives one
+    emission at a time.  Requests are served in arrival order (ties in
+    request order), each holding the resource for its stated duration.  The
+    busy log is kept for Gantt extraction and occupancy assertions. *)
+
+type t
+
+val create : Engine.t -> name:string -> t
+
+val name : t -> string
+
+val request : t -> duration:int -> tag:int -> on_start:(int -> unit) -> unit
+(** Queue a request; [on_start start_time] fires when the resource is
+    granted, which holds it for [duration].  @raise Invalid_argument on a
+    negative duration. *)
+
+val busy_log : t -> int Msts_schedule.Intervals.interval list
+(** Granted intervals (tagged by request tag), grant order. *)
+
+val served : t -> int
+(** Number of grants so far. *)
+
+val idle_until : t -> int
+(** Time at which the currently queued work completes. *)

@@ -1,0 +1,71 @@
+module Spider = Msts_platform.Spider
+module Chain = Msts_platform.Chain
+module Schedule = Msts_schedule.Schedule
+module Spider_schedule = Msts_schedule.Spider_schedule
+module Allocator = Msts_fork.Allocator
+module Deadline = Msts_chain.Deadline
+
+let leg_schedules ?(budget = max_int) spider ~deadline =
+  Array.init (Spider.legs spider) (fun idx ->
+      Deadline.schedule ~max_tasks:budget
+        (Spider.leg_chain spider (idx + 1))
+        ~deadline)
+
+let virtual_fork spider ~deadline legs =
+  List.concat_map
+    (fun l -> Transform.virtual_nodes ~leg:l ~deadline legs.(l - 1))
+    (Msts_util.Intx.range 1 (Spider.legs spider))
+
+let schedule ?(budget = max_int) spider ~deadline =
+  if deadline < 0 then invalid_arg "Spider algorithm: negative deadline";
+  if budget < 0 then invalid_arg "Spider algorithm: negative budget";
+  let legs = leg_schedules ~budget spider ~deadline in
+  let nodes = virtual_fork spider ~deadline legs in
+  let allocations = Allocator.allocate nodes ~deadline ~budget in
+  let entry_of { Allocator.node; emission; _ } =
+    let leg = node.Msts_fork.Expansion.slave in
+    let leg_sched = legs.(leg - 1) in
+    let task = Transform.task_of_rank leg_sched ~rank:node.Msts_fork.Expansion.rank in
+    let original = Schedule.entry leg_sched task in
+    let comms = Array.copy original.comms in
+    (* Lemma 3: the allocator's emission is never later than the original
+       first emission, so only this coordinate changes. *)
+    comms.(0) <- emission;
+    {
+      Spider_schedule.address = { Spider.leg; depth = original.proc };
+      start = original.start;
+      comms;
+    }
+  in
+  let ordered =
+    List.sort
+      (fun a b -> Int.compare a.Allocator.position b.Allocator.position)
+      allocations
+  in
+  Spider_schedule.make spider (Array.of_list (List.map entry_of ordered))
+
+let max_tasks ?budget spider ~deadline =
+  Spider_schedule.task_count (schedule ?budget spider ~deadline)
+
+let makespan_upper_bound spider n =
+  let best = ref max_int in
+  for l = 1 to Spider.legs spider do
+    best := min !best (Chain.master_only_makespan (Spider.leg_chain spider l) n)
+  done;
+  !best
+
+let min_makespan spider n =
+  if n < 0 then invalid_arg "Spider algorithm: negative task count";
+  if n = 0 then 0
+  else begin
+    let hi = makespan_upper_bound spider n in
+    match
+      Msts_util.Intx.binary_search_least ~lo:0 ~hi (fun d ->
+          max_tasks ~budget:n spider ~deadline:d >= n)
+    with
+    | Some d -> d
+    | None -> hi (* unreachable: a master-only leg schedule meets [hi] *)
+  end
+
+let schedule_tasks spider n =
+  schedule ~budget:n spider ~deadline:(min_makespan spider n)

@@ -1,0 +1,27 @@
+(** How optimal schedules use a spider.
+
+    The spider counterpart of {!Msts_chain.Analysis}: which legs carry the
+    batch, how the split evolves with [n], and how saturated the master's
+    port — the paper's central resource — becomes. *)
+
+val tasks_per_leg : Msts_platform.Spider.t -> int -> int array
+(** Index [l-1]: tasks routed down leg [l] in the optimal [n]-task
+    schedule.  Entries sum to [n]. *)
+
+val leg_activation :
+  Msts_platform.Spider.t -> leg:int -> max_n:int -> int option
+(** Least [n ≤ max_n] whose optimal schedule routes a task down [leg]. *)
+
+val port_utilisation : Msts_platform.Spider.t -> int -> float
+(** Busy fraction of the master's port in the optimal [n]-task schedule
+    (0.0 when [n = 0]). *)
+
+val split_profile :
+  Msts_platform.Spider.t -> ns:int list -> (int * int array) list
+(** [(n, tasks_per_leg n)] for each requested [n]. *)
+
+val rate_agreement : Msts_platform.Spider.t -> int -> float array
+(** Per-leg ratio between the measured share of the batch and the
+    bandwidth-centric steady-state share — 1.0 everywhere means the finite
+    schedule already distributes like the asymptotic optimum.  Legs with a
+    zero steady-state rate report 0.0 when idle and [infinity] when used. *)

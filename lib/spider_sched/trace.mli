@@ -1,0 +1,32 @@
+(** Narrated runs of the spider algorithm.
+
+    Records the §7 pipeline for one deadline: each leg's deadline schedule
+    (step 1), the virtual fork (steps 2–3), the allocation with its
+    one-port emission order (step 4) and the reversion to leg tasks
+    (step 5).  Drives the CLI's [explain] command on spider platforms and
+    the tests that pin the pipeline's intermediate artefacts. *)
+
+type step5 = {
+  position : int;  (** emission position on the master's port *)
+  leg : int;
+  leg_task : int;  (** task index within the leg's deadline schedule *)
+  emission : int;  (** re-stamped first emission *)
+  original_emission : int;  (** the leg schedule's own [C¹] *)
+  virtual_work : int;
+}
+
+type t = {
+  spider : Msts_platform.Spider.t;
+  deadline : int;
+  leg_schedules : Msts_schedule.Schedule.t array;
+  virtual_nodes : Msts_fork.Expansion.vnode list;  (** allocation order *)
+  accepted : step5 list;  (** emission order *)
+  result : Msts_schedule.Spider_schedule.t;
+}
+
+val run : ?budget:int -> Msts_platform.Spider.t -> deadline:int -> t
+
+val render : t -> string
+(** Multi-line narrative of all five steps. *)
+
+val pp : Format.formatter -> t -> unit

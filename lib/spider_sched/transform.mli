@@ -1,0 +1,25 @@
+(** Chain → fork transformation (paper §7, Figure 7).
+
+    Given a leg's deadline schedule (built by {!Msts_chain.Deadline}), each
+    scheduled task becomes a single-task virtual node seen from the master:
+    its transfer costs [c₁] (the leg's first link) and, once the transfer
+    completes, it needs [T_lim − C¹ᵢ − c₁] time units — the slack the chain
+    schedule leaves after the task's first emission.  The node can therefore
+    absorb {e any} emission time ≤ the original [C¹ᵢ] and still finish by
+    [T_lim] (Lemma 3).
+
+    Ranks are assigned from the end of the leg schedule (rank 0 = latest
+    emission = smallest remaining work), so that the fork allocator's
+    per-slave prefix property maps accepted nodes back to the {e last}
+    [k] tasks of the leg schedule — exactly the suffix the incremental
+    optimality of the chain algorithm (Lemma 4) makes self-contained. *)
+
+val virtual_nodes :
+  leg:int -> deadline:int -> Msts_schedule.Schedule.t -> Msts_fork.Expansion.vnode list
+(** One node per task of the leg schedule, tagged [slave = leg].
+    @raise Invalid_argument if a task's slack would be negative (the leg
+    schedule does not fit the deadline). *)
+
+val task_of_rank : Msts_schedule.Schedule.t -> rank:int -> int
+(** The leg-schedule task index (1-based, emission order) carrying a given
+    rank. *)

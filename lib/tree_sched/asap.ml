@@ -1,0 +1,49 @@
+type state = {
+  flat : Flat.t;
+  port_free : int array; (* index = node id; 0 = the master *)
+  proc_free : int array; (* index = node id - 1 *)
+}
+
+let start flat =
+  {
+    flat;
+    port_free = Array.make (Flat.node_count flat + 1) 0;
+    proc_free = Array.make (Flat.node_count flat) 0;
+  }
+
+let copy st =
+  {
+    flat = st.flat;
+    port_free = Array.copy st.port_free;
+    proc_free = Array.copy st.proc_free;
+  }
+
+let push st ~dest =
+  let info = Flat.info st.flat dest in
+  let path = info.Flat.path in
+  let comms = Array.make (List.length path) 0 in
+  let rec walk hop_index sender available = function
+    | [] -> available
+    | node_id :: rest ->
+        let c = (Flat.info st.flat node_id).Flat.latency in
+        let emit = max available st.port_free.(sender) in
+        comms.(hop_index) <- emit;
+        st.port_free.(sender) <- emit + c;
+        walk (hop_index + 1) node_id (emit + c) rest
+  in
+  let arrival = walk 0 0 0 path in
+  let begin_ = max arrival st.proc_free.(dest - 1) in
+  st.proc_free.(dest - 1) <- begin_ + info.Flat.work;
+  { Tree_schedule.node = dest; start = begin_; comms }
+
+let of_sequence flat seq =
+  let st = start flat in
+  Tree_schedule.make flat (Array.map (fun dest -> push st ~dest) seq)
+
+let makespan flat seq =
+  let st = start flat in
+  Array.fold_left
+    (fun acc dest ->
+      let e = push st ~dest in
+      max acc (e.Tree_schedule.start + (Flat.info flat dest).Flat.work))
+    0 seq

@@ -1,0 +1,22 @@
+(** ASAP timing of destination sequences on trees.
+
+    Same idea as {!Msts_baseline.Asap} with one generalisation: each hop
+    claims the {e sender}'s outgoing port (the only shared resource in a
+    tree under the one-port model — a node's incoming link has a single
+    writer, so receive exclusivity is automatic).  Ports serve hops in
+    request (FIFO) order; within the FIFO class, ASAP timing is optimal for
+    a fixed sequence by the usual pointwise-lower-bound argument. *)
+
+type state
+
+val start : Flat.t -> state
+
+val copy : state -> state
+
+val push : state -> dest:int -> Tree_schedule.entry
+(** Route one more task to node [dest].
+    @raise Invalid_argument on an unknown node. *)
+
+val of_sequence : Flat.t -> int array -> Tree_schedule.t
+
+val makespan : Flat.t -> int array -> int

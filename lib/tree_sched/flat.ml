@@ -1,0 +1,51 @@
+module Tree = Msts_platform.Tree
+
+type node_info = {
+  id : int;
+  parent : int;
+  latency : int;
+  work : int;
+  depth : int;
+  path : int list;
+}
+
+type t = { infos : node_info array (* index id-1 *) }
+
+let of_tree tree =
+  let acc = ref [] in
+  let counter = ref 0 in
+  let rec visit parent depth rev_path (n : Tree.node) =
+    incr counter;
+    let id = !counter in
+    let rev_path = id :: rev_path in
+    acc :=
+      {
+        id;
+        parent;
+        latency = n.Tree.latency;
+        work = n.Tree.work;
+        depth;
+        path = List.rev rev_path;
+      }
+      :: !acc;
+    List.iter (visit id (depth + 1) rev_path) n.Tree.children
+  in
+  List.iter (visit 0 1 []) (Tree.roots tree);
+  { infos = Array.of_list (List.rev !acc) }
+
+let node_count t = Array.length t.infos
+
+let info t id =
+  if id < 1 || id > node_count t then
+    invalid_arg (Printf.sprintf "Flat.info: node %d outside 1..%d" id (node_count t));
+  t.infos.(id - 1)
+
+let nodes t = Array.to_list t.infos
+
+let children t id =
+  List.filter_map
+    (fun n -> if n.parent = id then Some n.id else None)
+    (nodes t)
+
+let path_latency t id =
+  List.fold_left (fun acc hop -> acc + (info t hop).latency) 0 (info t id).path

@@ -1,0 +1,33 @@
+(** Indexed view of a tree platform.
+
+    {!Msts_platform.Tree} is a recursive description; the schedulers need
+    random access.  Nodes are numbered 1..N in depth-first preorder (the
+    master is 0); each node carries its parent, its link latency, its work
+    time and the full path of node ids from the master. *)
+
+type node_info = {
+  id : int;  (** 1-based preorder index *)
+  parent : int;  (** 0 for children of the master *)
+  latency : int;  (** incoming link latency *)
+  work : int;
+  depth : int;  (** 1 for children of the master *)
+  path : int list;  (** node ids from a master child down to this node *)
+}
+
+type t
+
+val of_tree : Msts_platform.Tree.t -> t
+
+val node_count : t -> int
+
+val info : t -> int -> node_info
+(** @raise Invalid_argument outside 1..{!node_count}. *)
+
+val nodes : t -> node_info list
+(** All nodes in preorder. *)
+
+val children : t -> int -> int list
+(** Children ids of a node id (0 = the master). *)
+
+val path_latency : t -> int -> int
+(** Sum of latencies along the path from the master. *)

@@ -1,0 +1,121 @@
+module Tree = Msts_platform.Tree
+module Chain = Msts_platform.Chain
+module Spider = Msts_platform.Spider
+module Prng = Msts_util.Prng
+
+type policy =
+  | Tree_earliest_completion
+  | Tree_random of int
+  | Tree_root_only
+
+let policy_name = function
+  | Tree_earliest_completion -> "earliest-completion"
+  | Tree_random seed -> Printf.sprintf "random(%d)" seed
+  | Tree_root_only -> "root-only"
+
+let all_policies = [ Tree_earliest_completion; Tree_random 0; Tree_root_only ]
+
+let completion_if st dest flat =
+  let probe = Asap.copy st in
+  let e = Asap.push probe ~dest in
+  e.Tree_schedule.start + (Flat.info flat dest).Flat.work
+
+let schedule policy tree n =
+  if n < 0 then invalid_arg "Heuristics.schedule: negative task count";
+  let flat = Flat.of_tree tree in
+  let count = Flat.node_count flat in
+  let rng = match policy with Tree_random seed -> Some (Prng.create seed) | _ -> None in
+  let choose st =
+    match policy with
+    | Tree_root_only -> 1
+    | Tree_random _ -> Prng.int_in (Option.get rng) 1 count
+    | Tree_earliest_completion ->
+        let best = ref 1 and best_time = ref (completion_if st 1 flat) in
+        for dest = 2 to count do
+          let t = completion_if st dest flat in
+          if t < !best_time then begin
+            best := dest;
+            best_time := t
+          end
+        done;
+        !best
+  in
+  let st = Asap.start flat in
+  Tree_schedule.make flat (Array.init n (fun _ -> Asap.push st ~dest:(choose st)))
+
+let makespan policy tree n = Tree_schedule.makespan (schedule policy tree n)
+
+(* ---------- spider cover ---------- *)
+
+(* Re-derive the extraction over the flat view so each spider address maps
+   back to a tree node; tests cross-check the resulting spider against
+   Msts_platform.Tree.extract_spider. *)
+let rec subtree_rate flat id =
+  (1.0 /. float_of_int (Flat.info flat id).Flat.work)
+  +. List.fold_left
+       (fun acc child -> acc +. subtree_rate flat child)
+       0.0 (Flat.children flat id)
+
+let pick policy flat ids =
+  let better a b =
+    match policy with
+    | Tree.Fastest_processor ->
+        if (Flat.info flat b).Flat.work < (Flat.info flat a).Flat.work then b else a
+    | Tree.Cheapest_link ->
+        if (Flat.info flat b).Flat.latency < (Flat.info flat a).Flat.latency then b
+        else a
+    | Tree.Best_rate -> if subtree_rate flat b > subtree_rate flat a then b else a
+  in
+  match ids with [] -> None | first :: rest -> Some (List.fold_left better first rest)
+
+let leg_paths policy flat =
+  let rec extend id acc =
+    let acc = id :: acc in
+    match pick policy flat (Flat.children flat id) with
+    | None -> List.rev acc
+    | Some next -> extend next acc
+  in
+  List.map (fun root -> extend root []) (Flat.children flat 0)
+
+let spider_cover policy tree n =
+  let flat = Flat.of_tree tree in
+  let paths = leg_paths policy flat in
+  let spider =
+    Spider.of_legs
+      (List.map
+         (fun path ->
+           Chain.of_pairs
+             (List.map
+                (fun id ->
+                  let info = Flat.info flat id in
+                  (info.Flat.latency, info.Flat.work))
+                path))
+         paths)
+  in
+  let spider_sched = Msts_spider.Algorithm.schedule_tasks spider n in
+  let paths = Array.of_list paths in
+  let entries =
+    Array.map
+      (fun (e : Msts_schedule.Spider_schedule.entry) ->
+        let { Spider.leg; depth } = e.address in
+        {
+          Tree_schedule.node = List.nth paths.(leg - 1) (depth - 1);
+          start = e.start;
+          comms = Array.copy e.comms;
+        })
+      (Msts_schedule.Spider_schedule.entries spider_sched)
+  in
+  Tree_schedule.make flat entries
+
+let spider_cover_makespan policy tree n =
+  Tree_schedule.makespan (spider_cover policy tree n)
+
+let best_cover tree n =
+  let candidates =
+    List.map
+      (fun policy -> (policy, spider_cover_makespan policy tree n))
+      [ Tree.Fastest_processor; Tree.Cheapest_link; Tree.Best_rate ]
+  in
+  List.fold_left
+    (fun (bp, bm) (p, m) -> if m < bm then (p, m) else (bp, bm))
+    (List.hd candidates) (List.tl candidates)

@@ -1,0 +1,35 @@
+(** Forward heuristics and the spider-cover pipeline for trees.
+
+    Optimal tree scheduling is the open problem the paper closes with; what
+    it proposes is to {e cover} the tree with structures it can schedule
+    optimally.  This module implements that pipeline — extract a spider
+    (see {!Msts_platform.Tree.extract_spider}), schedule it with the §7
+    algorithm, and read the result back as a tree schedule — next to the
+    myopic forward heuristics one would otherwise use. *)
+
+type policy =
+  | Tree_earliest_completion  (** one-step-lookahead greedy over all nodes *)
+  | Tree_random of int  (** uniform destination, seeded *)
+  | Tree_root_only  (** everything on the first child of the master *)
+
+val policy_name : policy -> string
+
+val all_policies : policy list
+
+val schedule : policy -> Msts_platform.Tree.t -> int -> Tree_schedule.t
+
+val makespan : policy -> Msts_platform.Tree.t -> int -> int
+
+val spider_cover :
+  Msts_platform.Tree.extraction_policy -> Msts_platform.Tree.t -> int ->
+  Tree_schedule.t
+(** Extract a spider with the given policy, schedule [n] tasks optimally on
+    it (§7), and replay the result on the tree (the unused subtrees stay
+    idle).  Feasible on the tree because the legs are node-disjoint paths
+    sharing only the master. *)
+
+val spider_cover_makespan :
+  Msts_platform.Tree.extraction_policy -> Msts_platform.Tree.t -> int -> int
+
+val best_cover : Msts_platform.Tree.t -> int -> Msts_platform.Tree.extraction_policy * int
+(** The best of the three extraction policies for this instance. *)

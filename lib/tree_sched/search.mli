@@ -1,0 +1,21 @@
+(** Exhaustive search over FIFO tree schedules.
+
+    Enumerates every destination sequence and times it with the ASAP sweep,
+    with branch-and-bound pruning on the partial makespan.  Within the
+    class of schedules where every port serves hops in emission order this
+    is exact; unlike chains and spiders, on trees out-of-order service can
+    in principle help (tasks bound for different subtrees are not
+    interchangeable), so the result is an upper bound on the true optimum
+    and a strong baseline for the cover heuristics.  Cost is
+    [N^n], so keep instances tiny. *)
+
+val best_fifo_makespan : Msts_platform.Tree.t -> int -> int
+(** Minimum ASAP makespan over destination sequences. *)
+
+val best_fifo_schedule : Msts_platform.Tree.t -> int -> Tree_schedule.t
+(** A witness schedule. *)
+
+val lower_bound : Msts_platform.Tree.t -> int -> int
+(** Capacity/port lower bound on the true optimum: max of the master-port
+    argument and the per-node window capacity argument (both valid for
+    arbitrary, not just FIFO, schedules). *)

@@ -1,0 +1,36 @@
+(* Port allocation by ascending link cost: fractional knapsack where a unit
+   of rate to a child with link cost c consumes c of the port. *)
+let allocate_port children_rates =
+  let sorted =
+    List.sort (fun (ca, _) (cb, _) -> Int.compare ca cb) children_rates
+  in
+  let total, _ =
+    List.fold_left
+      (fun (total, port_left) (c, cap) ->
+        let rate = min cap (port_left /. float_of_int c) in
+        (total +. rate, port_left -. (rate *. float_of_int c)))
+      (0.0, 1.0) sorted
+  in
+  total
+
+let rec node_rate flat id =
+  let info = Flat.info flat id in
+  let children =
+    List.map
+      (fun child -> ((Flat.info flat child).Flat.latency, node_rate flat child))
+      (Flat.children flat id)
+  in
+  min
+    (1.0 /. float_of_int info.Flat.latency)
+    ((1.0 /. float_of_int info.Flat.work) +. allocate_port children)
+
+let throughput tree =
+  let flat = Flat.of_tree tree in
+  allocate_port
+    (List.map
+       (fun child -> ((Flat.info flat child).Flat.latency, node_rate flat child))
+       (Flat.children flat 0))
+
+let subtree_rates tree =
+  let flat = Flat.of_tree tree in
+  List.map (fun info -> (info.Flat.id, node_rate flat info.Flat.id)) (Flat.nodes flat)

@@ -1,0 +1,20 @@
+(** Bandwidth-centric steady-state throughput for general trees.
+
+    The tree result of Beaumont et al. [2] that the paper builds on: in
+    steady state, the rate a subtree rooted through link [c_v] can absorb
+    is [min(1/c_v, 1/w_v + alloc(children))] where [alloc] distributes the
+    node's unit outgoing port to its children {e by ascending link cost} —
+    priority to the child cheapest to feed, regardless of speed — each
+    child capped by its own subtree rate.  The master's children share the
+    master's port the same way.
+
+    This is both an extension (the paper only handles chains and spiders
+    exactly) and a diagnostic: for large [n] the best finite schedules
+    approach [n/ρ]. *)
+
+val throughput : Msts_platform.Tree.t -> float
+(** ρ: tasks per time unit the tree absorbs in steady state. *)
+
+val subtree_rates : Msts_platform.Tree.t -> (int * float) list
+(** [(node id, rate of the subtree hanging from it)] for every node, in
+    preorder — where the tree saturates. *)

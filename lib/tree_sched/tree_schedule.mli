@@ -1,0 +1,51 @@
+(** Schedules on general trees.
+
+    The same model as chains and spiders, generalised: every node (master
+    included) sends at most one task at a time through its single outgoing
+    port — so an inner node with several children must serialise transfers
+    to {e all} of them — receives at most one at a time (automatic in a
+    tree: one incoming link), and computes one task at a time, with
+    communication/computation overlap and store-and-forward relaying.
+
+    The paper leaves optimal tree scheduling open; this module provides the
+    representation and the independent feasibility checker that the
+    heuristics of {!Heuristics}, the search of {!Search} and the
+    spider-cover pipeline are audited against. *)
+
+type entry = {
+  node : int;  (** executing node id (see {!Flat}) *)
+  start : int;
+  comms : int array;  (** emission time of each hop along the path *)
+}
+
+type t
+
+val make : Flat.t -> entry array -> t
+(** Structural validation (node ids, comm vector lengths).
+    @raise Invalid_argument on structural errors. *)
+
+val flat : t -> Flat.t
+
+val task_count : t -> int
+
+val entry : t -> int -> entry
+
+val entries : t -> entry array
+
+val makespan : t -> int
+
+val tasks_on : t -> int -> int list
+(** Tasks executed on a node, in start order. *)
+
+val out_port_intervals : t -> int -> int Msts_schedule.Intervals.interval list
+(** Busy intervals of a node's outgoing port (0 = the master), tagged by
+    task. *)
+
+val check : ?require_nonnegative:bool -> t -> string list
+(** Definition 1 generalised to trees; empty list = feasible. *)
+
+val is_feasible : ?require_nonnegative:bool -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

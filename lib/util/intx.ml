@@ -1,0 +1,43 @@
+let ceil_div a b =
+  if b <= 0 then invalid_arg "Intx.ceil_div: non-positive divisor";
+  if a < 0 then invalid_arg "Intx.ceil_div: negative dividend";
+  (a + b - 1) / b
+
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let sum = Array.fold_left ( + ) 0
+
+let max_array a =
+  if Array.length a = 0 then invalid_arg "Intx.max_array: empty array";
+  Array.fold_left max a.(0) a
+
+let min_array a =
+  if Array.length a = 0 then invalid_arg "Intx.min_array: empty array";
+  Array.fold_left min a.(0) a
+
+let argmin a =
+  if Array.length a = 0 then invalid_arg "Intx.argmin: empty array";
+  let best = ref 0 in
+  for i = 1 to Array.length a - 1 do
+    if a.(i) < a.(!best) then best := i
+  done;
+  !best
+
+let range lo hi =
+  let rec loop i acc = if i < lo then acc else loop (i - 1) (i :: acc) in
+  loop hi []
+
+let binary_search_least ~lo ~hi p =
+  if lo > hi then None
+  else if not (p hi) then None
+  else begin
+    (* invariant: p holds at [hi'], does not hold below [lo'-1]. *)
+    let rec loop lo' hi' =
+      if lo' >= hi' then Some hi'
+      else begin
+        let mid = lo' + ((hi' - lo') / 2) in
+        if p mid then loop lo' mid else loop (mid + 1) hi'
+      end
+    in
+    loop lo hi
+  end

@@ -1,0 +1,59 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (acc /. float_of_int n)
+  end
+
+let sorted xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let median xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let ys = sorted xs in
+    if n mod 2 = 1 then ys.(n / 2) else (ys.((n / 2) - 1) +. ys.(n / 2)) /. 2.0
+  end
+
+let percentile xs q =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let ys = sorted xs in
+    let rank = q /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) and hi = int_of_float (ceil rank) in
+    let frac = rank -. floor rank in
+    (ys.(lo) *. (1.0 -. frac)) +. (ys.(hi) *. frac)
+  end
+
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  Array.fold_left
+    (fun (lo, hi) x -> ((if x < lo then x else lo), if x > hi then x else hi))
+    (xs.(0), xs.(0)) xs
+
+let geometric_mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let acc = Array.fold_left (fun a x -> a +. log x) 0.0 xs in
+    exp (acc /. float_of_int n)
+  end
+
+let of_ints xs = Array.map float_of_int xs
+
+let ratio_summary xs =
+  if Array.length xs = 0 then "n/a"
+  else begin
+    let lo, hi = min_max xs in
+    Printf.sprintf "%.3f (min %.3f, max %.3f)" (mean xs) lo hi
+  end

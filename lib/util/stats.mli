@@ -1,0 +1,27 @@
+(** Small descriptive-statistics toolkit for the experiment harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0.0 on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0.0 on fewer than two samples. *)
+
+val median : float array -> float
+(** Median (average of middle two on even length); 0.0 on empty input. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs q] with [q] in [\[0,100\]], linear interpolation between
+    closest ranks; 0.0 on empty input. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest sample. @raise Invalid_argument on empty input. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of positive samples; 0.0 on empty input. *)
+
+val of_ints : int array -> float array
+(** Convert for use with the functions above. *)
+
+val ratio_summary : float array -> string
+(** Human-readable ["mean x (min m, max M)"] summary used in experiment
+    tables for speedup ratios. *)

@@ -1,0 +1,89 @@
+(* Shared generators and Alcotest plumbing for the test suite. *)
+
+module Gen = QCheck.Gen
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* All property tests share one fixed random state so runs are reproducible
+   (a flaky failure in CI is useless as an oracle). *)
+let to_alcotest test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5eed; 2003 |]) test
+
+(* ---------- generators ---------- *)
+
+let pair_gen ~max_val =
+  Gen.map2 (fun c w -> (c, w)) (Gen.int_range 1 max_val) (Gen.int_range 1 max_val)
+
+let chain_gen ?(min_p = 1) ?(max_p = 4) ?(max_val = 10) () =
+  Gen.(int_range min_p max_p >>= fun p ->
+       Gen.map Msts.Chain.of_pairs (Gen.list_size (Gen.return p) (pair_gen ~max_val)))
+
+(* Shrinker: drop the last processor, then halve any latency/work > 1 —
+   failures get reported on the smallest chain still exhibiting them. *)
+let chain_shrink chain yield =
+  let pairs = Msts.Chain.to_pairs chain in
+  let len = List.length pairs in
+  if len > 1 then
+    yield (Msts.Chain.of_pairs (List.filteri (fun i _ -> i < len - 1) pairs));
+  List.iteri
+    (fun target (c, w) ->
+      let rebuild f =
+        Msts.Chain.of_pairs
+          (List.mapi (fun i pair -> if i = target then f pair else pair) pairs)
+      in
+      if c > 1 then yield (rebuild (fun (c, w) -> (c / 2, w)));
+      if w > 1 then yield (rebuild (fun (c, w) -> (c, w / 2))))
+    pairs
+
+let chain_arb ?min_p ?max_p ?max_val () =
+  QCheck.make ~print:Msts.Chain.to_string ~shrink:chain_shrink
+    (chain_gen ?min_p ?max_p ?max_val ())
+
+let fork_gen ?(max_slaves = 4) ?(max_val = 10) () =
+  Gen.(int_range 1 max_slaves >>= fun m ->
+       Gen.map Msts.Fork.of_pairs (Gen.list_size (Gen.return m) (pair_gen ~max_val)))
+
+let fork_arb ?max_slaves ?max_val () =
+  QCheck.make ~print:Msts.Fork.to_string (fork_gen ?max_slaves ?max_val ())
+
+let spider_gen ?(max_legs = 3) ?(max_depth = 2) ?(max_val = 10) () =
+  Gen.(int_range 1 max_legs >>= fun legs ->
+       Gen.map Msts.Spider.of_legs
+         (Gen.list_size (Gen.return legs)
+            (chain_gen ~min_p:1 ~max_p:max_depth ~max_val ())))
+
+let spider_arb ?max_legs ?max_depth ?max_val () =
+  QCheck.make ~print:Msts.Spider.to_string (spider_gen ?max_legs ?max_depth ?max_val ())
+
+(* Small instances with a task count, for oracle comparisons. *)
+let chain_with_n_shrink (chain, n) yield =
+  if n > 0 then yield (chain, n - 1);
+  chain_shrink chain (fun smaller -> yield (smaller, n))
+
+let chain_with_n_arb ?(max_p = 4) ?(max_n = 7) ?(max_val = 10) () =
+  QCheck.make
+    ~print:(fun (chain, n) -> Printf.sprintf "%s, n=%d" (Msts.Chain.to_string chain) n)
+    ~shrink:chain_with_n_shrink
+    (Gen.pair (chain_gen ~max_p ~max_val ()) (Gen.int_range 0 max_n))
+
+let spider_with_n_arb ?(max_legs = 3) ?(max_depth = 2) ?(max_n = 5) ?(max_val = 8) () =
+  QCheck.make
+    ~print:(fun (spider, n) ->
+      Printf.sprintf "%s, n=%d" (Msts.Spider.to_string spider) n)
+    (Gen.pair (spider_gen ~max_legs ~max_depth ~max_val ()) (Gen.int_range 0 max_n))
+
+(* The paper's Figure 2 instance: chain (c,w) = (2,3),(3,5). *)
+let figure2_chain = Msts.Chain.of_pairs [ (2, 3); (3, 5) ]
+
+let check_feasible ?(require_nonnegative = true) sched =
+  match Msts.Feasibility.check ~require_nonnegative sched with
+  | [] -> true
+  | violations ->
+      QCheck.Test.fail_reportf "infeasible: %s"
+        (String.concat "; " (List.map Msts.Feasibility.violation_to_string violations))
+
+let check_spider_feasible ?(require_nonnegative = true) sched =
+  match Msts.Spider_schedule.check ~require_nonnegative sched with
+  | [] -> true
+  | violations ->
+      QCheck.Test.fail_reportf "infeasible: %s" (String.concat "; " violations)

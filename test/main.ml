@@ -1,0 +1,28 @@
+(* Aggregate all suites into one Alcotest run. *)
+let () =
+  Alcotest.run "msts"
+    (List.concat
+       [
+         Test_util.suites;
+         Test_platform.suites;
+         Test_schedule.suites;
+         Test_chain.suites;
+         Test_fork.suites;
+         Test_spider.suites;
+         Test_baseline.suites;
+         Test_sim.suites;
+         Test_metrics.suites;
+         Test_incremental.suites;
+         Test_fuzz.suites;
+         Test_analysis.suites;
+         Test_properties.suites;
+         Test_buffers.suites;
+         Test_golden.suites;
+         Test_robustness.suites;
+         Test_local_search.suites;
+         Test_spider_trace.suites;
+         Test_spider_analysis.suites;
+         Test_parsers_fuzz.suites;
+         Test_tree.suites;
+         Test_integration.suites;
+       ])

@@ -1,0 +1,114 @@
+(* Long-running randomized campaign — heavier than the default test suite.
+
+   Run with:  dune build @stress
+   Exits non-zero on the first discrepancy.  Everything is seeded, so a
+   failure is reproducible. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("STRESS FAILURE: " ^ s); exit 1) fmt
+
+let section name = Printf.printf "== %s\n%!" name
+
+let () =
+  let rng = Msts.Prng.create 777 in
+
+  section "chain optimality vs brute force (2000 instances, p<=3, n<=9)";
+  for i = 1 to 2000 do
+    let p = Msts.Prng.int_in rng 1 3 in
+    let n = Msts.Prng.int_in rng 0 9 in
+    let chain = Msts.Generator.chain rng Msts.Generator.default_profile ~p in
+    let a = Msts.Chain_algorithm.makespan chain n in
+    let b = Msts.Brute_force.chain_makespan chain n in
+    if a <> b then fail "instance %d: %s n=%d alg=%d bf=%d" i (Msts.Chain.to_string chain) n a b
+  done;
+
+  section "chain optimality, wider (400 instances, p=4, n<=7)";
+  for i = 1 to 400 do
+    let n = Msts.Prng.int_in rng 0 7 in
+    let chain = Msts.Generator.chain rng Msts.Generator.balanced_profile ~p:4 in
+    let a = Msts.Chain_algorithm.makespan chain n in
+    let b = Msts.Brute_force.chain_makespan chain n in
+    if a <> b then fail "instance %d: %s n=%d alg=%d bf=%d" i (Msts.Chain.to_string chain) n a b
+  done;
+
+  section "spider optimality vs brute force (400 instances)";
+  let checked = ref 0 in
+  while !checked < 400 do
+    let legs = Msts.Prng.int_in rng 1 3 in
+    let spider =
+      Msts.Generator.spider rng Msts.Generator.balanced_profile ~legs ~max_depth:2
+    in
+    if Msts.Spider.processor_count spider <= 5 then begin
+      incr checked;
+      let n = Msts.Prng.int_in rng 1 5 in
+      let a = Msts.Spider_algorithm.min_makespan spider n in
+      let b = Msts.Brute_force.spider_makespan spider n in
+      if a <> b then
+        fail "spider %d: %s n=%d alg=%d bf=%d" !checked (Msts.Spider.to_string spider) n a b
+    end
+  done;
+
+  section "chain optimality vs the pruned oracle (100 instances, n<=14)";
+  for i = 1 to 100 do
+    let p = Msts.Prng.int_in rng 1 5 in
+    let n = Msts.Prng.int_in rng 8 14 in
+    let chain = Msts.Generator.chain rng Msts.Generator.balanced_profile ~p in
+    let a = Msts.Chain_algorithm.makespan chain n in
+    let b = Msts.Brute_force.chain_makespan_pruned chain n in
+    if a <> b then
+      fail "pruned %d: %s n=%d alg=%d oracle=%d" i (Msts.Chain.to_string chain) n a b
+  done;
+
+  section "Figure-3 transcription differential (1000 instances, n<=40)";
+  for i = 1 to 1000 do
+    let p = Msts.Prng.int_in rng 1 6 in
+    let n = Msts.Prng.int_in rng 0 40 in
+    let chain = Msts.Generator.chain rng Msts.Generator.default_profile ~p in
+    if
+      not
+        (Msts.Schedule.equal
+           (Msts.Chain_pseudocode.schedule chain n)
+           (Msts.Chain_algorithm.schedule chain n))
+    then fail "pseudocode divergence %d: %s n=%d" i (Msts.Chain.to_string chain) n
+  done;
+
+  section "event-driven execution vs analytic ASAP (1000 sequences)";
+  for i = 1 to 1000 do
+    let p = Msts.Prng.int_in rng 1 5 in
+    let chain = Msts.Generator.chain rng Msts.Generator.default_profile ~p in
+    let n = Msts.Prng.int_in rng 0 25 in
+    let seq = Array.init n (fun _ -> Msts.Prng.int_in rng 1 p) in
+    if
+      not
+        (Msts.Schedule.equal
+           (Msts.Netsim.run_sequence_chain chain seq)
+           (Msts.Asap.chain_of_sequence chain seq))
+    then fail "DES divergence %d: %s" i (Msts.Chain.to_string chain)
+  done;
+
+  section "deadline Galois connection (2000 instances)";
+  for i = 1 to 2000 do
+    let p = Msts.Prng.int_in rng 1 5 in
+    let chain = Msts.Generator.chain rng Msts.Generator.default_profile ~p in
+    let n = Msts.Prng.int_in rng 1 15 in
+    let d = Msts.Prng.int_in rng 0 120 in
+    if Msts.Chain_deadline.max_tasks chain ~deadline:(Msts.Chain_algorithm.makespan chain n) < n
+    then fail "galois-1 %d: %s n=%d" i (Msts.Chain.to_string chain) n;
+    if Msts.Chain_algorithm.makespan chain (Msts.Chain_deadline.max_tasks chain ~deadline:d) > d
+    then fail "galois-2 %d: %s d=%d" i (Msts.Chain.to_string chain) d
+  done;
+
+  section "feasibility of large optimal schedules (100 instances, n<=2000)";
+  for i = 1 to 100 do
+    let p = Msts.Prng.int_in rng 1 10 in
+    let n = Msts.Prng.int_in rng 100 2000 in
+    let chain = Msts.Generator.chain rng Msts.Generator.default_profile ~p in
+    let s = Msts.Chain_algorithm.schedule chain n in
+    match Msts.Feasibility.check ~require_nonnegative:true s with
+    | [] -> ()
+    | vs ->
+        fail "large instance %d infeasible: %s (first: %s)" i
+          (Msts.Chain.to_string chain)
+          (Msts.Feasibility.violation_to_string (List.hd vs))
+  done;
+
+  print_endline "stress campaign: all checks passed"

@@ -1,0 +1,308 @@
+(* Tests for the baseline library: ASAP timing, brute force internals,
+   list-scheduling heuristics, lower bounds and steady-state analysis. *)
+
+open Helpers
+
+(* ---------- ASAP ---------- *)
+
+let asap_sequences_feasible =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"ASAP timing of any sequence is feasible"
+       (QCheck.make
+          ~print:(fun (chain, seq) ->
+            Printf.sprintf "%s, seq=[%s]" (Msts.Chain.to_string chain)
+              (String.concat ";" (List.map string_of_int (Array.to_list seq))))
+          QCheck.Gen.(
+            chain_gen ~max_p:5 () >>= fun chain ->
+            map
+              (fun dests -> (chain, Array.of_list dests))
+              (list_size (int_range 0 15)
+                 (int_range 1 (Msts.Chain.length chain)))))
+       (fun (chain, seq) ->
+         check_feasible (Msts.Asap.chain_of_sequence chain seq)))
+
+let asap_makespan_agrees =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"chain_makespan equals the schedule's makespan"
+       (QCheck.make
+          ~print:(fun (chain, seq) ->
+            Printf.sprintf "%s, seq=[%s]" (Msts.Chain.to_string chain)
+              (String.concat ";" (List.map string_of_int (Array.to_list seq))))
+          QCheck.Gen.(
+            chain_gen ~max_p:5 () >>= fun chain ->
+            map
+              (fun dests -> (chain, Array.of_list dests))
+              (list_size (int_range 0 15)
+                 (int_range 1 (Msts.Chain.length chain)))))
+       (fun (chain, seq) ->
+         Msts.Asap.chain_makespan chain seq
+         = Msts.Schedule.makespan (Msts.Asap.chain_of_sequence chain seq)))
+
+let asap_known_example () =
+  (* single processor (c=2,w=3): emissions 0,2,4; starts 2,5,8 *)
+  let chain = Msts.Chain.of_pairs [ (2, 3) ] in
+  let s = Msts.Asap.chain_of_sequence chain [| 1; 1; 1 |] in
+  Alcotest.(check int) "makespan" 11 (Msts.Schedule.makespan s);
+  Alcotest.(check int) "second start" 5 (Msts.Schedule.entry s 2).Msts.Schedule.start
+
+let asap_push_rejects_bad_dest () =
+  let st = Msts.Asap.chain_start figure2_chain in
+  Alcotest.check_raises "dest 0"
+    (Invalid_argument "Asap.chain_push: destination outside the chain") (fun () ->
+      ignore (Msts.Asap.chain_push st ~dest:0))
+
+let asap_spider_feasible =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"spider ASAP timing is feasible"
+       (QCheck.make
+          ~print:(fun (spider, _) -> Msts.Spider.to_string spider)
+          QCheck.Gen.(
+            spider_gen ~max_legs:3 ~max_depth:3 () >>= fun spider ->
+            let addresses = Array.of_list (Msts.Spider.addresses spider) in
+            map
+              (fun picks ->
+                (spider, Array.of_list (List.map (Array.get addresses) picks)))
+              (list_size (int_range 0 12)
+                 (int_range 0 (Array.length addresses - 1)))))
+       (fun (spider, seq) ->
+         check_spider_feasible (Msts.Asap.spider_of_sequence spider seq)))
+
+(* ---------- brute force ---------- *)
+
+let brute_force_schedule_witness =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"brute-force witness schedule attains its makespan"
+       (chain_with_n_arb ~max_p:3 ~max_n:6 ())
+       (fun (chain, n) ->
+         let s = Msts.Brute_force.chain_schedule chain n in
+         check_feasible s
+         && Msts.Schedule.makespan s = Msts.Brute_force.chain_makespan chain n))
+
+let brute_force_zero () =
+  Alcotest.(check int) "0 tasks" 0 (Msts.Brute_force.chain_makespan figure2_chain 0);
+  Alcotest.(check int) "spider 0 tasks" 0
+    (Msts.Brute_force.spider_makespan (Msts.Spider.of_chain figure2_chain) 0)
+
+let brute_force_search_space () =
+  Alcotest.(check (Alcotest.float 1e-9)) "4^7" (16384.0)
+    (Msts.Brute_force.search_space ~procs:4 ~tasks:7)
+
+(* ---------- heuristics ---------- *)
+
+let heuristics_feasible =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"every chain heuristic yields a feasible schedule"
+       (chain_with_n_arb ~max_p:5 ~max_n:15 ())
+       (fun (chain, n) ->
+         List.for_all
+           (fun policy -> check_feasible (Msts.List_sched.chain policy chain n))
+           Msts.List_sched.all_chain_policies))
+
+let spider_heuristics_feasible =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"every spider heuristic yields a feasible schedule"
+       (spider_with_n_arb ~max_legs:3 ~max_depth:3 ~max_n:12 ())
+       (fun (spider, n) ->
+         List.for_all
+           (fun policy -> check_spider_feasible (Msts.List_sched.spider policy spider n))
+           Msts.List_sched.all_spider_policies))
+
+let master_only_matches_formula =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"master-only heuristic equals the T-inf formula"
+       (chain_with_n_arb ~max_p:5 ~max_n:15 ())
+       (fun (chain, n) ->
+         n = 0
+         || Msts.List_sched.(chain_makespan Master_only) chain n
+            = Msts.Chain.master_only_makespan chain n))
+
+let heuristic_task_counts =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"heuristics schedule exactly n tasks"
+       (chain_with_n_arb ~max_p:4 ~max_n:12 ())
+       (fun (chain, n) ->
+         List.for_all
+           (fun policy ->
+             Msts.Schedule.task_count (Msts.List_sched.chain policy chain n) = n)
+           Msts.List_sched.all_chain_policies))
+
+let random_policy_deterministic () =
+  let chain = figure2_chain in
+  let a = Msts.List_sched.(chain (Random 5)) chain 10 in
+  let b = Msts.List_sched.(chain (Random 5)) chain 10 in
+  Alcotest.(check bool) "same seed, same schedule" true (Msts.Schedule.equal a b)
+
+(* ---------- bounds ---------- *)
+
+let bounds_below_optimal =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"all chain lower bounds are <= optimal"
+       (chain_with_n_arb ~max_p:4 ~max_n:7 ())
+       (fun (chain, n) ->
+         let opt = Msts.Brute_force.chain_makespan chain n in
+         Msts.Bounds.port_bound chain n <= opt
+         && Msts.Bounds.capacity_bound chain n <= opt
+         && Msts.Bounds.combined_bound chain n <= opt
+         && Msts.Bounds.fluid_bound chain n <= float_of_int opt +. 1e-6))
+
+let spider_bounds_below_optimal =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"all spider lower bounds are <= optimal"
+       (spider_with_n_arb ~max_legs:3 ~max_depth:2 ~max_n:5 ())
+       (fun (spider, n) ->
+         QCheck.assume (Msts.Spider.processor_count spider <= 5);
+         let opt = Msts.Brute_force.spider_makespan spider n in
+         Msts.Bounds.spider_port_bound spider n <= opt
+         && Msts.Bounds.spider_capacity_bound spider n <= opt
+         && Msts.Bounds.spider_combined_bound spider n <= opt))
+
+let spider_fluid_below_optimal =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"spider fluid bound is <= optimal"
+       (spider_with_n_arb ~max_legs:3 ~max_depth:2 ~max_n:5 ())
+       (fun (spider, n) ->
+         QCheck.assume (Msts.Spider.processor_count spider <= 5);
+         Msts.Bounds.spider_fluid_bound spider n
+         <= float_of_int (Msts.Brute_force.spider_makespan spider n) +. 1e-6))
+
+let spider_fluid_single_leg_consistent =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"spider fluid bound on one leg equals the chain fluid bound"
+       (chain_with_n_arb ~max_p:4 ~max_n:8 ())
+       (fun (chain, n) ->
+         abs_float
+           (Msts.Bounds.spider_fluid_bound (Msts.Spider.of_chain chain) n
+           -. Msts.Bounds.fluid_bound chain n)
+         < 1e-6))
+
+let bounds_known_instance () =
+  (* Figure 2 chain, n=5: optimal is 14 *)
+  Alcotest.(check bool) "port bound" true (Msts.Bounds.port_bound figure2_chain 5 <= 14);
+  Alcotest.(check bool) "port bound formula" true
+    (Msts.Bounds.port_bound figure2_chain 5 = (4 * 2) + 5);
+  Alcotest.(check bool) "capacity bound sane" true
+    (Msts.Bounds.capacity_bound figure2_chain 5 <= 14);
+  Alcotest.(check int) "n=0" 0 (Msts.Bounds.port_bound figure2_chain 0)
+
+let bounds_single_processor_tight () =
+  (* one processor: capacity/port bounds must meet the exact optimum *)
+  let chain = Msts.Chain.of_pairs [ (2, 3) ] in
+  let n = 6 in
+  Alcotest.(check int) "combined = optimal" (Msts.Chain_algorithm.makespan chain n)
+    (Msts.Bounds.combined_bound chain n)
+
+(* ---------- steady state ---------- *)
+
+let throughput_known_values () =
+  (* single processor: rate = min(1/c, 1/w) *)
+  let feq = Alcotest.float 1e-9 in
+  Alcotest.check feq "compute bound" (1.0 /. 5.0)
+    (Msts.Steady_state.chain_throughput (Msts.Chain.of_pairs [ (2, 5) ]));
+  Alcotest.check feq "comm bound" (1.0 /. 4.0)
+    (Msts.Steady_state.chain_throughput (Msts.Chain.of_pairs [ (4, 2) ]));
+  (* figure-2 chain: rho2 = min(1/3, 1/5) = 1/5; rho1 = min(1/2, 1/3 + 1/5) *)
+  Alcotest.check feq "figure 2" 0.5
+    (Msts.Steady_state.chain_throughput figure2_chain)
+
+let throughput_prefixes () =
+  let rho = Msts.Steady_state.chain_prefix_throughputs figure2_chain in
+  Alcotest.(check int) "length" 2 (Array.length rho);
+  Alcotest.(check (Alcotest.float 1e-9)) "rho2" 0.2 rho.(1)
+
+let throughput_bounded_by_port =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"throughput never exceeds the first link rate"
+       (chain_arb ~max_p:6 ())
+       (fun chain ->
+         Msts.Steady_state.chain_throughput chain
+         <= (1.0 /. float_of_int (Msts.Chain.latency chain 1)) +. 1e-9))
+
+let spider_rates_sum_and_cap =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"spider leg rates are capped and saturate the port correctly"
+       (spider_arb ~max_legs:4 ~max_depth:3 ())
+       (fun spider ->
+         let rates = Msts.Steady_state.spider_leg_rates spider in
+         let port_use = ref 0.0 in
+         let ok = ref true in
+         Array.iteri
+           (fun idx rate ->
+             let chain = Msts.Spider.leg_chain spider (idx + 1) in
+             if rate < -1e-9 then ok := false;
+             if rate > Msts.Steady_state.chain_throughput chain +. 1e-9 then
+               ok := false;
+             port_use :=
+               !port_use +. (rate *. float_of_int (Msts.Chain.latency chain 1)))
+           rates;
+         !ok && !port_use <= 1.0 +. 1e-9))
+
+let asymptotic_prediction () =
+  (* optimal makespan / n approaches 1/throughput for large n *)
+  let chain = figure2_chain in
+  let n = 400 in
+  let per_task =
+    float_of_int (Msts.Chain_algorithm.makespan chain n) /. float_of_int n
+  in
+  let predicted = 1.0 /. Msts.Steady_state.chain_throughput chain in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.3f within 5%% of %.3f" per_task predicted)
+    true
+    (abs_float (per_task -. predicted) /. predicted < 0.05)
+
+let asymptotic_prediction_random =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:20 ~name:"asymptotic rate holds on random chains"
+       (chain_arb ~max_p:4 ~max_val:6 ())
+       (fun chain ->
+         let n = 300 in
+         let per_task =
+           float_of_int (Msts.Chain_algorithm.makespan chain n) /. float_of_int n
+         in
+         let predicted = 1.0 /. Msts.Steady_state.chain_throughput chain in
+         abs_float (per_task -. predicted) /. predicted < 0.10))
+
+let suites =
+  [
+    ( "baseline.asap",
+      [
+        asap_sequences_feasible;
+        asap_makespan_agrees;
+        case "known single-processor pipeline" asap_known_example;
+        case "bad destination rejected" asap_push_rejects_bad_dest;
+        asap_spider_feasible;
+      ] );
+    ( "baseline.brute_force",
+      [
+        brute_force_schedule_witness;
+        case "zero tasks" brute_force_zero;
+        case "search space arithmetic" brute_force_search_space;
+      ] );
+    ( "baseline.heuristics",
+      [
+        heuristics_feasible;
+        spider_heuristics_feasible;
+        master_only_matches_formula;
+        heuristic_task_counts;
+        case "seeded random policy is deterministic" random_policy_deterministic;
+      ] );
+    ( "baseline.bounds",
+      [
+        bounds_below_optimal;
+        spider_bounds_below_optimal;
+        spider_fluid_below_optimal;
+        spider_fluid_single_leg_consistent;
+        case "figure-2 values" bounds_known_instance;
+        case "single processor tightness" bounds_single_processor_tight;
+      ] );
+    ( "baseline.steady_state",
+      [
+        case "known throughputs" throughput_known_values;
+        case "prefix throughputs" throughput_prefixes;
+        throughput_bounded_by_port;
+        spider_rates_sum_and_cap;
+        case "asymptotic prediction (figure 2)" asymptotic_prediction;
+        asymptotic_prediction_random;
+      ] );
+  ]

@@ -1,0 +1,206 @@
+(* Tests for the fork-graph substrate (§6): virtual-node expansion
+   (Figure 6), the greedy one-port allocator, and the schedule builder. *)
+
+open Helpers
+
+(* ---------- expansion (Figure 6) ---------- *)
+
+let virtual_work_formula () =
+  (* Figure 6: (c,w) becomes w, w+m, w+2m, ... with m = max(c,w) *)
+  Alcotest.(check int) "rank 0" 4 (Msts.Fork_expansion.virtual_work ~c:2 ~w:4 ~rank:0);
+  Alcotest.(check int) "rank 1, compute-bound" 8
+    (Msts.Fork_expansion.virtual_work ~c:2 ~w:4 ~rank:1);
+  Alcotest.(check int) "rank 2, compute-bound" 12
+    (Msts.Fork_expansion.virtual_work ~c:2 ~w:4 ~rank:2);
+  Alcotest.(check int) "rank 1, comm-bound" 9
+    (Msts.Fork_expansion.virtual_work ~c:5 ~w:4 ~rank:1)
+
+let expansion_counts () =
+  let fork = Msts.Fork.of_pairs [ (1, 2); (3, 4) ] in
+  let nodes = Msts.Fork_expansion.expand fork ~count:3 in
+  Alcotest.(check int) "3 per slave" 6 (List.length nodes);
+  (* sorted by ascending comm then work *)
+  let comms = List.map (fun v -> v.Msts.Fork_expansion.comm) nodes in
+  Alcotest.(check (list int)) "comm sorted" [ 1; 1; 1; 3; 3; 3 ] comms;
+  let works = List.map (fun v -> v.Msts.Fork_expansion.work) nodes in
+  Alcotest.(check (list int)) "works" [ 2; 4; 6; 4; 8; 12 ] works
+
+let expansion_order_ties () =
+  (* equal comm: ascending work breaks the tie *)
+  let fork = Msts.Fork.of_pairs [ (2, 9); (2, 1) ] in
+  let nodes = Msts.Fork_expansion.expand fork ~count:2 in
+  let works = List.map (fun v -> v.Msts.Fork_expansion.work) nodes in
+  Alcotest.(check (list int)) "tie broken by work" [ 1; 3; 9; 18 ] works
+
+(* ---------- allocator ---------- *)
+
+let feasible_set_condition () =
+  (* prefix condition: sum of comms before each node + its work <= Tlim *)
+  let node slave comm work = { Msts.Fork_expansion.slave; rank = 0; comm; work } in
+  Alcotest.(check bool) "fits" true
+    (Msts.Fork_allocator.is_feasible_set [ node 1 2 8; node 2 3 5 ] ~deadline:10);
+  (* emitted in decreasing work order: (2,8) then (3,5): 2+8=10 ok; 2+3+5=10 ok *)
+  Alcotest.(check bool) "tight fits" true
+    (Msts.Fork_allocator.is_feasible_set [ node 1 2 8; node 2 3 5 ] ~deadline:10);
+  Alcotest.(check bool) "overflow" false
+    (Msts.Fork_allocator.is_feasible_set [ node 1 2 8; node 2 3 6 ] ~deadline:10)
+
+let allocate_emits_back_to_back () =
+  let fork = Msts.Fork.of_pairs [ (2, 3) ] in
+  let nodes = Msts.Fork_expansion.expand fork ~count:4 in
+  let allocs = Msts.Fork_allocator.allocate nodes ~deadline:14 ~budget:10 in
+  (* works 3,6,9,12: emitted 12 first. 2+12=14; 4+9=13; 6+6=12; 8+3=11 *)
+  Alcotest.(check int) "four accepted" 4 (List.length allocs);
+  List.iteri
+    (fun idx a ->
+      Alcotest.(check int) "back-to-back" (2 * idx) a.Msts.Fork_allocator.emission)
+    allocs;
+  let works = List.map (fun a -> a.Msts.Fork_allocator.node.Msts.Fork_expansion.work) allocs in
+  Alcotest.(check (list int)) "decreasing work order" [ 12; 9; 6; 3 ] works
+
+let allocate_budget () =
+  let fork = Msts.Fork.of_pairs [ (1, 1) ] in
+  let nodes = Msts.Fork_expansion.expand fork ~count:50 in
+  let allocs = Msts.Fork_allocator.allocate nodes ~deadline:1000 ~budget:5 in
+  Alcotest.(check int) "budget respected" 5 (List.length allocs)
+
+let tasks_per_slave () =
+  let fork = Msts.Fork.of_pairs [ (1, 2); (4, 1) ] in
+  let nodes = Msts.Fork_expansion.expand fork ~count:6 in
+  let allocs = Msts.Fork_allocator.allocate nodes ~deadline:12 ~budget:100 in
+  let per_slave = Msts.Fork_allocator.tasks_per_slave allocs in
+  let total = List.fold_left (fun acc (_, k) -> acc + k) 0 per_slave in
+  Alcotest.(check int) "totals agree" (List.length allocs) total;
+  List.iter (fun (slave, k) -> Alcotest.(check bool) "valid slave" true (slave >= 1 && slave <= 2 && k > 0)) per_slave
+
+let allocator_prefix_ranks =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"accepted ranks form a prefix per slave (0..k-1)"
+       (QCheck.make
+          ~print:(fun (fork, d) ->
+            Printf.sprintf "%s, d=%d" (Msts.Fork.to_string fork) d)
+          QCheck.Gen.(pair (fork_gen ~max_slaves:4 ()) (int_range 0 60)))
+       (fun (fork, deadline) ->
+         let nodes = Msts.Fork_expansion.expand fork ~count:8 in
+         let allocs = Msts.Fork_allocator.allocate nodes ~deadline ~budget:8 in
+         List.for_all
+           (fun (slave, k) ->
+             let ranks =
+               List.filter_map
+                 (fun a ->
+                   let v = a.Msts.Fork_allocator.node in
+                   if v.Msts.Fork_expansion.slave = slave then
+                     Some v.Msts.Fork_expansion.rank
+                   else None)
+                 allocs
+             in
+             List.sort compare ranks = List.init k (fun i -> i))
+           (Msts.Fork_allocator.tasks_per_slave allocs)))
+
+let allocator_feasible_output =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"allocated set satisfies the prefix condition"
+       (QCheck.make
+          ~print:(fun (fork, d) ->
+            Printf.sprintf "%s, d=%d" (Msts.Fork.to_string fork) d)
+          QCheck.Gen.(pair (fork_gen ~max_slaves:4 ()) (int_range 0 60)))
+       (fun (fork, deadline) ->
+         let nodes = Msts.Fork_expansion.expand fork ~count:8 in
+         let allocs = Msts.Fork_allocator.allocate nodes ~deadline ~budget:8 in
+         Msts.Fork_allocator.is_feasible_set
+           (List.map (fun a -> a.Msts.Fork_allocator.node) allocs)
+           ~deadline))
+
+let allocator_optimal_vs_brute_force =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:120
+       ~name:"fork algorithm is optimal (vs spider brute force)"
+       (QCheck.make
+          ~print:(fun (fork, d) ->
+            Printf.sprintf "%s, d=%d" (Msts.Fork.to_string fork) d)
+          QCheck.Gen.(pair (fork_gen ~max_slaves:4 ~max_val:8 ()) (int_range 0 40)))
+       (fun (fork, deadline) ->
+         min 6 (Msts.Fork_allocator.max_tasks fork ~deadline ~budget:6)
+         = Msts.Brute_force.spider_max_tasks (Msts.Spider.of_fork fork) ~deadline
+             ~limit:6))
+
+let allocator_monotone_in_deadline =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"accepted count is monotone in the deadline"
+       (QCheck.make
+          ~print:(fun (fork, d) ->
+            Printf.sprintf "%s, d=%d" (Msts.Fork.to_string fork) d)
+          QCheck.Gen.(pair (fork_gen ~max_slaves:3 ()) (int_range 0 50)))
+       (fun (fork, d) ->
+         Msts.Fork_allocator.max_tasks fork ~deadline:d ~budget:10
+         <= Msts.Fork_allocator.max_tasks fork ~deadline:(d + 1) ~budget:10))
+
+(* ---------- builder ---------- *)
+
+let builder_schedules_are_feasible =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"realised fork schedules are feasible and meet the deadline"
+       (QCheck.make
+          ~print:(fun (fork, d) ->
+            Printf.sprintf "%s, d=%d" (Msts.Fork.to_string fork) d)
+          QCheck.Gen.(pair (fork_gen ~max_slaves:4 ()) (int_range 0 60)))
+       (fun (fork, deadline) ->
+         let s = Msts.Fork_builder.schedule fork ~deadline ~budget:8 in
+         check_spider_feasible s
+         && (Msts.Spider_schedule.task_count s = 0
+            || Msts.Spider_schedule.makespan s <= deadline)))
+
+let builder_counts_match_allocator =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"builder schedules exactly the allocated tasks"
+       (QCheck.make
+          ~print:(fun (fork, d) ->
+            Printf.sprintf "%s, d=%d" (Msts.Fork.to_string fork) d)
+          QCheck.Gen.(pair (fork_gen ~max_slaves:4 ()) (int_range 0 60)))
+       (fun (fork, deadline) ->
+         Msts.Spider_schedule.task_count
+           (Msts.Fork_builder.schedule fork ~deadline ~budget:8)
+         = Msts.Fork_allocator.max_tasks fork ~deadline ~budget:8))
+
+let builder_example () =
+  (* one fast-link slow slave, one slow-link fast slave *)
+  let fork = Msts.Fork.of_pairs [ (1, 10); (4, 2) ] in
+  let s = Msts.Fork_builder.schedule fork ~deadline:20 ~budget:100 in
+  Alcotest.(check bool) "feasible" true
+    (Msts.Spider_schedule.is_feasible ~require_nonnegative:true s);
+  Alcotest.(check bool) "meets deadline" true
+    (Msts.Spider_schedule.meets_deadline s ~deadline:20);
+  (* both slaves get work: the fork algorithm is bandwidth-centric *)
+  Alcotest.(check bool) "slave 1 used" true
+    (Msts.Spider_schedule.tasks_on_leg s 1 <> []);
+  Alcotest.(check bool) "slave 2 used" true
+    (Msts.Spider_schedule.tasks_on_leg s 2 <> [])
+
+let suites =
+  [
+    ( "fork.expansion",
+      [
+        case "virtual work formula (Figure 6)" virtual_work_formula;
+        case "expansion counts and order" expansion_counts;
+        case "ties broken by work" expansion_order_ties;
+      ] );
+    ( "fork.allocator",
+      [
+        case "prefix feasibility condition" feasible_set_condition;
+        case "back-to-back emissions" allocate_emits_back_to_back;
+        case "budget respected" allocate_budget;
+        case "tasks per slave" tasks_per_slave;
+        allocator_prefix_ranks;
+        allocator_feasible_output;
+        allocator_optimal_vs_brute_force;
+        allocator_monotone_in_deadline;
+      ] );
+    ( "fork.builder",
+      [
+        builder_schedules_are_feasible;
+        builder_counts_match_allocator;
+        case "bandwidth-centric example" builder_example;
+      ] );
+  ]

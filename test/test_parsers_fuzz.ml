@@ -1,0 +1,101 @@
+(* Parser robustness: random and adversarial inputs must produce [Error],
+   never an exception, and valid inputs survive mangling detection. *)
+
+open Helpers
+
+module Gen = QCheck.Gen
+
+let garbage_gen =
+  Gen.(string_size ~gen:(map Char.chr (int_range 0 127)) (int_range 0 200))
+
+let structured_garbage_gen =
+  (* strings built from the format's own vocabulary — likelier to reach the
+     deep branches of the parsers *)
+  Gen.(
+    list_size (int_range 0 12)
+      (oneofl
+         [ "chain"; "spider"; "fork"; "tree"; "leg"; "task"; "1 2"; "3 4 0";
+           "-1 2"; "0 0"; "x y"; ""; " "; "# comment"; "1 2 3 4";
+           "chain-schedule"; "spider-schedule"; "task 1 2 0" ])
+    |> map (String.concat "\n"))
+
+let never_raises name parse gen =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:500 ~name (QCheck.make ~print:String.escaped gen)
+       (fun text ->
+         match parse text with
+         | Ok _ | Error _ -> true
+         | exception e ->
+             QCheck.Test.fail_reportf "raised %s on %S" (Printexc.to_string e) text))
+
+let platform_garbage =
+  never_raises "platform parser never raises on random bytes"
+    Msts.Platform_format.of_string garbage_gen
+
+let platform_structured_garbage =
+  never_raises "platform parser never raises on vocabulary soup"
+    Msts.Platform_format.of_string structured_garbage_gen
+
+let schedule_garbage =
+  never_raises "chain schedule parser never raises on random bytes"
+    (Msts.Serial.schedule_of_string figure2_chain)
+    garbage_gen
+
+let schedule_structured_garbage =
+  never_raises "chain schedule parser never raises on vocabulary soup"
+    (Msts.Serial.schedule_of_string figure2_chain)
+    structured_garbage_gen
+
+let spider_schedule_garbage =
+  never_raises "spider schedule parser never raises on vocabulary soup"
+    (Msts.Serial.spider_schedule_of_string (Msts.Spider.of_chain figure2_chain))
+    structured_garbage_gen
+
+(* mangling a serialised schedule must either parse to a different-but-
+   structurally-valid schedule or produce an error — never an exception,
+   and never silently parse to the original when a digit changed *)
+let mangled_plan_detected =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"mangled plans never crash the parser"
+       (QCheck.make
+          ~print:(fun ((chain, n), pos) ->
+            Printf.sprintf "%s, n=%d, mangle@%d" (Msts.Chain.to_string chain) n pos)
+          Gen.(pair (pair (chain_gen ~max_p:3 ()) (int_range 1 6)) (int_range 0 400)))
+       (fun ((chain, n), pos) ->
+         let text = Msts.Serial.schedule_to_string (Msts.Chain_algorithm.schedule chain n) in
+         let pos = pos mod String.length text in
+         let mangled =
+           String.mapi (fun i ch -> if i = pos then 'X' else ch) text
+         in
+         match Msts.Serial.schedule_of_string chain mangled with
+         | Ok _ | Error _ -> true
+         | exception e ->
+             QCheck.Test.fail_reportf "raised %s" (Printexc.to_string e)))
+
+(* the library's own output always parses back *)
+let own_output_always_parses =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"serialised platforms always re-parse"
+       (spider_arb ~max_legs:4 ~max_depth:3 ())
+       (fun spider ->
+         match
+           Msts.Platform_format.of_string
+             (Msts.Platform_format.platform_to_string
+                (Msts.Platform_format.Spider_platform spider))
+         with
+         | Ok _ -> true
+         | Error e -> QCheck.Test.fail_reportf "no parse: %s" e))
+
+let suites =
+  [
+    ( "fuzz.parsers",
+      [
+        platform_garbage;
+        platform_structured_garbage;
+        schedule_garbage;
+        schedule_structured_garbage;
+        spider_schedule_garbage;
+        mangled_plan_detected;
+        own_output_always_parses;
+      ] );
+  ]

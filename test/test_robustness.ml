@@ -1,0 +1,100 @@
+(* Tests for failure injection: degraded platforms and routing replay. *)
+
+open Helpers
+
+let degrade_shape () =
+  let spider = Msts.Spider.of_legs [ figure2_chain; Msts.Chain.of_pairs [ (1, 4) ] ] in
+  let hurt =
+    Msts.Netsim.degrade spider ~address:{ Msts.Spider.leg = 1; depth = 2 } ~work_factor:3
+  in
+  Alcotest.(check int) "same legs" 2 (Msts.Spider.legs hurt);
+  Alcotest.(check int) "slowed node" 15
+    (Msts.Spider.work hurt { Msts.Spider.leg = 1; depth = 2 });
+  Alcotest.(check int) "other node untouched" 3
+    (Msts.Spider.work hurt { Msts.Spider.leg = 1; depth = 1 });
+  Alcotest.(check int) "other leg untouched" 4
+    (Msts.Spider.work hurt { Msts.Spider.leg = 2; depth = 1 });
+  Alcotest.check_raises "factor 0"
+    (Invalid_argument "Netsim.degrade: work_factor must be >= 1") (fun () ->
+      ignore
+        (Msts.Netsim.degrade spider ~address:{ Msts.Spider.leg = 1; depth = 1 }
+           ~work_factor:0))
+
+let degrade_identity =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"work_factor 1 is the identity"
+       (spider_arb ~max_legs:3 ~max_depth:3 ())
+       (fun spider ->
+         let addr = List.hd (Msts.Spider.addresses spider) in
+         Msts.Spider.equal spider (Msts.Netsim.degrade spider ~address:addr ~work_factor:1)))
+
+let replay_on_same_platform_is_bounded_replay =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"replay_routing ~on:self equals plain replay"
+       (spider_with_n_arb ~max_legs:3 ~max_depth:2 ~max_n:8 ())
+       (fun (spider, n) ->
+         QCheck.assume (n > 0);
+         let plan = Msts.Spider_algorithm.schedule_tasks spider n in
+         let a = Msts.Netsim.replay_routing plan in
+         let b = Msts.Netsim.replay_routing ~on:spider plan in
+         a.Msts.Netsim.realized_makespan = b.Msts.Netsim.realized_makespan))
+
+let replay_on_degraded_feasible =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:80
+       ~name:"replaying on a degraded platform stays feasible there"
+       (QCheck.make
+          ~print:(fun ((spider, n), f) ->
+            Printf.sprintf "%s, n=%d, x%d" (Msts.Spider.to_string spider) n f)
+          QCheck.Gen.(
+            pair
+              (pair (spider_gen ~max_legs:3 ~max_depth:3 ()) (int_range 1 10))
+              (int_range 1 4)))
+       (fun ((spider, n), factor) ->
+         let plan = Msts.Spider_algorithm.schedule_tasks spider n in
+         let addr = List.hd (Msts.Spider.addresses spider) in
+         let hurt = Msts.Netsim.degrade spider ~address:addr ~work_factor:factor in
+         let report = Msts.Netsim.replay_routing ~on:hurt plan in
+         Msts.Spider_schedule.task_count report.Msts.Netsim.realized = n
+         && Msts.Spider_schedule.is_feasible ~require_nonnegative:true
+              report.Msts.Netsim.realized))
+
+let replay_never_beats_replanning =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:60
+       ~name:"static plan under a fault never beats replanning for the fault"
+       (QCheck.make
+          ~print:(fun ((spider, n), f) ->
+            Printf.sprintf "%s, n=%d, x%d" (Msts.Spider.to_string spider) n f)
+          QCheck.Gen.(
+            pair
+              (pair (spider_gen ~max_legs:3 ~max_depth:2 ()) (int_range 1 8))
+              (int_range 2 4)))
+       (fun ((spider, n), factor) ->
+         let plan = Msts.Spider_algorithm.schedule_tasks spider n in
+         let addr = List.hd (Msts.Spider.addresses spider) in
+         let hurt = Msts.Netsim.degrade spider ~address:addr ~work_factor:factor in
+         let static =
+           (Msts.Netsim.replay_routing ~on:hurt plan).Msts.Netsim.realized_makespan
+         in
+         static >= Msts.Spider_algorithm.min_makespan hurt n))
+
+let replay_shape_mismatch () =
+  let plan = Msts.Spider_algorithm.schedule_tasks (Msts.Spider.of_chain figure2_chain) 2 in
+  let other = Msts.Spider.of_legs [ figure2_chain; figure2_chain ] in
+  Alcotest.check_raises "shape mismatch"
+    (Invalid_argument "Netsim.replay_routing: platform shape mismatch") (fun () ->
+      ignore (Msts.Netsim.replay_routing ~on:other plan))
+
+let suites =
+  [
+    ( "sim.robustness",
+      [
+        case "degrade targets one node" degrade_shape;
+        degrade_identity;
+        replay_on_same_platform_is_bounded_replay;
+        replay_on_degraded_feasible;
+        replay_never_beats_replanning;
+        case "shape mismatch rejected" replay_shape_mismatch;
+      ] );
+  ]

@@ -1,0 +1,458 @@
+(* Tests for Msts_schedule: communication vectors (Definition 3),
+   schedules, the feasibility checker (Definition 1), intervals, Gantt,
+   SVG and serialisation. *)
+
+open Helpers
+
+module Gen = QCheck.Gen
+
+(* ---------- Comm_vector: Definition 3 ---------- *)
+
+let vec = Array.of_list
+
+let cv_first_coordinate_wins () =
+  (* first differing coordinate decides *)
+  Alcotest.(check bool) "a < b" true
+    (Msts.Comm_vector.precedes (vec [ 1; 9 ]) (vec [ 2; 0 ]));
+  Alcotest.(check bool) "b > a" false
+    (Msts.Comm_vector.precedes (vec [ 2; 0 ]) (vec [ 1; 9 ]))
+
+let cv_prefix_rule () =
+  (* equal common prefix: the LONGER vector is the smaller one *)
+  Alcotest.(check bool) "longer < shorter" true
+    (Msts.Comm_vector.precedes (vec [ 3; 4; 5 ]) (vec [ 3; 4 ]));
+  Alcotest.(check bool) "shorter > longer" false
+    (Msts.Comm_vector.precedes (vec [ 3; 4 ]) (vec [ 3; 4; 5 ]));
+  Alcotest.(check int) "equal" 0 (Msts.Comm_vector.compare (vec [ 3; 4 ]) (vec [ 3; 4 ]))
+
+let cv_later_coordinate_breaks_ties () =
+  Alcotest.(check bool) "second coordinate decides" true
+    (Msts.Comm_vector.precedes (vec [ 3; 4 ]) (vec [ 3; 5 ]))
+
+let int_vec_gen = Gen.(list_size (int_range 1 5) (int_range (-10) 10) |> map vec)
+
+let cv_arb =
+  QCheck.make ~print:Msts.Comm_vector.to_string int_vec_gen
+
+let cv_total_order_antisym =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"Def.3 compare is antisymmetric"
+       (QCheck.pair cv_arb cv_arb)
+       (fun (a, b) ->
+         Msts.Comm_vector.compare a b = -Msts.Comm_vector.compare b a))
+
+let cv_total_order_transitive =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"Def.3 compare is transitive"
+       (QCheck.triple cv_arb cv_arb cv_arb)
+       (fun (a, b, c) ->
+         let ( <= ) x y = Msts.Comm_vector.compare x y <= 0 in
+         not (a <= b && b <= c) || a <= c))
+
+let cv_compare_reflexive =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"Def.3 compare is reflexive" cv_arb
+       (fun a -> Msts.Comm_vector.compare a a = 0))
+
+let cv_max_of =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"max_of returns an upper bound from the list"
+       (QCheck.list_of_size (Gen.int_range 1 6) cv_arb)
+       (fun vs ->
+         let m = Msts.Comm_vector.max_of vs in
+         List.memq m vs
+         && List.for_all (fun v -> not (Msts.Comm_vector.precedes m v)) vs))
+
+(* model-based check of Definition 3: an independent list-shaped
+   specification written directly from the paper's two bullet points *)
+let spec_compare a b =
+  let a = Array.to_list a and b = Array.to_list b in
+  let rec common_prefix_equal xs ys =
+    match (xs, ys) with
+    | x :: xs', y :: ys' -> x = y && common_prefix_equal xs' ys'
+    | _ -> true
+  in
+  let rec first_diff xs ys =
+    match (xs, ys) with
+    | x :: xs', y :: ys' -> if x = y then first_diff xs' ys' else Some (x, y)
+    | _ -> None
+  in
+  match first_diff a b with
+  | Some (x, y) -> compare x y
+  | None ->
+      assert (common_prefix_equal a b);
+      compare (List.length b) (List.length a)
+
+let cv_matches_specification =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:1000 ~name:"Def.3 compare matches its list specification"
+       (QCheck.pair cv_arb cv_arb)
+       (fun (a, b) ->
+         let sign x = compare x 0 in
+         sign (Msts.Comm_vector.compare a b) = sign (spec_compare a b)))
+
+let cv_shift () =
+  Alcotest.(check bool) "shift" true (Msts.Comm_vector.shift 2 (vec [ 5; 7 ]) = vec [ 3; 5 ]);
+  Alcotest.(check int) "first emission" 5 (Msts.Comm_vector.first_emission (vec [ 5; 7 ]));
+  Alcotest.(check int) "target" 2 (Msts.Comm_vector.target (vec [ 5; 7 ]))
+
+let cv_is_prefix () =
+  Alcotest.(check bool) "prefix" true (Msts.Comm_vector.is_prefix (vec [ 1; 2 ]) (vec [ 1; 2; 3 ]));
+  Alcotest.(check bool) "not prefix" false
+    (Msts.Comm_vector.is_prefix (vec [ 1; 3 ]) (vec [ 1; 2; 3 ]));
+  Alcotest.(check bool) "longer not prefix" false
+    (Msts.Comm_vector.is_prefix (vec [ 1; 2; 3 ]) (vec [ 1; 2 ]))
+
+(* ---------- Intervals ---------- *)
+
+let iv start duration tag = { Msts.Intervals.start; duration; tag }
+
+let intervals_disjoint () =
+  Alcotest.(check bool) "disjoint" true
+    (Msts.Intervals.are_disjoint [ iv 0 2 1; iv 2 2 2; iv 10 1 3 ]);
+  Alcotest.(check bool) "overlap" false
+    (Msts.Intervals.are_disjoint [ iv 0 3 1; iv 2 2 2 ]);
+  Alcotest.(check bool) "zero-length never overlaps" true
+    (Msts.Intervals.are_disjoint [ iv 0 0 1; iv 0 5 2; iv 0 0 3 ])
+
+let intervals_witness_nonadjacent () =
+  (* a long interval hidden behind a short one must still be caught *)
+  match Msts.Intervals.overlap_witness [ iv 0 10 1; iv 1 2 2; iv 5 1 3 ] with
+  | Some _ -> ()
+  | None -> Alcotest.fail "missed the overlap"
+
+let intervals_utilisation () =
+  Alcotest.(check (Alcotest.float 1e-9)) "half busy" 0.5
+    (Msts.Intervals.utilisation [ iv 0 2 1; iv 4 3 2 ] ~horizon:10)
+
+(* ---------- Schedule structure ---------- *)
+
+let entry proc start comms = { Msts.Schedule.proc; start; comms = vec comms }
+
+let fig2_schedule () =
+  (* The paper's Figure 2 schedule, written out by hand. *)
+  Msts.Schedule.make figure2_chain
+    [|
+      entry 1 2 [ 0 ];
+      entry 1 5 [ 2 ];
+      entry 2 9 [ 4; 6 ];
+      entry 1 8 [ 6 ];
+      entry 1 11 [ 9 ];
+    |]
+
+let schedule_structure () =
+  let s = fig2_schedule () in
+  Alcotest.(check int) "tasks" 5 (Msts.Schedule.task_count s);
+  Alcotest.(check int) "makespan" 14 (Msts.Schedule.makespan s);
+  Alcotest.(check int) "start time" 0 (Msts.Schedule.start_time s);
+  Alcotest.(check (list int)) "P1 tasks" [ 1; 2; 4; 5 ] (Msts.Schedule.tasks_on s 1);
+  Alcotest.(check (list int)) "P2 tasks" [ 3 ] (Msts.Schedule.tasks_on s 2);
+  Alcotest.(check int) "P1 load" 12 (Msts.Schedule.load_of s 1);
+  Alcotest.(check (list int)) "emission order" [ 1; 2; 3; 4; 5 ]
+    (Msts.Schedule.emission_order s)
+
+let schedule_validation () =
+  Alcotest.check_raises "bad proc"
+    (Invalid_argument "Schedule.make: task 1 on processor 7 outside 1..2")
+    (fun () -> ignore (Msts.Schedule.make figure2_chain [| entry 7 0 [ 0 ] |]));
+  Alcotest.check_raises "bad comms"
+    (Invalid_argument "Schedule.make: task 1 has 1 communications for processor 2")
+    (fun () -> ignore (Msts.Schedule.make figure2_chain [| entry 2 0 [ 0 ] |]))
+
+let schedule_shift_normalise () =
+  let s = fig2_schedule () in
+  let shifted = Msts.Schedule.shift (-3) s in
+  Alcotest.(check int) "shifted start" 3 (Msts.Schedule.start_time shifted);
+  Alcotest.(check int) "shifted makespan" 17 (Msts.Schedule.makespan shifted);
+  Alcotest.(check bool) "normalise undoes shift" true
+    (Msts.Schedule.equal s (Msts.Schedule.normalise shifted));
+  Alcotest.(check bool) "equal modulo shift" true
+    (Msts.Schedule.equal_modulo_shift s shifted)
+
+let schedule_restrict () =
+  let s = fig2_schedule () in
+  let sub = Msts.Schedule.restrict_beyond_first s in
+  Alcotest.(check int) "one task beyond P1" 1 (Msts.Schedule.task_count sub);
+  let e = Msts.Schedule.entry sub 1 in
+  Alcotest.(check int) "on sub-chain P1" 1 e.Msts.Schedule.proc;
+  Alcotest.(check bool) "comm vector dropped first" true (e.Msts.Schedule.comms = vec [ 6 ])
+
+let schedule_intervals () =
+  let s = fig2_schedule () in
+  let link1 = Msts.Schedule.link_intervals s 1 in
+  Alcotest.(check int) "five transfers on link 1" 5 (List.length link1);
+  Alcotest.(check int) "one transfer on link 2" 1
+    (List.length (Msts.Schedule.link_intervals s 2));
+  Alcotest.(check bool) "link 1 disjoint" true (Msts.Intervals.are_disjoint link1)
+
+(* ---------- Feasibility: each property violated in isolation ---------- *)
+
+let feasible_fig2 () =
+  Alcotest.(check (list string)) "figure 2 is feasible" []
+    (List.map Msts.Feasibility.violation_to_string
+       (Msts.Feasibility.check ~require_nonnegative:true (fig2_schedule ())))
+
+let property1_detected () =
+  (* re-emitted on link 2 before received: C2 < C1 + c1 *)
+  let s = Msts.Schedule.make figure2_chain [| entry 2 20 [ 0; 1 ] |] in
+  match Msts.Feasibility.check s with
+  | [ Msts.Feasibility.Reemitted_before_received { task = 1; link = 2 } ] -> ()
+  | vs ->
+      Alcotest.failf "expected property-1 violation, got [%s]"
+        (String.concat "; " (List.map Msts.Feasibility.violation_to_string vs))
+
+let property2_detected () =
+  (* starts at 3 but only fully received at 0+2=2 on P1... use start 1 *)
+  let s = Msts.Schedule.make figure2_chain [| entry 1 1 [ 0 ] |] in
+  match Msts.Feasibility.check s with
+  | [ Msts.Feasibility.Started_before_received { task = 1 } ] -> ()
+  | vs ->
+      Alcotest.failf "expected property-2 violation, got [%s]"
+        (String.concat "; " (List.map Msts.Feasibility.violation_to_string vs))
+
+let property3_detected () =
+  (* two tasks overlap on P1 (w1 = 3) *)
+  let s =
+    Msts.Schedule.make figure2_chain [| entry 1 2 [ 0 ]; entry 1 4 [ 2 ] |]
+  in
+  match Msts.Feasibility.check s with
+  | [ Msts.Feasibility.Computation_overlap { proc = 1; _ } ] -> ()
+  | vs ->
+      Alcotest.failf "expected property-3 violation, got [%s]"
+        (String.concat "; " (List.map Msts.Feasibility.violation_to_string vs))
+
+let property4_detected () =
+  (* transfers overlap on link 1 (c1 = 2) *)
+  let s =
+    Msts.Schedule.make figure2_chain [| entry 1 3 [ 0 ]; entry 1 6 [ 1 ] |]
+  in
+  let has_comm_overlap =
+    List.exists
+      (function Msts.Feasibility.Communication_overlap { link = 1; _ } -> true | _ -> false)
+      (Msts.Feasibility.check s)
+  in
+  Alcotest.(check bool) "link overlap detected" true has_comm_overlap
+
+let negative_dates_detected () =
+  let s = Msts.Schedule.make figure2_chain [| entry 1 0 [ -2 ] |] in
+  Alcotest.(check bool) "allowed without flag" true
+    (List.for_all
+       (function Msts.Feasibility.Negative_date _ -> false | _ -> true)
+       (Msts.Feasibility.check s));
+  Alcotest.(check bool) "flagged with require_nonnegative" true
+    (List.exists
+       (function Msts.Feasibility.Negative_date { task = 1 } -> true | _ -> false)
+       (Msts.Feasibility.check ~require_nonnegative:true s))
+
+let meets_deadline () =
+  let s = fig2_schedule () in
+  Alcotest.(check bool) "meets 14" true (Msts.Feasibility.meets_deadline s ~deadline:14);
+  Alcotest.(check bool) "misses 13" false (Msts.Feasibility.meets_deadline s ~deadline:13)
+
+(* ---------- Spider schedules ---------- *)
+
+let two_leg_spider =
+  Msts.Spider.of_legs [ figure2_chain; Msts.Chain.of_pairs [ (1, 4) ] ]
+
+let sentry leg depth start comms =
+  { Msts.Spider_schedule.address = { Msts.Spider.leg; depth }; start; comms = vec comms }
+
+let spider_schedule_basics () =
+  let s =
+    Msts.Spider_schedule.make two_leg_spider
+      [| sentry 1 1 2 [ 0 ]; sentry 2 1 3 [ 2 ] |]
+  in
+  Alcotest.(check int) "tasks" 2 (Msts.Spider_schedule.task_count s);
+  Alcotest.(check int) "makespan" 7 (Msts.Spider_schedule.makespan s);
+  Alcotest.(check (list int)) "leg 1" [ 1 ] (Msts.Spider_schedule.tasks_on_leg s 1);
+  Alcotest.(check (list int)) "leg 2" [ 2 ] (Msts.Spider_schedule.tasks_on_leg s 2);
+  Alcotest.(check (list string)) "feasible" []
+    (Msts.Spider_schedule.check ~require_nonnegative:true s)
+
+let spider_master_port_conflict () =
+  (* both emissions at 0: master sends two tasks at once *)
+  let s =
+    Msts.Spider_schedule.make two_leg_spider
+      [| sentry 1 1 2 [ 0 ]; sentry 2 1 10 [ 0 ] |]
+  in
+  Alcotest.(check bool) "master port violation" true
+    (List.exists
+       (fun msg -> String.length msg >= 11 && String.sub msg 0 11 = "master port")
+       (Msts.Spider_schedule.check s))
+
+let spider_leg_violation_reported () =
+  let s = Msts.Spider_schedule.make two_leg_spider [| sentry 1 1 1 [ 0 ] |] in
+  Alcotest.(check bool) "leg 1 violation" true
+    (List.exists
+       (fun msg -> String.length msg >= 5 && String.sub msg 0 5 = "leg 1")
+       (Msts.Spider_schedule.check s))
+
+let spider_schedule_validation () =
+  Alcotest.check_raises "unknown leg"
+    (Invalid_argument "Spider_schedule.make: task 1 on leg 5") (fun () ->
+      ignore (Msts.Spider_schedule.make two_leg_spider [| sentry 5 1 0 [ 0 ] |]));
+  Alcotest.check_raises "bad depth"
+    (Invalid_argument "Spider_schedule.make: task 1 at depth 2 on leg 2")
+    (fun () ->
+      ignore (Msts.Spider_schedule.make two_leg_spider [| sentry 2 2 0 [ 0; 0 ] |]))
+
+let spider_of_chain_schedule () =
+  let s = fig2_schedule () in
+  let sp = Msts.Spider_schedule.of_chain_schedule s in
+  Alcotest.(check int) "same makespan" (Msts.Schedule.makespan s)
+    (Msts.Spider_schedule.makespan sp);
+  Alcotest.(check (list string)) "still feasible" []
+    (Msts.Spider_schedule.check ~require_nonnegative:true sp);
+  let back = Msts.Spider_schedule.leg_schedule sp 1 in
+  Alcotest.(check bool) "leg schedule round-trips" true (Msts.Schedule.equal s back)
+
+(* ---------- Gantt & SVG ---------- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let gantt_renders () =
+  let s = fig2_schedule () in
+  let chart = Msts.Gantt.render ~width:40 s in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains ~sub:needle chart))
+    [ "link 1"; "proc 1"; "link 2"; "proc 2" ]
+
+let gantt_symbols () =
+  Alcotest.(check char) "task 1" '1' (Msts.Gantt.task_symbol 1);
+  Alcotest.(check char) "task 9" '9' (Msts.Gantt.task_symbol 9);
+  Alcotest.(check char) "task 10" 'a' (Msts.Gantt.task_symbol 10);
+  Alcotest.(check char) "task 35" 'z' (Msts.Gantt.task_symbol 35);
+  Alcotest.(check char) "task 36" '#' (Msts.Gantt.task_symbol 36)
+
+let gantt_scales_down () =
+  let chain = Msts.Chain.of_pairs [ (1, 1) ] in
+  let s = Msts.Chain_algorithm.schedule chain 300 in
+  let chart = Msts.Gantt.render ~width:50 s in
+  let first_line = List.hd (String.split_on_char '\n' chart) in
+  Alcotest.(check bool) "fits width" true (String.length first_line < 80)
+
+let svg_renders () =
+  let svg = Msts.Svg.render (fig2_schedule ()) in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains ~sub:needle svg))
+    [ "<svg"; "</svg>"; "link 1"; "proc 2"; "rect" ]
+
+let spider_gantt_renders () =
+  let s =
+    Msts.Spider_schedule.make two_leg_spider
+      [| sentry 1 1 2 [ 0 ]; sentry 2 1 3 [ 2 ] |]
+  in
+  let chart = Msts.Gantt.render_spider ~width:40 s in
+  Alcotest.(check bool) "master row" true (contains ~sub:"master port" chart);
+  let svg = Msts.Svg.render_spider s in
+  Alcotest.(check bool) "svg master row" true (contains ~sub:"master port" svg)
+
+(* ---------- Serialisation ---------- *)
+
+let serial_roundtrip_chain =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"chain schedule serialisation round-trips"
+       (chain_with_n_arb ~max_p:4 ~max_n:8 ())
+       (fun (chain, n) ->
+         let s = Msts.Chain_algorithm.schedule chain n in
+         match
+           Msts.Serial.schedule_of_string chain (Msts.Serial.schedule_to_string s)
+         with
+         | Ok parsed -> Msts.Schedule.equal s parsed
+         | Error _ -> false))
+
+let serial_roundtrip_spider =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"spider schedule serialisation round-trips"
+       (spider_with_n_arb ~max_n:6 ())
+       (fun (spider, n) ->
+         let s = Msts.Spider_algorithm.schedule_tasks spider n in
+         match
+           Msts.Serial.spider_schedule_of_string spider
+             (Msts.Serial.spider_schedule_to_string s)
+         with
+         | Ok parsed ->
+             Msts.Serial.spider_schedule_to_string parsed
+             = Msts.Serial.spider_schedule_to_string s
+         | Error _ -> false))
+
+let serial_errors () =
+  let expect_error text =
+    match Msts.Serial.schedule_of_string figure2_chain text with
+    | Ok _ -> Alcotest.fail ("parsed: " ^ text)
+    | Error _ -> ()
+  in
+  expect_error "";
+  expect_error "spider-schedule\n";
+  expect_error "chain-schedule\nnope 1 2\n";
+  expect_error "chain-schedule\ntask 1 2\n";
+  (* comm count mismatch *)
+  expect_error "chain-schedule\ntask 2 5 0\n";
+  (* processor out of range -> structural error from Schedule.make *)
+  expect_error "chain-schedule\ntask 9 5 0 1 2 3 4 5 6 7 8\n"
+
+let suites =
+  [
+    ( "schedule.comm_vector",
+      [
+        case "first coordinate wins" cv_first_coordinate_wins;
+        case "prefix rule: shorter is greater" cv_prefix_rule;
+        case "later coordinates break ties" cv_later_coordinate_breaks_ties;
+        cv_total_order_antisym;
+        cv_total_order_transitive;
+        cv_compare_reflexive;
+        cv_matches_specification;
+        cv_max_of;
+        case "shift/first_emission/target" cv_shift;
+        case "is_prefix" cv_is_prefix;
+      ] );
+    ( "schedule.intervals",
+      [
+        case "disjointness" intervals_disjoint;
+        case "non-adjacent overlap caught" intervals_witness_nonadjacent;
+        case "utilisation" intervals_utilisation;
+      ] );
+    ( "schedule.structure",
+      [
+        case "figure-2 views" schedule_structure;
+        case "structural validation" schedule_validation;
+        case "shift and normalise" schedule_shift_normalise;
+        case "restrict beyond first" schedule_restrict;
+        case "resource intervals" schedule_intervals;
+      ] );
+    ( "schedule.feasibility",
+      [
+        case "figure 2 is feasible" feasible_fig2;
+        case "property 1 (store-and-forward)" property1_detected;
+        case "property 2 (receive before start)" property2_detected;
+        case "property 3 (computation overlap)" property3_detected;
+        case "property 4 (communication overlap)" property4_detected;
+        case "negative dates" negative_dates_detected;
+        case "meets_deadline" meets_deadline;
+      ] );
+    ( "schedule.spider",
+      [
+        case "basics" spider_schedule_basics;
+        case "master one-port conflict" spider_master_port_conflict;
+        case "leg violations reported" spider_leg_violation_reported;
+        case "structural validation" spider_schedule_validation;
+        case "chain schedule as one-leg spider" spider_of_chain_schedule;
+      ] );
+    ( "schedule.render",
+      [
+        case "ascii gantt" gantt_renders;
+        case "task symbols" gantt_symbols;
+        case "scaling" gantt_scales_down;
+        case "svg" svg_renders;
+        case "spider charts" spider_gantt_renders;
+      ] );
+    ( "schedule.serial",
+      [
+        serial_roundtrip_chain;
+        serial_roundtrip_spider;
+        case "parse errors" serial_errors;
+      ] );
+  ]

@@ -1,0 +1,255 @@
+(* Tests for the discrete-event substrate: engine, resources, and the
+   master-slave network simulation. *)
+
+open Helpers
+
+(* ---------- engine ---------- *)
+
+let engine_orders_events () =
+  let e = Msts.Engine.create () in
+  let log = ref [] in
+  Msts.Engine.schedule_at e 5 (fun () -> log := 5 :: !log);
+  Msts.Engine.schedule_at e 1 (fun () -> log := 1 :: !log);
+  Msts.Engine.schedule_at e 3 (fun () -> log := 3 :: !log);
+  Msts.Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 3; 5 ] (List.rev !log);
+  Alcotest.(check int) "clock at last event" 5 (Msts.Engine.now e);
+  Alcotest.(check int) "three events" 3 (Msts.Engine.events_processed e)
+
+let engine_fifo_within_time () =
+  let e = Msts.Engine.create () in
+  let log = ref [] in
+  List.iter
+    (fun tag -> Msts.Engine.schedule_at e 7 (fun () -> log := tag :: !log))
+    [ "a"; "b"; "c" ];
+  Msts.Engine.run e;
+  Alcotest.(check (list string)) "insertion order preserved" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let engine_cascading () =
+  let e = Msts.Engine.create () in
+  let log = ref [] in
+  Msts.Engine.schedule_at e 2 (fun () ->
+      log := "first" :: !log;
+      Msts.Engine.schedule_after e 3 (fun () -> log := "second" :: !log));
+  Msts.Engine.run e;
+  Alcotest.(check (list string)) "cascade" [ "first"; "second" ] (List.rev !log);
+  Alcotest.(check int) "final clock" 5 (Msts.Engine.now e)
+
+let engine_rejects_past () =
+  let e = Msts.Engine.create () in
+  Msts.Engine.schedule_at e 10 (fun () ->
+      Alcotest.check_raises "past"
+        (Invalid_argument "Engine.schedule_at: time 3 is before now (10)")
+        (fun () -> Msts.Engine.schedule_at e 3 (fun () -> ())));
+  Msts.Engine.run e
+
+let engine_stress =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:20 ~name:"engine executes thousands of events in time order"
+       QCheck.(small_int)
+       (fun seed ->
+         let rng = Msts.Prng.create seed in
+         let e = Msts.Engine.create () in
+         let fired = ref [] in
+         for _ = 1 to 2000 do
+           let t = Msts.Prng.int rng 10000 in
+           Msts.Engine.schedule_at e t (fun () -> fired := Msts.Engine.now e :: !fired)
+         done;
+         Msts.Engine.run e;
+         let times = List.rev !fired in
+         List.length times = 2000
+         && Msts.Engine.events_processed e = 2000
+         && List.for_all2 ( <= ) times (List.tl times @ [ max_int ])))
+
+let engine_step () =
+  let e = Msts.Engine.create () in
+  Alcotest.(check bool) "empty step" false (Msts.Engine.step e);
+  Msts.Engine.schedule_at e 1 (fun () -> ());
+  Alcotest.(check bool) "one step" true (Msts.Engine.step e);
+  Alcotest.(check bool) "drained" false (Msts.Engine.step e)
+
+(* ---------- resource ---------- *)
+
+let resource_fifo () =
+  let e = Msts.Engine.create () in
+  let r = Msts.Resource.create e ~name:"port" in
+  let starts = ref [] in
+  List.iter
+    (fun tag ->
+      Msts.Resource.request r ~duration:3 ~tag ~on_start:(fun t ->
+          starts := (tag, t) :: !starts))
+    [ 1; 2; 3 ];
+  Msts.Engine.run e;
+  Alcotest.(check (list (pair int int))) "sequential grants"
+    [ (1, 0); (2, 3); (3, 6) ]
+    (List.rev !starts);
+  Alcotest.(check int) "served" 3 (Msts.Resource.served r);
+  Alcotest.(check int) "idle at" 9 (Msts.Resource.idle_until r);
+  Alcotest.(check bool) "log disjoint" true
+    (Msts.Intervals.are_disjoint (Msts.Resource.busy_log r))
+
+let resource_respects_now () =
+  let e = Msts.Engine.create () in
+  let r = Msts.Resource.create e ~name:"r" in
+  let granted = ref (-1) in
+  Msts.Engine.schedule_at e 10 (fun () ->
+      Msts.Resource.request r ~duration:2 ~tag:1 ~on_start:(fun t -> granted := t));
+  Msts.Engine.run e;
+  Alcotest.(check int) "not before request time" 10 !granted
+
+let resource_rejects_negative () =
+  let e = Msts.Engine.create () in
+  let r = Msts.Resource.create e ~name:"r" in
+  Alcotest.check_raises "negative duration"
+    (Invalid_argument "Resource.request: negative duration") (fun () ->
+      Msts.Resource.request r ~duration:(-1) ~tag:0 ~on_start:(fun _ -> ()))
+
+(* ---------- netsim vs analytic ASAP ---------- *)
+
+let netsim_equals_asap_chain =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:250
+       ~name:"event-driven execution equals analytic ASAP (chains)"
+       (QCheck.make
+          ~print:(fun (chain, seq) ->
+            Printf.sprintf "%s, seq=[%s]" (Msts.Chain.to_string chain)
+              (String.concat ";" (List.map string_of_int (Array.to_list seq))))
+          QCheck.Gen.(
+            chain_gen ~max_p:5 () >>= fun chain ->
+            map
+              (fun dests -> (chain, Array.of_list dests))
+              (list_size (int_range 0 15)
+                 (int_range 1 (Msts.Chain.length chain)))))
+       (fun (chain, seq) ->
+         Msts.Schedule.equal
+           (Msts.Netsim.run_sequence_chain chain seq)
+           (Msts.Asap.chain_of_sequence chain seq)))
+
+let netsim_equals_asap_spider =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:150
+       ~name:"event-driven execution equals analytic ASAP (spiders)"
+       (QCheck.make
+          ~print:(fun (spider, _) -> Msts.Spider.to_string spider)
+          QCheck.Gen.(
+            spider_gen ~max_legs:3 ~max_depth:3 () >>= fun spider ->
+            let addresses = Array.of_list (Msts.Spider.addresses spider) in
+            map
+              (fun picks ->
+                (spider, Array.of_list (List.map (Array.get addresses) picks)))
+              (list_size (int_range 0 12)
+                 (int_range 0 (Array.length addresses - 1)))))
+       (fun (spider, seq) ->
+         let a = Msts.Netsim.run_sequence_spider spider seq in
+         let b = Msts.Asap.spider_of_sequence spider seq in
+         Msts.Serial.spider_schedule_to_string a
+         = Msts.Serial.spider_schedule_to_string b))
+
+(* ---------- plan execution ---------- *)
+
+let execute_plan_dominates =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:150
+       ~name:"executing an optimal plan never finishes anything late"
+       (chain_with_n_arb ~max_p:4 ~max_n:12 ())
+       (fun (chain, n) ->
+         let plan = Msts.Chain_algorithm.schedule chain n in
+         let report = Msts.Netsim.execute_chain_plan plan in
+         report.Msts.Netsim.realized_makespan <= report.Msts.Netsim.planned_makespan
+         && Array.for_all (fun s -> s >= 0) report.Msts.Netsim.per_task_slack))
+
+let execute_spider_plan_dominates =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:80
+       ~name:"executing an optimal spider plan never finishes anything late"
+       (spider_with_n_arb ~max_legs:3 ~max_depth:2 ~max_n:8 ())
+       (fun (spider, n) ->
+         let plan = Msts.Spider_algorithm.schedule_tasks spider n in
+         let report = Msts.Netsim.execute_plan plan in
+         report.Msts.Netsim.realized_makespan <= report.Msts.Netsim.planned_makespan))
+
+let execute_plan_realized_feasible =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"realised execution is itself feasible"
+       (chain_with_n_arb ~max_p:4 ~max_n:10 ())
+       (fun (chain, n) ->
+         let plan = Msts.Chain_algorithm.schedule chain n in
+         let report = Msts.Netsim.execute_chain_plan plan in
+         check_spider_feasible report.Msts.Netsim.realized))
+
+let execute_plan_rejects_infeasible () =
+  let bogus =
+    Msts.Spider_schedule.of_chain_schedule
+      (Msts.Schedule.make figure2_chain
+         [| { Msts.Schedule.proc = 1; start = 1; comms = [| 0 |] } |])
+  in
+  Alcotest.(check bool) "raises" true
+    (match Msts.Netsim.execute_plan bogus with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---------- pull policy ---------- *)
+
+let pull_feasible_and_complete =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"pull policy is feasible and serves all tasks"
+       (QCheck.make
+          ~print:(fun ((spider, n), b) ->
+            Printf.sprintf "%s, n=%d, b=%d" (Msts.Spider.to_string spider) n b)
+          QCheck.Gen.(
+            pair
+              (pair (spider_gen ~max_legs:3 ~max_depth:3 ()) (int_range 0 20))
+              (int_range 1 3)))
+       (fun ((spider, n), buffer) ->
+         let s = Msts.Netsim.pull_policy ~buffer spider ~tasks:n in
+         Msts.Spider_schedule.task_count s = n && check_spider_feasible s))
+
+let pull_never_beats_optimal =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"pull policy never beats the optimal makespan"
+       (spider_with_n_arb ~max_legs:3 ~max_depth:2 ~max_n:10 ())
+       (fun (spider, n) ->
+         QCheck.assume (n > 0);
+         Msts.Spider_schedule.makespan (Msts.Netsim.pull_policy spider ~tasks:n)
+         >= Msts.Spider_algorithm.min_makespan spider n))
+
+let pull_rejects_bad_args () =
+  let spider = Msts.Spider.of_chain figure2_chain in
+  Alcotest.check_raises "buffer 0"
+    (Invalid_argument "Netsim.pull_policy: buffer must be >= 1") (fun () ->
+      ignore (Msts.Netsim.pull_policy ~buffer:0 spider ~tasks:1))
+
+let suites =
+  [
+    ( "sim.engine",
+      [
+        case "time ordering" engine_orders_events;
+        case "FIFO within a timestamp" engine_fifo_within_time;
+        case "cascading events" engine_cascading;
+        case "past scheduling rejected" engine_rejects_past;
+        engine_stress;
+        case "step" engine_step;
+      ] );
+    ( "sim.resource",
+      [
+        case "FIFO grants" resource_fifo;
+        case "grants respect current time" resource_respects_now;
+        case "negative duration rejected" resource_rejects_negative;
+      ] );
+    ( "sim.netsim",
+      [
+        netsim_equals_asap_chain;
+        netsim_equals_asap_spider;
+        execute_plan_dominates;
+        execute_spider_plan_dominates;
+        execute_plan_realized_feasible;
+        case "infeasible plans rejected" execute_plan_rejects_infeasible;
+      ] );
+    ( "sim.pull",
+      [
+        pull_feasible_and_complete;
+        pull_never_beats_optimal;
+        case "bad arguments rejected" pull_rejects_bad_args;
+      ] );
+  ]

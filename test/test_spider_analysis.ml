@@ -1,0 +1,84 @@
+(* Tests for the spider usage analysis. *)
+
+open Helpers
+
+let counts_sum_to_n =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"per-leg counts sum to n"
+       (spider_with_n_arb ~max_legs:3 ~max_depth:3 ~max_n:12 ())
+       (fun (spider, n) ->
+         Msts.Intx.sum (Msts.Spider_analysis.tasks_per_leg spider n) = n))
+
+let fast_leg_activates_first () =
+  (* one cheap fast leg, one expensive slow leg *)
+  let spider =
+    Msts.Spider.of_legs
+      [ Msts.Chain.of_pairs [ (1, 2) ]; Msts.Chain.of_pairs [ (8, 9) ] ]
+  in
+  Alcotest.(check (option int)) "fast leg at n=1" (Some 1)
+    (Msts.Spider_analysis.leg_activation spider ~leg:1 ~max_n:20);
+  let slow = Msts.Spider_analysis.leg_activation spider ~leg:2 ~max_n:20 in
+  Alcotest.(check bool) "slow leg later (or never)" true
+    (match slow with None -> true | Some n -> n > 1)
+
+let activation_bad_leg () =
+  let spider = Msts.Spider.of_chain figure2_chain in
+  Alcotest.check_raises "leg out of range"
+    (Invalid_argument "Analysis.leg_activation: leg out of range") (fun () ->
+      ignore (Msts.Spider_analysis.leg_activation spider ~leg:2 ~max_n:5))
+
+let port_utilisation_bounds =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"port utilisation lies in [0,1]"
+       (spider_with_n_arb ~max_legs:3 ~max_depth:2 ~max_n:10 ())
+       (fun (spider, n) ->
+         let u = Msts.Spider_analysis.port_utilisation spider n in
+         u >= 0.0 && u <= 1.0 +. 1e-9))
+
+let port_saturates_with_cheap_legs () =
+  (* compute-heavy legs behind cheap links: the port becomes the bottleneck *)
+  let spider =
+    Msts.Spider.of_legs
+      [ Msts.Chain.of_pairs [ (3, 4) ]; Msts.Chain.of_pairs [ (3, 4) ] ]
+  in
+  Alcotest.(check bool) "port above 90% busy at n=60" true
+    (Msts.Spider_analysis.port_utilisation spider 60 > 0.90)
+
+let rate_agreement_converges () =
+  (* both legs receive a positive bandwidth-centric rate (0.2 each): the
+     compute caps bind before the port does, so the steady split is
+     unique -- a tie-free instance for the agreement check *)
+  let spider =
+    Msts.Spider.of_legs
+      [ Msts.Chain.of_pairs [ (2, 5) ]; Msts.Chain.of_pairs [ (3, 4) ] ]
+  in
+  let agreement = Msts.Spider_analysis.rate_agreement spider 300 in
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "within 15%% of the steady split (%.3f)" r)
+        true
+        (r > 0.85 && r < 1.15))
+    agreement
+
+let split_profile_shape () =
+  let spider = Msts.Spider.of_legs [ figure2_chain; Msts.Chain.of_pairs [ (1, 4) ] ] in
+  let profile = Msts.Spider_analysis.split_profile spider ~ns:[ 2; 6; 10 ] in
+  Alcotest.(check int) "rows" 3 (List.length profile);
+  List.iter
+    (fun (n, counts) -> Alcotest.(check int) "row sums" n (Msts.Intx.sum counts))
+    profile
+
+let suites =
+  [
+    ( "spider.analysis",
+      [
+        counts_sum_to_n;
+        case "fast leg activates first" fast_leg_activates_first;
+        case "bad leg rejected" activation_bad_leg;
+        port_utilisation_bounds;
+        case "cheap legs saturate the port" port_saturates_with_cheap_legs;
+        case "split converges to the steady rates" rate_agreement_converges;
+        case "split profile" split_profile_shape;
+      ] );
+  ]

@@ -1,0 +1,75 @@
+(* Tests for the spider pipeline trace. *)
+
+open Helpers
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let fig7_trace () =
+  (* the one-leg spider over the Figure-2 chain at T_lim = 14 *)
+  let spider = Msts.Spider.of_chain figure2_chain in
+  let trace = Msts.Spider_trace.run spider ~deadline:14 in
+  Alcotest.(check int) "five tasks on the leg" 5
+    (Msts.Schedule.task_count trace.Msts.Spider_trace.leg_schedules.(0));
+  Alcotest.(check int) "five virtual nodes" 5
+    (List.length trace.Msts.Spider_trace.virtual_nodes);
+  Alcotest.(check int) "five accepted" 5
+    (List.length trace.Msts.Spider_trace.accepted);
+  (* emission order is by decreasing virtual work, back-to-back *)
+  let emissions =
+    List.map (fun a -> a.Msts.Spider_trace.emission) trace.Msts.Spider_trace.accepted
+  in
+  Alcotest.(check (list int)) "back-to-back emissions" [ 0; 2; 4; 6; 8 ] emissions;
+  let works =
+    List.map (fun a -> a.Msts.Spider_trace.virtual_work) trace.Msts.Spider_trace.accepted
+  in
+  Alcotest.(check (list int)) "decreasing works" [ 12; 10; 8; 6; 3 ] works;
+  (* Lemma 3 visible in the trace: re-stamped emissions never later *)
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "never later" true
+        (a.Msts.Spider_trace.emission <= a.Msts.Spider_trace.original_emission))
+    trace.Msts.Spider_trace.accepted
+
+let trace_result_matches_algorithm =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"trace result equals the plain algorithm's"
+       (QCheck.make
+          ~print:(fun (spider, d) ->
+            Printf.sprintf "%s, d=%d" (Msts.Spider.to_string spider) d)
+          QCheck.Gen.(pair (spider_gen ~max_legs:3 ~max_depth:2 ()) (int_range 0 40)))
+       (fun (spider, deadline) ->
+         let trace = Msts.Spider_trace.run spider ~deadline in
+         Msts.Serial.spider_schedule_to_string trace.Msts.Spider_trace.result
+         = Msts.Serial.spider_schedule_to_string
+             (Msts.Spider_algorithm.schedule spider ~deadline)))
+
+let trace_renders () =
+  let spider =
+    Msts.Spider.of_legs [ figure2_chain; Msts.Chain.of_pairs [ (1, 4) ] ]
+  in
+  let text = Msts.Spider_trace.render (Msts.Spider_trace.run spider ~deadline:14) in
+  List.iter
+    (fun needle -> Alcotest.(check bool) needle true (contains ~sub:needle text))
+    [
+      "Step 1";
+      "Steps 2-3";
+      "Step 4";
+      "Step 5";
+      "leg 1";
+      "leg 2";
+      "Lemma 3";
+      "T_lim = 14";
+    ]
+
+let suites =
+  [
+    ( "spider.trace",
+      [
+        case "figure-7 pipeline" fig7_trace;
+        trace_result_matches_algorithm;
+        case "narrative rendering" trace_renders;
+      ] );
+  ]

@@ -1,0 +1,362 @@
+(* Tests for the tree extension: flat view, tree ASAP, tree schedules and
+   their checker, heuristics, spider-cover pipeline, FIFO search and the
+   bandwidth-centric steady state. *)
+
+open Helpers
+
+let leaf ~latency ~work = Msts.Tree.node ~latency ~work ()
+
+(* master -> n1(c=1,w=2) -> { n2(c=2,w=3), n3(c=1,w=4) -> n4(c=3,w=1) },
+   master -> n5(c=5,w=6) ; preorder ids 1..5 *)
+let sample_tree =
+  Msts.Tree.make
+    [
+      Msts.Tree.node ~latency:1 ~work:2
+        ~children:
+          [
+            leaf ~latency:2 ~work:3;
+            Msts.Tree.node ~latency:1 ~work:4
+              ~children:[ leaf ~latency:3 ~work:1 ] ();
+          ]
+        ();
+      leaf ~latency:5 ~work:6;
+    ]
+
+let tree_gen ?(max_nodes = 8) ?(max_val = 8) () =
+  QCheck.Gen.(
+    pair small_int (int_range 1 max_nodes) |> map (fun (seed, nodes) ->
+        Msts.Generator.tree (Msts.Prng.create seed)
+          {
+            Msts.Generator.latency_min = 1;
+            latency_max = max_val;
+            work_min = 1;
+            work_max = max_val;
+          }
+          ~nodes ~max_children:3))
+
+let tree_arb ?max_nodes ?max_val () =
+  QCheck.make ~print:Msts.Tree.to_string (tree_gen ?max_nodes ?max_val ())
+
+let tree_with_n_arb ?max_nodes ?(max_n = 8) () =
+  QCheck.make
+    ~print:(fun (tree, n) -> Printf.sprintf "%s, n=%d" (Msts.Tree.to_string tree) n)
+    QCheck.Gen.(pair (tree_gen ?max_nodes ()) (int_range 0 max_n))
+
+(* ---------- Flat ---------- *)
+
+let flat_preorder () =
+  let flat = Msts.Tree_flat.of_tree sample_tree in
+  Alcotest.(check int) "count" 5 (Msts.Tree_flat.node_count flat);
+  let info i = Msts.Tree_flat.info flat i in
+  Alcotest.(check int) "n1 parent" 0 (info 1).Msts.Tree_flat.parent;
+  Alcotest.(check int) "n2 parent" 1 (info 2).Msts.Tree_flat.parent;
+  Alcotest.(check int) "n3 parent" 1 (info 3).Msts.Tree_flat.parent;
+  Alcotest.(check int) "n4 parent" 3 (info 4).Msts.Tree_flat.parent;
+  Alcotest.(check int) "n5 parent" 0 (info 5).Msts.Tree_flat.parent;
+  Alcotest.(check (list int)) "path to n4" [ 1; 3; 4 ] (info 4).Msts.Tree_flat.path;
+  Alcotest.(check int) "n4 depth" 3 (info 4).Msts.Tree_flat.depth;
+  Alcotest.(check (list int)) "master children" [ 1; 5 ]
+    (Msts.Tree_flat.children flat 0);
+  Alcotest.(check int) "path latency n4" (1 + 1 + 3)
+    (Msts.Tree_flat.path_latency flat 4)
+
+let flat_counts_match =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"flat view has one entry per tree node"
+       (tree_arb ~max_nodes:15 ())
+       (fun tree ->
+         Msts.Tree_flat.node_count (Msts.Tree_flat.of_tree tree)
+         = Msts.Tree.processor_count tree))
+
+(* ---------- tree ASAP + checker ---------- *)
+
+let tree_asap_feasible =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"tree ASAP sequences are feasible"
+       (QCheck.make
+          ~print:(fun (tree, _) -> Msts.Tree.to_string tree)
+          QCheck.Gen.(
+            tree_gen () >>= fun tree ->
+            let count = Msts.Tree.processor_count tree in
+            map
+              (fun dests -> (tree, Array.of_list dests))
+              (list_size (int_range 0 10) (int_range 1 count))))
+       (fun (tree, seq) ->
+         let flat = Msts.Tree_flat.of_tree tree in
+         let s = Msts.Tree_asap.of_sequence flat seq in
+         match Msts.Tree_schedule.check ~require_nonnegative:true s with
+         | [] -> true
+         | problems ->
+             QCheck.Test.fail_reportf "infeasible: %s" (String.concat "; " problems)))
+
+let tree_asap_chain_consistency =
+  (* a path-shaped tree must time exactly like the chain ASAP *)
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"tree ASAP degenerates to chain ASAP on paths"
+       (QCheck.make
+          ~print:(fun (chain, _) -> Msts.Chain.to_string chain)
+          QCheck.Gen.(
+            chain_gen ~max_p:4 () >>= fun chain ->
+            map
+              (fun dests -> (chain, Array.of_list dests))
+              (list_size (int_range 0 10) (int_range 1 (Msts.Chain.length chain)))))
+       (fun (chain, seq) ->
+         let rec to_nodes = function
+           | [] -> []
+           | (c, w) :: rest ->
+               [ Msts.Tree.node ~latency:c ~work:w ~children:(to_nodes rest) () ]
+         in
+         let tree = Msts.Tree.make (to_nodes (Msts.Chain.to_pairs chain)) in
+         let flat = Msts.Tree_flat.of_tree tree in
+         Msts.Tree_asap.makespan flat seq = Msts.Asap.chain_makespan chain seq))
+
+let tree_checker_catches_port_conflict () =
+  let flat = Msts.Tree_flat.of_tree sample_tree in
+  (* two tasks emitted by the master at the same instant *)
+  let s =
+    Msts.Tree_schedule.make flat
+      [|
+        { Msts.Tree_schedule.node = 1; start = 1; comms = [| 0 |] };
+        { Msts.Tree_schedule.node = 5; start = 5; comms = [| 0 |] };
+      |]
+  in
+  Alcotest.(check bool) "conflict detected" true
+    (List.exists
+       (fun msg ->
+         String.length msg >= 6 && String.sub msg 0 6 = "node 0")
+       (Msts.Tree_schedule.check s))
+
+let tree_checker_catches_relay_violation () =
+  let flat = Msts.Tree_flat.of_tree sample_tree in
+  (* node 1 forwards to node 2 before receiving (c=1 on hop 1) *)
+  let s =
+    Msts.Tree_schedule.make flat
+      [| { Msts.Tree_schedule.node = 2; start = 10; comms = [| 0; 0 |] } |]
+  in
+  Alcotest.(check bool) "relay violation detected" true
+    (Msts.Tree_schedule.check s <> [])
+
+let tree_checker_catches_compute_overlap () =
+  let flat = Msts.Tree_flat.of_tree sample_tree in
+  let s =
+    Msts.Tree_schedule.make flat
+      [|
+        { Msts.Tree_schedule.node = 1; start = 1; comms = [| 0 |] };
+        { Msts.Tree_schedule.node = 1; start = 2; comms = [| 1 |] };
+      |]
+  in
+  Alcotest.(check bool) "overlap detected" true
+    (List.exists
+       (fun msg ->
+         String.length msg >= 5 && String.sub msg 0 5 = "tasks")
+       (Msts.Tree_schedule.check s))
+
+let tree_schedule_structure () =
+  let flat = Msts.Tree_flat.of_tree sample_tree in
+  let s = Msts.Tree_asap.of_sequence flat [| 1; 2; 1 |] in
+  Alcotest.(check int) "three tasks" 3 (Msts.Tree_schedule.task_count s);
+  Alcotest.(check (list int)) "node 1 runs 1 and 3" [ 1; 3 ]
+    (Msts.Tree_schedule.tasks_on s 1);
+  Alcotest.check_raises "bad node"
+    (Invalid_argument "Tree_schedule.make: task 1 on node 9") (fun () ->
+      ignore
+        (Msts.Tree_schedule.make flat
+           [| { Msts.Tree_schedule.node = 9; start = 0; comms = [| 0 |] } |]))
+
+(* ---------- heuristics ---------- *)
+
+let tree_heuristics_feasible =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:150 ~name:"tree heuristics are feasible and complete"
+       (tree_with_n_arb ~max_nodes:8 ~max_n:10 ())
+       (fun (tree, n) ->
+         List.for_all
+           (fun policy ->
+             let s = Msts.Tree_heuristics.schedule policy tree n in
+             Msts.Tree_schedule.task_count s = n
+             && Msts.Tree_schedule.is_feasible ~require_nonnegative:true s)
+           Msts.Tree_heuristics.all_policies))
+
+(* ---------- spider cover ---------- *)
+
+let cover_feasible_on_tree =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:150
+       ~name:"spider-cover schedules are feasible on the original tree"
+       (tree_with_n_arb ~max_nodes:10 ~max_n:10 ())
+       (fun (tree, n) ->
+         List.for_all
+           (fun policy ->
+             let s = Msts.Tree_heuristics.spider_cover policy tree n in
+             Msts.Tree_schedule.task_count s = n
+             && Msts.Tree_schedule.is_feasible ~require_nonnegative:true s)
+           [ Msts.Tree.Fastest_processor; Msts.Tree.Cheapest_link; Msts.Tree.Best_rate ]))
+
+let cover_matches_platform_extraction =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"cover legs equal Msts_platform.Tree.extract_spider"
+       (tree_arb ~max_nodes:10 ())
+       (fun tree ->
+         (* the cover re-derives the extraction with a node-id mapping; both
+            routes must therefore produce the same optimal makespan *)
+         List.for_all
+           (fun policy ->
+             Msts.Spider_algorithm.min_makespan (Msts.Tree.extract_spider policy tree) 6
+             = Msts.Tree_heuristics.spider_cover_makespan policy tree 6)
+           [ Msts.Tree.Fastest_processor; Msts.Tree.Cheapest_link; Msts.Tree.Best_rate ]))
+
+let cover_beats_or_matches_root_only =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"best cover never loses to root-only"
+       (tree_with_n_arb ~max_nodes:8 ~max_n:10 ())
+       (fun (tree, n) ->
+         QCheck.assume (n > 0);
+         let _, best = Msts.Tree_heuristics.best_cover tree n in
+         best
+         <= Msts.Tree_heuristics.makespan Msts.Tree_heuristics.Tree_root_only tree n))
+
+(* ---------- search & bounds ---------- *)
+
+let search_below_heuristics =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"FIFO search lower-bounds every heuristic"
+       (tree_with_n_arb ~max_nodes:4 ~max_n:5 ())
+       (fun (tree, n) ->
+         let best = Msts.Tree_search.best_fifo_makespan tree n in
+         List.for_all
+           (fun policy -> best <= Msts.Tree_heuristics.makespan policy tree n)
+           Msts.Tree_heuristics.all_policies
+         && List.for_all
+              (fun policy ->
+                best <= Msts.Tree_heuristics.spider_cover_makespan policy tree n)
+              [ Msts.Tree.Fastest_processor; Msts.Tree.Cheapest_link ]))
+
+let search_witness_attains =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"FIFO search witness attains its makespan"
+       (tree_with_n_arb ~max_nodes:4 ~max_n:5 ())
+       (fun (tree, n) ->
+         let s = Msts.Tree_search.best_fifo_schedule tree n in
+         Msts.Tree_schedule.is_feasible ~require_nonnegative:true s
+         && Msts.Tree_schedule.makespan s = Msts.Tree_search.best_fifo_makespan tree n))
+
+let lower_bound_valid =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"tree lower bound is below the FIFO optimum"
+       (tree_with_n_arb ~max_nodes:4 ~max_n:5 ())
+       (fun (tree, n) ->
+         Msts.Tree_search.lower_bound tree n
+         <= Msts.Tree_search.best_fifo_makespan tree n))
+
+let search_on_path_equals_chain =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"FIFO search on a path equals the chain optimum"
+       (chain_with_n_arb ~max_p:3 ~max_n:5 ())
+       (fun (chain, n) ->
+         let rec to_nodes = function
+           | [] -> []
+           | (c, w) :: rest ->
+               [ Msts.Tree.node ~latency:c ~work:w ~children:(to_nodes rest) () ]
+         in
+         let tree = Msts.Tree.make (to_nodes (Msts.Chain.to_pairs chain)) in
+         Msts.Tree_search.best_fifo_makespan tree n
+         = Msts.Chain_algorithm.makespan chain n))
+
+(* ---------- steady state ---------- *)
+
+let steady_path_equals_chain =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"tree steady state on a path equals the chain's"
+       (chain_arb ~max_p:5 ())
+       (fun chain ->
+         let rec to_nodes = function
+           | [] -> []
+           | (c, w) :: rest ->
+               [ Msts.Tree.node ~latency:c ~work:w ~children:(to_nodes rest) () ]
+         in
+         let tree = Msts.Tree.make (to_nodes (Msts.Chain.to_pairs chain)) in
+         abs_float
+           (Msts.Tree_steady.throughput tree -. Msts.Steady_state.chain_throughput chain)
+         < 1e-9))
+
+let steady_spider_equals_spider =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"tree steady state on a spider shape equals the spider's"
+       (spider_arb ~max_legs:3 ~max_depth:3 ())
+       (fun spider ->
+         let leg_to_nodes chain =
+           let rec to_nodes = function
+             | [] -> []
+             | (c, w) :: rest ->
+                 [ Msts.Tree.node ~latency:c ~work:w ~children:(to_nodes rest) () ]
+           in
+           List.hd (to_nodes (Msts.Chain.to_pairs chain))
+         in
+         let tree =
+           Msts.Tree.make
+             (List.init (Msts.Spider.legs spider) (fun idx ->
+                  leg_to_nodes (Msts.Spider.leg_chain spider (idx + 1))))
+         in
+         abs_float
+           (Msts.Tree_steady.throughput tree
+           -. Msts.Steady_state.spider_throughput spider)
+         < 1e-9))
+
+let steady_bounded_by_master_port =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"tree throughput respects the master's port"
+       (tree_arb ~max_nodes:12 ())
+       (fun tree ->
+         let flat = Msts.Tree_flat.of_tree tree in
+         let min_c =
+           List.fold_left
+             (fun acc id -> min acc (Msts.Tree_flat.info flat id).Msts.Tree_flat.latency)
+             max_int
+             (Msts.Tree_flat.children flat 0)
+         in
+         Msts.Tree_steady.throughput tree <= (1.0 /. float_of_int min_c) +. 1e-9))
+
+let steady_subtree_rates_positive () =
+  let rates = Msts.Tree_steady.subtree_rates sample_tree in
+  Alcotest.(check int) "one rate per node" 5 (List.length rates);
+  List.iter
+    (fun (_, r) -> Alcotest.(check bool) "positive" true (r > 0.0))
+    rates
+
+let suites =
+  [
+    ( "tree.flat",
+      [ case "preorder and paths" flat_preorder; flat_counts_match ] );
+    ( "tree.schedule",
+      [
+        tree_asap_feasible;
+        tree_asap_chain_consistency;
+        case "port conflict detected" tree_checker_catches_port_conflict;
+        case "relay violation detected" tree_checker_catches_relay_violation;
+        case "compute overlap detected" tree_checker_catches_compute_overlap;
+        case "structure and validation" tree_schedule_structure;
+      ] );
+    ("tree.heuristics", [ tree_heuristics_feasible ]);
+    ( "tree.cover",
+      [
+        cover_feasible_on_tree;
+        cover_matches_platform_extraction;
+        cover_beats_or_matches_root_only;
+      ] );
+    ( "tree.search",
+      [
+        search_below_heuristics;
+        search_witness_attains;
+        lower_bound_valid;
+        search_on_path_equals_chain;
+      ] );
+    ( "tree.steady",
+      [
+        steady_path_equals_chain;
+        steady_spider_equals_spider;
+        steady_bounded_by_master_port;
+        case "subtree rates" steady_subtree_rates_positive;
+      ] );
+  ]

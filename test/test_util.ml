@@ -1,0 +1,307 @@
+(* Unit and property tests for Msts_util: PRNG, heap, stats, intx, table. *)
+
+open Helpers
+
+(* ---------- Prng ---------- *)
+
+let prng_deterministic () =
+  let a = Msts.Prng.create 123 and b = Msts.Prng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Msts.Prng.bits64 a) (Msts.Prng.bits64 b)
+  done
+
+let prng_seed_sensitivity () =
+  let a = Msts.Prng.create 1 and b = Msts.Prng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Msts.Prng.bits64 a <> Msts.Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let prng_copy_independent () =
+  let a = Msts.Prng.create 9 in
+  let b = Msts.Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Msts.Prng.bits64 a)
+    (Msts.Prng.bits64 b);
+  let _ = Msts.Prng.bits64 a in
+  let after_a = Msts.Prng.bits64 a in
+  let after_b = Msts.Prng.bits64 b in
+  Alcotest.(check bool) "advancing one does not touch the other" true
+    (after_a <> after_b || after_a = after_b (* streams now out of sync *))
+
+let prng_split_decorrelates () =
+  let a = Msts.Prng.create 5 in
+  let b = Msts.Prng.split a in
+  let equal_count = ref 0 in
+  for _ = 1 to 50 do
+    if Msts.Prng.bits64 a = Msts.Prng.bits64 b then incr equal_count
+  done;
+  Alcotest.(check int) "split streams do not coincide" 0 !equal_count
+
+let prng_int_bounds =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"Prng.int stays in [0, bound)"
+       QCheck.(pair (int_range 1 1000) small_int)
+       (fun (bound, seed) ->
+         let rng = Msts.Prng.create seed in
+         let v = Msts.Prng.int rng bound in
+         v >= 0 && v < bound))
+
+let prng_int_in_bounds =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"Prng.int_in stays in [lo, hi]"
+       QCheck.(triple (int_range (-50) 50) (int_range 0 100) small_int)
+       (fun (lo, span, seed) ->
+         let hi = lo + span in
+         let rng = Msts.Prng.create seed in
+         let v = Msts.Prng.int_in rng lo hi in
+         v >= lo && v <= hi))
+
+let prng_int_rejects_nonpositive () =
+  let rng = Msts.Prng.create 0 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Msts.Prng.int rng 0))
+
+let prng_permutation_is_permutation =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"Prng.permutation is a permutation"
+       QCheck.(pair (int_range 0 50) small_int)
+       (fun (n, seed) ->
+         let rng = Msts.Prng.create seed in
+         let perm = Msts.Prng.permutation rng n in
+         let sorted = Array.copy perm in
+         Array.sort compare sorted;
+         sorted = Array.init n (fun i -> i)))
+
+let prng_shuffle_preserves_elements =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"Prng.shuffle preserves the multiset"
+       QCheck.(pair (list small_int) small_int)
+       (fun (xs, seed) ->
+         let rng = Msts.Prng.create seed in
+         let a = Array.of_list xs in
+         Msts.Prng.shuffle rng a;
+         List.sort compare (Array.to_list a) = List.sort compare xs))
+
+let prng_float_bounds () =
+  let rng = Msts.Prng.create 77 in
+  for _ = 1 to 1000 do
+    let v = Msts.Prng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let prng_choice_uniformish () =
+  let rng = Msts.Prng.create 3 in
+  let counts = Array.make 4 0 in
+  for _ = 1 to 4000 do
+    let v = Msts.Prng.choice rng [| 0; 1; 2; 3 |] in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "roughly uniform" true (c > 800 && c < 1200))
+    counts
+
+(* ---------- Heap ---------- *)
+
+let heap_sorts =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"Heap.drain returns sorted order"
+       QCheck.(list int)
+       (fun xs ->
+         let h = Msts.Heap.create ~cmp:Int.compare in
+         List.iter (Msts.Heap.push h) xs;
+         Msts.Heap.drain h = List.sort Int.compare xs))
+
+let heap_of_array_sorts =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"Heap.of_array heapifies correctly"
+       QCheck.(array int)
+       (fun xs ->
+         let h = Msts.Heap.of_array ~cmp:Int.compare xs in
+         Msts.Heap.drain h = List.sort Int.compare (Array.to_list xs)))
+
+let heap_peek_pop () =
+  let h = Msts.Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Msts.Heap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Msts.Heap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Msts.Heap.pop h);
+  Msts.Heap.push h 5;
+  Msts.Heap.push h 2;
+  Msts.Heap.push h 9;
+  Alcotest.(check (option int)) "peek min" (Some 2) (Msts.Heap.peek h);
+  Alcotest.(check int) "length" 3 (Msts.Heap.length h);
+  Alcotest.(check int) "pop_exn" 2 (Msts.Heap.pop_exn h);
+  Alcotest.(check int) "length after pop" 2 (Msts.Heap.length h)
+
+let heap_pop_exn_empty () =
+  let h = Msts.Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "pop_exn empty" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Msts.Heap.pop_exn h))
+
+let heap_custom_order () =
+  let h = Msts.Heap.create ~cmp:(fun a b -> Int.compare b a) in
+  List.iter (Msts.Heap.push h) [ 3; 1; 4; 1; 5 ];
+  Alcotest.(check (list int)) "max-heap drain" [ 5; 4; 3; 1; 1 ] (Msts.Heap.drain h)
+
+(* ---------- Stats ---------- *)
+
+let feq = Alcotest.float 1e-9
+
+let stats_mean () =
+  Alcotest.check feq "mean" 2.5 (Msts.Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  Alcotest.check feq "empty mean" 0.0 (Msts.Stats.mean [||])
+
+let stats_median () =
+  Alcotest.check feq "odd" 3.0 (Msts.Stats.median [| 5.0; 1.0; 3.0 |]);
+  Alcotest.check feq "even" 2.5 (Msts.Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  Alcotest.check feq "empty" 0.0 (Msts.Stats.median [||])
+
+let stats_stddev () =
+  Alcotest.check feq "constant" 0.0 (Msts.Stats.stddev [| 2.0; 2.0; 2.0 |]);
+  Alcotest.check (Alcotest.float 1e-6) "known" 2.0
+    (Msts.Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |])
+
+let stats_percentile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  Alcotest.check feq "p0" 1.0 (Msts.Stats.percentile xs 0.0);
+  Alcotest.check feq "p50" 3.0 (Msts.Stats.percentile xs 50.0);
+  Alcotest.check feq "p100" 5.0 (Msts.Stats.percentile xs 100.0);
+  Alcotest.check feq "p25" 2.0 (Msts.Stats.percentile xs 25.0)
+
+let stats_min_max () =
+  let lo, hi = Msts.Stats.min_max [| 3.0; -1.0; 7.0 |] in
+  Alcotest.check feq "min" (-1.0) lo;
+  Alcotest.check feq "max" 7.0 hi
+
+let stats_geometric_mean () =
+  Alcotest.check feq "geo" 2.0 (Msts.Stats.geometric_mean [| 1.0; 2.0; 4.0 |])
+
+(* ---------- Intx ---------- *)
+
+let intx_ceil_div () =
+  Alcotest.(check int) "exact" 3 (Msts.Intx.ceil_div 9 3);
+  Alcotest.(check int) "round up" 4 (Msts.Intx.ceil_div 10 3);
+  Alcotest.(check int) "zero" 0 (Msts.Intx.ceil_div 0 5)
+
+let intx_clamp () =
+  Alcotest.(check int) "below" 2 (Msts.Intx.clamp ~lo:2 ~hi:5 1);
+  Alcotest.(check int) "above" 5 (Msts.Intx.clamp ~lo:2 ~hi:5 9);
+  Alcotest.(check int) "inside" 3 (Msts.Intx.clamp ~lo:2 ~hi:5 3)
+
+let intx_range () =
+  Alcotest.(check (list int)) "basic" [ 2; 3; 4 ] (Msts.Intx.range 2 4);
+  Alcotest.(check (list int)) "singleton" [ 7 ] (Msts.Intx.range 7 7);
+  Alcotest.(check (list int)) "empty" [] (Msts.Intx.range 3 2)
+
+let intx_argmin_minmax () =
+  Alcotest.(check int) "argmin" 1 (Msts.Intx.argmin [| 4; 1; 3; 1 |]);
+  Alcotest.(check int) "min" 1 (Msts.Intx.min_array [| 4; 1; 3 |]);
+  Alcotest.(check int) "max" 4 (Msts.Intx.max_array [| 4; 1; 3 |]);
+  Alcotest.(check int) "sum" 8 (Msts.Intx.sum [| 4; 1; 3 |])
+
+let intx_binary_search =
+  Helpers.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"binary_search_least finds the threshold"
+       QCheck.(pair (int_range 0 100) (int_range 0 120))
+       (fun (threshold, hi) ->
+         let p x = x >= threshold in
+         match Msts.Intx.binary_search_least ~lo:0 ~hi p with
+         | Some x -> x = threshold && threshold <= hi
+         | None -> threshold > hi))
+
+let intx_binary_search_empty () =
+  Alcotest.(check (option int)) "lo > hi" None
+    (Msts.Intx.binary_search_least ~lo:5 ~hi:3 (fun _ -> true))
+
+(* ---------- Table ---------- *)
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let index_of ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec at i =
+    if i + m > n then -1 else if String.sub s i m = sub then i else at (i + 1)
+  in
+  at 0
+
+let table_render () =
+  let t = Msts.Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Msts.Table.add_row t [ "1"; "hello" ];
+  Msts.Table.add_int_row t [ 22; 333 ];
+  let rendered = Msts.Table.render t in
+  Alcotest.(check bool) "contains title" true (contains ~sub:"demo" rendered)
+
+let table_arity () =
+  let t = Msts.Table.create ~title:"x" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Msts.Table.add_row t [ "only-one" ])
+
+let table_csv () =
+  let t = Msts.Table.create ~title:"t" ~columns:[ "name"; "value" ] in
+  Msts.Table.add_row t [ "plain"; "1" ];
+  Msts.Table.add_row t [ "with,comma"; "quote\"inside" ];
+  let csv = Msts.Table.to_csv t in
+  Alcotest.(check string) "csv"
+    "name,value\nplain,1\n\"with,comma\",\"quote\"\"inside\"" csv
+
+let table_rows_in_order () =
+  let t = Msts.Table.create ~title:"t" ~columns:[ "i" ] in
+  List.iter (fun i -> Msts.Table.add_int_row t [ i ]) [ 1; 2; 3 ];
+  let rendered = Msts.Table.render t in
+  let pos s = index_of ~sub:s rendered in
+  Alcotest.(check bool) "ordered" true
+    (pos "| 1" < pos "| 2" && pos "| 2" < pos "| 3")
+
+let suites =
+  [
+    ( "util.prng",
+      [
+        case "deterministic from seed" prng_deterministic;
+        case "different seeds differ" prng_seed_sensitivity;
+        case "copy is independent" prng_copy_independent;
+        case "split decorrelates" prng_split_decorrelates;
+        prng_int_bounds;
+        prng_int_in_bounds;
+        case "int rejects non-positive bound" prng_int_rejects_nonpositive;
+        prng_permutation_is_permutation;
+        prng_shuffle_preserves_elements;
+        case "float stays in range" prng_float_bounds;
+        case "choice is roughly uniform" prng_choice_uniformish;
+      ] );
+    ( "util.heap",
+      [
+        heap_sorts;
+        heap_of_array_sorts;
+        case "peek/pop basics" heap_peek_pop;
+        case "pop_exn on empty raises" heap_pop_exn_empty;
+        case "custom comparison" heap_custom_order;
+      ] );
+    ( "util.stats",
+      [
+        case "mean" stats_mean;
+        case "median" stats_median;
+        case "stddev" stats_stddev;
+        case "percentile" stats_percentile;
+        case "min_max" stats_min_max;
+        case "geometric mean" stats_geometric_mean;
+      ] );
+    ( "util.intx",
+      [
+        case "ceil_div" intx_ceil_div;
+        case "clamp" intx_clamp;
+        case "range" intx_range;
+        case "argmin/min/max/sum" intx_argmin_minmax;
+        intx_binary_search;
+        case "binary search on empty range" intx_binary_search_empty;
+      ] );
+    ( "util.table",
+      [
+        case "render contains title" table_render;
+        case "arity mismatch raises" table_arity;
+        case "csv escaping" table_csv;
+        case "rows keep insertion order" table_rows_in_order;
+      ] );
+  ]
