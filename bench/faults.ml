@@ -1,0 +1,134 @@
+(* Mid-run fault injection: blind static replay vs online replanning vs the
+   demand-driven pull master, under identical seeded fault traces.  Unlike
+   bench/experiments.ml's `robustness` (which degrades the platform before
+   the run), faults here strike while tasks are in flight. *)
+
+let seeded seed = Msts.Prng.create seed
+
+let figure2_spider () =
+  Msts.Spider.make
+    [|
+      Msts.Chain.of_pairs [ (2, 3); (3, 5) ];
+      Msts.Chain.of_pairs [ (1, 4); (2, 6); (1, 3) ];
+    |]
+
+let mid_run () =
+  let rng = seeded 20030408 in
+  let trials = 20 in
+  let n = 20 in
+  let table =
+    Msts.Table.create
+      ~title:
+        (Printf.sprintf
+           "mid-run faults (mean makespan ratios, %d random spiders, n=%d, \
+            identical traces per row)"
+           trials n)
+      ~columns:
+        [
+          "events";
+          "static / replan";
+          "pull / replan";
+          "replan / planned";
+          "replans adopted";
+        ]
+  in
+  List.iter
+    (fun events ->
+      let static = Array.make trials 0.0
+      and pull = Array.make trials 0.0
+      and stretch = Array.make trials 0.0 in
+      let adopted = ref 0 in
+      for t = 0 to trials - 1 do
+        let spider =
+          Msts.Generator.spider rng Msts.Generator.default_profile ~legs:3
+            ~max_depth:3
+        in
+        let plan = Msts.Spider_algorithm.schedule_tasks spider n in
+        let planned = Msts.Spider_schedule.makespan plan in
+        let trace = Msts.Fault.random rng spider ~events ~horizon:planned in
+        let blind = Msts.Netsim.replay_under_faults ~trace plan in
+        let smart = Msts.Replan.replay ~trace plan in
+        let demand = Msts.Netsim.pull_under_faults ~trace spider ~tasks:n in
+        let sm = smart.Msts.Replan.report.Msts.Netsim.observed_makespan in
+        (* the replanner's defining guarantee *)
+        assert (sm <= blind.Msts.Netsim.observed_makespan);
+        adopted := !adopted + smart.Msts.Replan.replans;
+        static.(t) <-
+          float_of_int blind.Msts.Netsim.observed_makespan /. float_of_int sm;
+        pull.(t) <-
+          float_of_int demand.Msts.Netsim.observed_makespan /. float_of_int sm;
+        stretch.(t) <- float_of_int sm /. float_of_int planned
+      done;
+      Msts.Table.add_row table
+        [
+          string_of_int events;
+          Printf.sprintf "%.3f" (Msts.Stats.mean static);
+          Printf.sprintf "%.3f" (Msts.Stats.mean pull);
+          Printf.sprintf "%.3f" (Msts.Stats.mean stretch);
+          Printf.sprintf "%d/%d" !adopted trials;
+        ])
+    [ 1; 2; 4; 8 ];
+  Msts.Table.print table;
+  print_endline
+    "  (every trial checks replan <= static; heavier traces widen the gap"
+  ;
+  print_endline
+    "   because each crash strands more of the blindly-followed plan)"
+
+(* Deterministic fast path for CI: a handful of fixed scenarios, each with
+   the invariants asserted. *)
+let smoke () =
+  let spider = figure2_spider () in
+  let n = 8 in
+  let plan = Msts.Spider_algorithm.schedule_tasks spider n in
+  (* 1. empty trace reproduces the fault-free executors exactly *)
+  let base = Msts.Netsim.replay_routing plan in
+  let quiet = Msts.Netsim.replay_under_faults plan in
+  assert (
+    quiet.Msts.Netsim.observed_makespan = base.Msts.Netsim.realized_makespan);
+  let p0 = Msts.Netsim.pull_policy spider ~tasks:n in
+  let pq = Msts.Netsim.pull_under_faults spider ~tasks:n in
+  assert (Msts.Spider_schedule.makespan p0 = pq.Msts.Netsim.observed_makespan);
+  Printf.printf "no-fault parity: replay %d, pull %d\n"
+    quiet.Msts.Netsim.observed_makespan pq.Msts.Netsim.observed_makespan;
+  (* 2. a scripted trace with all four event kinds *)
+  let trace =
+    match
+      Msts.Fault.parse
+        "3 slow-proc 2 2 3\n5 drop 1 2 2\n7 slow-link 2 1 2\n9 crash 2 2\n"
+    with
+    | Ok t -> t
+    | Error msg -> failwith msg
+  in
+  let blind = Msts.Netsim.replay_under_faults ~trace plan in
+  let smart = Msts.Replan.replay ~trace plan in
+  let demand = Msts.Netsim.pull_under_faults ~trace spider ~tasks:n in
+  Printf.printf "scripted trace: static %d, replan %d (%d adopted), pull %d\n"
+    blind.Msts.Netsim.observed_makespan
+    smart.Msts.Replan.report.Msts.Netsim.observed_makespan
+    smart.Msts.Replan.replans demand.Msts.Netsim.observed_makespan;
+  assert (
+    smart.Msts.Replan.report.Msts.Netsim.observed_makespan
+    <= blind.Msts.Netsim.observed_makespan);
+  Array.iter (fun c -> assert (c > 0)) blind.Msts.Netsim.completions;
+  Array.iter (fun c -> assert (c > 0)) demand.Msts.Netsim.completions;
+  (* 3. seeded random traces keep the guarantee *)
+  let rng = seeded 42 in
+  for _ = 1 to 10 do
+    let trace =
+      Msts.Fault.random rng spider ~events:4
+        ~horizon:(Msts.Spider_schedule.makespan plan)
+    in
+    let blind = Msts.Netsim.replay_under_faults ~trace plan in
+    let smart = Msts.Replan.replay ~trace plan in
+    assert (
+      smart.Msts.Replan.report.Msts.Netsim.observed_makespan
+      <= blind.Msts.Netsim.observed_makespan)
+  done;
+  print_endline "seeded traces: replan <= static held on all 10"
+
+let all : (string * string * (unit -> unit)) list =
+  [
+    ("faults", "mid-run fault injection: static vs replan vs pull", mid_run);
+    ("faults-smoke", "fast deterministic fault-injection checks (CI)", smoke);
+  ]

@@ -8,7 +8,7 @@
    ablations, then the Bechamel timing benches backing the complexity
    claims. *)
 
-let registry = Experiments.all @ Ablations.all @ Timing.all
+let registry = Experiments.all @ Ablations.all @ Faults.all @ Timing.all
 
 let run_one (name, description, fn) =
   Printf.printf "\n==================== %s ====================\n" name;

@@ -407,6 +407,101 @@ let metrics_cmd =
   let doc = "Waiting, buffering and utilisation report for the optimal schedule." in
   Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ platform_arg $ tasks_arg)
 
+(* ---------- faults ---------- *)
+
+let faults_cmd =
+  let trace_arg =
+    let doc =
+      "Fault trace file: one `<time> <kind> <leg> <depth> [<value>]` per \
+       line, kinds slow-proc, slow-link, drop, crash.  Omit to generate a \
+       seeded random trace instead."
+    in
+    Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed for the generated trace (ignored with --trace)." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let events_arg =
+    let doc = "Number of events in the generated trace (ignored with --trace)." in
+    Arg.(value & opt int 4 & info [ "events" ] ~docv:"E" ~doc)
+  in
+  let gantt_arg =
+    let doc = "Also print the realised routing of the replanned run." in
+    Arg.(value & flag & info [ "gantt" ] ~doc)
+  in
+  let run path n trace_file seed events gantt width =
+    let spider = as_spider (read_platform path) in
+    let plan = Msts.Spider_algorithm.schedule_tasks spider n in
+    let planned = Msts.Spider_schedule.makespan plan in
+    let trace =
+      match trace_file with
+      | Some file -> (
+          match Msts.Fault.load file with
+          | Ok trace -> trace
+          | Error msg ->
+              Printf.eprintf "error: cannot load trace %s: %s\n" file msg;
+              exit 2)
+      | None ->
+          if events < 0 then (
+            Printf.eprintf "error: --events must be >= 0\n";
+            exit 2);
+          Msts.Fault.random (Msts.Prng.create seed) spider ~events
+            ~horizon:planned
+    in
+    (match Msts.Fault.validate spider trace with
+    | [] -> ()
+    | problems ->
+        Printf.eprintf "error: trace does not fit the platform:\n";
+        List.iter (fun p -> Printf.eprintf "  %s\n" p) problems;
+        exit 2);
+    Printf.printf "fault trace:\n%s" (Msts.Fault.to_string trace);
+    let static, replanned, pull =
+      try
+        ( Msts.Netsim.replay_under_faults ~trace plan,
+          Msts.Replan.replay ~trace plan,
+          Msts.Netsim.pull_under_faults ~trace spider ~tasks:n )
+      with Invalid_argument msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    in
+    let table =
+      Msts.Table.create
+        ~title:(Printf.sprintf "execution under faults, n=%d" n)
+        ~columns:[ "policy"; "makespan"; "aborted"; "re-issued"; "retries" ]
+    in
+    Msts.Table.add_row table
+      [ "planned (no faults)"; string_of_int planned; "-"; "-"; "-" ];
+    let row name (r : Msts.Netsim.fault_report) =
+      Msts.Table.add_row table
+        [
+          name;
+          string_of_int r.observed_makespan;
+          string_of_int r.aborted_ops;
+          string_of_int r.returned_tasks;
+          string_of_int r.transfer_retries;
+        ]
+    in
+    row "static replay (blind)" static;
+    row
+      (Printf.sprintf "replan on fault (%d/%d adopted)" replanned.Msts.Replan.replans
+         replanned.Msts.Replan.considered)
+      replanned.Msts.Replan.report;
+    row "demand-driven pull" pull;
+    Msts.Table.print table;
+    if gantt then
+      print_string
+        (Msts.Gantt.render_spider ~width replanned.Msts.Replan.report.observed)
+  in
+  let doc =
+    "Inject mid-run faults (slowdowns, transfer drops, crashes) and compare \
+     blind static replay, online replanning and the demand-driven baseline."
+  in
+  Cmd.v (Cmd.info "faults" ~doc)
+    Term.(
+      const run $ platform_arg $ tasks_arg $ trace_arg $ seed_arg $ events_arg
+      $ gantt_arg $ width_arg)
+
 (* ---------- dot ---------- *)
 
 let dot_cmd =
@@ -427,6 +522,7 @@ let main_cmd =
       bounds_cmd;
       throughput_cmd;
       pull_cmd;
+      faults_cmd;
       metrics_cmd;
       tree_cmd;
       dot_cmd;

@@ -77,6 +77,8 @@ module Steady_state = Msts_baseline.Steady_state
 module Engine = Msts_sim.Engine
 module Resource = Msts_sim.Resource
 module Netsim = Msts_sim.Netsim
+module Fault = Msts_sim.Fault
+module Replan = Msts_sim.Replan
 
 (* Utilities *)
 module Prng = Msts_util.Prng

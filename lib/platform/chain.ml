@@ -53,6 +53,15 @@ let prefix t k =
 
 let to_pairs t = List.init (length t) (fun i -> (t.c.(i), t.w.(i)))
 
+let scale ?(latency_factor = 1) ?(work_factor = 1) t ~at =
+  check_index t at "scale";
+  if latency_factor < 1 then invalid_arg "Chain.scale: latency_factor must be >= 1";
+  if work_factor < 1 then invalid_arg "Chain.scale: work_factor must be >= 1";
+  let c = Array.copy t.c and w = Array.copy t.w in
+  c.(at - 1) <- c.(at - 1) * latency_factor;
+  w.(at - 1) <- w.(at - 1) * work_factor;
+  make ~c ~w
+
 let equal a b = a.c = b.c && a.w = b.w
 
 let pp ppf t =

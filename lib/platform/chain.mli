@@ -47,6 +47,12 @@ val prefix : t -> int -> t
 val to_pairs : t -> (int * int) list
 (** Inverse of [of_pairs]. *)
 
+val scale : ?latency_factor:int -> ?work_factor:int -> t -> at:int -> t
+(** A copy in which processor [at]'s link latency and/or work time are
+    multiplied by the given factors (both default 1).  The degradation
+    primitive behind the fault model.  @raise Invalid_argument if [at] is
+    out of range or a factor is [< 1]. *)
+
 val equal : t -> t -> bool
 
 val pp : Format.formatter -> t -> unit

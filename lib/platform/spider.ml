@@ -29,6 +29,40 @@ let latency t { leg; depth } = Chain.latency (leg_chain t leg) depth
 
 let work t { leg; depth } = Chain.work (leg_chain t leg) depth
 
+let scale ?latency_factor ?work_factor t { leg; depth } =
+  let chain = leg_chain t leg in
+  make
+    (Array.mapi
+       (fun lidx c ->
+         if lidx + 1 = leg then Chain.scale ?latency_factor ?work_factor chain ~at:depth
+         else c)
+       t.legs_)
+
+let restrict t ~depths =
+  if Array.length depths <> legs t then
+    invalid_arg "Spider.restrict: one prefix length per leg required";
+  Array.iteri
+    (fun lidx d ->
+      let len = Chain.length t.legs_.(lidx) in
+      if d < 0 || d > len then
+        invalid_arg
+          (Printf.sprintf "Spider.restrict: leg %d prefix %d outside 0..%d"
+             (lidx + 1) d len))
+    depths;
+  let kept =
+    List.filter_map
+      (fun lidx ->
+        if depths.(lidx) = 0 then None
+        else Some (Chain.prefix t.legs_.(lidx) depths.(lidx), lidx + 1))
+      (List.init (legs t) Fun.id)
+  in
+  match kept with
+  | [] -> None
+  | _ ->
+      Some
+        ( make (Array.of_list (List.map fst kept)),
+          Array.of_list (List.map snd kept) )
+
 let of_chain chain = make [| chain |]
 
 let of_fork fork = make (Fork.as_chains fork)

@@ -32,6 +32,21 @@ val latency : t -> address -> int
 
 val work : t -> address -> int
 
+val scale : ?latency_factor:int -> ?work_factor:int -> t -> address -> t
+(** A copy in which one processor's link latency and/or work time are
+    multiplied by the given factors (both default 1).
+    @raise Invalid_argument on a bad address or a factor [< 1]. *)
+
+val restrict : t -> depths:int array -> (t * int array) option
+(** Residual-platform surgery: [restrict t ~depths] keeps the first
+    [depths.(l-1)] processors of each leg [l] (0 drops the leg entirely —
+    under store-and-forward, a crash at depth [d] makes everything at depth
+    [>= d] unreachable).  Returns [None] when no processor survives;
+    otherwise the surviving spider plus the map from its leg indices
+    (position [i] holds the original leg of residual leg [i+1]).
+    @raise Invalid_argument if [depths] has the wrong length or an entry is
+    outside [0..leg length]. *)
+
 val of_chain : Chain.t -> t
 (** A chain is the spider with a single leg. *)
 

@@ -129,6 +129,28 @@ let is_feasible ?require_nonnegative t = check ?require_nonnegative t = []
 let meets_deadline t ~deadline =
   is_feasible ~require_nonnegative:true t && makespan t <= deadline
 
+let shift t ~delta =
+  let move (e : entry) =
+    if e.start + delta < 0 || Array.exists (fun c -> c + delta < 0) e.comms then
+      invalid_arg "Spider_schedule.shift: negative date after shift";
+    { e with start = e.start + delta; comms = Array.map (( + ) delta) e.comms }
+  in
+  { t with entries = Array.map move t.entries }
+
+let filter_tasks t ~keep =
+  let entries =
+    Array.of_list
+      (List.filter_map
+         (fun idx -> if keep (idx + 1) then Some t.entries.(idx) else None)
+         (List.init (task_count t) Fun.id))
+  in
+  { t with entries }
+
+let concat a b =
+  if not (Msts_platform.Spider.equal a.spider b.spider) then
+    invalid_arg "Spider_schedule.concat: schedules are on different spiders";
+  { a with entries = Array.append a.entries b.entries }
+
 let of_chain_schedule sched =
   let spider = Spider.of_chain (Schedule.chain sched) in
   let entries =

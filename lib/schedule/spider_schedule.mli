@@ -55,6 +55,22 @@ val meets_deadline : t -> deadline:int -> bool
 val of_chain_schedule : Schedule.t -> t
 (** View a chain schedule as a one-leg spider schedule. *)
 
+val shift : t -> delta:int -> t
+(** All dates (starts and emissions) moved by [delta] — re-anchors a plan
+    computed from time 0 at an absolute date, e.g. when splicing a
+    replanned suffix into a running execution.
+    @raise Invalid_argument if any date would become negative. *)
+
+val filter_tasks : t -> keep:(int -> bool) -> t
+(** Sub-schedule of the tasks whose (1-based) index satisfies [keep];
+    survivors are renumbered consecutively, entry order preserved. *)
+
+val concat : t -> t -> t
+(** Entries of both schedules, first then second, renumbered — the splice
+    of two partial schedules.  Purely structural: feasibility of the result
+    is the caller's claim to check.
+    @raise Invalid_argument if the spiders differ. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_string : t -> string

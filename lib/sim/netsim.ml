@@ -180,7 +180,7 @@ let same_shape a b =
        (List.init (Spider.legs a) (fun i -> i + 1))
 
 let replay_routing ?(buffer = max_int) ?on plan =
-  if buffer < 1 then invalid_arg "Netsim.execute_plan_bounded: buffer must be >= 1";
+  if buffer < 1 then invalid_arg "Netsim.replay_routing: buffer must be >= 1";
   let spider =
     match on with
     | None -> Spider_schedule.spider plan
@@ -254,21 +254,540 @@ let replay_routing ?(buffer = max_int) ?on plan =
     per_task_slack = slack;
   }
 
-let execute_plan_bounded ~buffer plan = replay_routing ~buffer plan
+let execute_plan_bounded ~buffer plan =
+  if buffer < 1 then invalid_arg "Netsim.execute_plan_bounded: buffer must be >= 1";
+  replay_routing ~buffer plan
 
-let degrade spider ~address ~work_factor =
+let degrade ?(latency_factor = 1) spider ~address ~work_factor =
   if work_factor < 1 then invalid_arg "Netsim.degrade: work_factor must be >= 1";
-  let { Spider.leg; depth } = address in
-  Spider.make
-    (Array.init (Spider.legs spider) (fun lidx ->
-         let chain = Spider.leg_chain spider (lidx + 1) in
-         if lidx + 1 <> leg then chain
-         else
-           Chain.of_pairs
-             (List.mapi
-                (fun didx (c, w) ->
-                  if didx + 1 = depth then (c, w * work_factor) else (c, w))
-                (Chain.to_pairs chain))))
+  if latency_factor < 1 then invalid_arg "Netsim.degrade: latency_factor must be >= 1";
+  Spider.scale ~latency_factor ~work_factor spider address
+
+(* ---------- mid-run fault injection ---------- *)
+
+type fault_report = {
+  observed : Spider_schedule.t;
+  observed_makespan : int;
+  completions : int array;
+  aborted_ops : int;
+  returned_tasks : int;
+  transfer_retries : int;
+}
+
+(* The bounded/eager executors above reserve every resource up front, which
+   only works because durations never change mid-run.  Under faults an
+   in-flight operation can be stretched (slowdown) or aborted (drop, crash),
+   so this executor keeps explicit FIFO queues and grants one operation at a
+   time; timings coincide with the reservation-based executors when the
+   trace is empty (the test suite checks this). *)
+module Faulty = struct
+  type tstate =
+    | At_master
+    | Emitting (* master-port transfer (hop 1) in flight *)
+    | At_node of int
+    | In_transit of int (* link transfer into node [k] in flight *)
+    | Executing of int
+    | Finished of int
+
+  type task = {
+    id : int;
+    mutable dest : Spider.address;
+    mutable st : tstate;
+    mutable gen : int; (* bumped whenever the task's course changes; stale
+                          queue entries and retry events check it *)
+    mutable comms_rev : int list; (* realised hop starts, deepest first *)
+    mutable exec_start : int;
+    mutable finish : int;
+    mutable earliest : int; (* retry backoff for re-emission *)
+  }
+
+  type op = {
+    owner : task;
+    o_gen : int;
+    duration : unit -> int; (* evaluated at grant time, so accumulated
+                               slowdown factors apply *)
+    started : int -> unit;
+    finished : unit -> unit;
+  }
+
+  (* A unit-capacity FIFO resource whose in-flight grant can be stretched or
+     aborted.  [started] runs synchronously at grant; the completion event
+     is guarded by an epoch counter so stretches and aborts invalidate it. *)
+  type fres = {
+    fengine : Engine.t;
+    mutable busy : op option;
+    mutable cur_end : int;
+    mutable epoch : int;
+    waiting : op Queue.t;
+  }
+
+  let fres_create fengine =
+    { fengine; busy = None; cur_end = 0; epoch = 0; waiting = Queue.create () }
+
+  let rec fres_arm r =
+    let ep = r.epoch in
+    Engine.schedule_at r.fengine r.cur_end (fun () ->
+        if r.epoch = ep then
+          match r.busy with
+          | None -> ()
+          | Some op ->
+              r.busy <- None;
+              r.epoch <- r.epoch + 1;
+              op.finished ();
+              fres_pump r)
+
+  and fres_pump r =
+    match r.busy with
+    | Some _ -> ()
+    | None -> (
+        match Queue.take_opt r.waiting with
+        | None -> ()
+        | Some op ->
+            if op.o_gen <> op.owner.gen then fres_pump r (* stale entry *)
+            else begin
+              let now = Engine.now r.fengine in
+              r.busy <- Some op;
+              r.epoch <- r.epoch + 1;
+              r.cur_end <- now + op.duration ();
+              op.started now;
+              fres_arm r
+            end)
+
+  let fres_request r op =
+    Queue.push op r.waiting;
+    fres_pump r
+
+  let fres_stretch r ~factor =
+    match r.busy with
+    | None -> ()
+    | Some _ ->
+        let now = Engine.now r.fengine in
+        r.cur_end <- now + ((r.cur_end - now) * factor);
+        r.epoch <- r.epoch + 1;
+        fres_arm r
+
+  (* Abort without pumping: the resource may just have died, in which case
+     its queue must not restart (entries go stale in the task sweep). *)
+  let fres_abort r =
+    match r.busy with
+    | None -> None
+    | Some op ->
+        r.busy <- None;
+        r.epoch <- r.epoch + 1;
+        Some op.owner
+
+  type mode = Plan of Spider.address array | Pull of int
+
+  let run spider mode trace decide =
+    (match Fault.validate spider trace with
+    | [] -> ()
+    | problems ->
+        invalid_arg ("Netsim: bad fault trace: " ^ String.concat "; " problems));
+    let trace = Fault.normalize trace in
+    let engine = Engine.create () in
+    let state = Fault.init spider in
+    let legs = Spider.legs spider in
+    let port = fres_create engine in
+    let bank () =
+      Array.init legs (fun lidx ->
+          Array.init
+            (Chain.length (Spider.leg_chain spider (lidx + 1)))
+            (fun _ -> fres_create engine))
+    in
+    let links = bank () and procs = bank () in
+    let n = match mode with Plan dests -> Array.length dests | Pull n -> n in
+    let tasks =
+      Array.init n (fun idx ->
+          {
+            id = idx + 1;
+            dest =
+              (match mode with
+              | Plan dests -> dests.(idx)
+              | Pull _ -> { Spider.leg = 1; depth = 1 });
+            st = At_master;
+            gen = 0;
+            comms_rev = [];
+            exec_start = 0;
+            finish = 0;
+            earliest = 0;
+          })
+    in
+    let aborted = ref 0 and returned = ref 0 and retries = ref 0 in
+    let emitting = ref false in
+    (* plan mode: the master's emission queue (ids, in order); pull mode:
+       returned tasks awaiting a fresh processor request *)
+    let pending =
+      ref (match mode with Plan _ -> List.init n (fun i -> i + 1) | Pull _ -> [])
+    in
+    let requests = Queue.create () in
+    let minted = ref 0 in
+    let task id = tasks.(id - 1) in
+    let leg_chain l = Spider.leg_chain spider l in
+    let rec proceed t =
+      match t.st with
+      | At_node k ->
+          let { Spider.leg; depth } = t.dest in
+          if k = depth then
+            fres_request procs.(leg - 1).(k - 1)
+              {
+                owner = t;
+                o_gen = t.gen;
+                duration =
+                  (fun () ->
+                    Chain.work (leg_chain leg) k
+                    * Fault.proc_factor state { Spider.leg; depth = k });
+                started =
+                  (fun s ->
+                    t.st <- Executing k;
+                    t.exec_start <- s);
+                finished =
+                  (fun () ->
+                    t.st <- Finished k;
+                    t.finish <- Engine.now engine;
+                    task_finished t k);
+              }
+          else
+            let next = k + 1 in
+            fres_request links.(leg - 1).(next - 1)
+              {
+                owner = t;
+                o_gen = t.gen;
+                duration =
+                  (fun () ->
+                    Chain.latency (leg_chain leg) next
+                    * Fault.link_factor state { Spider.leg; depth = next });
+                started =
+                  (fun s ->
+                    t.st <- In_transit next;
+                    t.comms_rev <- s :: t.comms_rev);
+                finished =
+                  (fun () ->
+                    t.st <- At_node next;
+                    proceed t);
+              }
+      | _ -> ()
+    and task_finished t k =
+      match mode with
+      | Plan _ -> ()
+      | Pull _ ->
+          (* the processor asks for more work as soon as it finishes *)
+          Queue.push { Spider.leg = t.dest.Spider.leg; depth = k } requests;
+          try_emit ()
+    and emit t =
+      emitting := true;
+      fres_request port
+        {
+          owner = t;
+          o_gen = t.gen;
+          duration =
+            (fun () ->
+              Chain.latency (leg_chain t.dest.Spider.leg) 1
+              * Fault.link_factor state { Spider.leg = t.dest.Spider.leg; depth = 1 });
+          started =
+            (fun s ->
+              t.st <- Emitting;
+              t.comms_rev <- [ s ]);
+          finished =
+            (fun () ->
+              emitting := false;
+              t.st <- At_node 1;
+              proceed t;
+              try_emit ());
+        }
+    and try_emit () =
+      if not !emitting then begin
+        let now = Engine.now engine in
+        (* first task in queue order whose retry backoff has expired *)
+        let rec pick acc = function
+          | [] -> None
+          | id :: rest when (task id).earliest <= now ->
+              pending := List.rev_append acc rest;
+              Some (task id)
+          | id :: rest -> pick (id :: acc) rest
+        in
+        let wake ids =
+          let tmin =
+            List.fold_left (fun m id -> min m (task id).earliest) max_int ids
+          in
+          if tmin > now && tmin < max_int then
+            Engine.schedule_at engine tmin try_emit
+        in
+        match mode with
+        | Plan _ -> (
+            match pick [] !pending with
+            | Some t -> emit t
+            | None -> ( match !pending with [] -> () | ids -> wake ids))
+        | Pull budget -> (
+            (* oldest request from a processor that still exists *)
+            let rec head () =
+              match Queue.peek_opt requests with
+              | None -> None
+              | Some addr ->
+                  if Fault.is_alive state addr then Some addr
+                  else begin
+                    ignore (Queue.pop requests);
+                    head ()
+                  end
+            in
+            match head () with
+            | None -> ()
+            | Some addr -> (
+                match pick [] !pending with
+                | Some t ->
+                    ignore (Queue.pop requests);
+                    t.dest <- addr;
+                    emit t
+                | None ->
+                    if !minted < budget then begin
+                      ignore (Queue.pop requests);
+                      incr minted;
+                      let t = tasks.(!minted - 1) in
+                      t.dest <- addr;
+                      emit t
+                    end
+                    else ( match !pending with [] -> () | ids -> wake ids)))
+      end
+    in
+    (* blind static rule when a destination dies: deepest survivor on the
+       same leg, else depth 1 of the first surviving leg *)
+    let master_fallback t =
+      let leg = t.dest.Spider.leg in
+      let a = Fault.alive_depth state ~leg in
+      if a >= 1 then t.dest <- { Spider.leg; depth = min t.dest.Spider.depth a }
+      else begin
+        let rec find l =
+          if l > legs then
+            invalid_arg
+              "Netsim: fault trace leaves no processor alive while tasks remain"
+          else if Fault.alive_depth state ~leg:l >= 1 then l
+          else find (l + 1)
+        in
+        t.dest <- { Spider.leg = find 1; depth = 1 }
+      end
+    in
+    let return_to_master t =
+      t.gen <- t.gen + 1;
+      t.st <- At_master;
+      t.comms_rev <- [];
+      incr returned;
+      pending := !pending @ [ t.id ];
+      match mode with Plan _ -> master_fallback t | Pull _ -> ()
+    in
+    let clamp t survive =
+      if t.dest.Spider.depth > survive then
+        t.dest <- { t.dest with Spider.depth = survive }
+    in
+    let sweep_task ~leg ~survive t =
+      match t.st with
+      | Finished _ -> ()
+      | At_master -> (
+          match mode with
+          | Plan _ ->
+              if t.dest.Spider.leg = leg && t.dest.Spider.depth > survive then
+                master_fallback t
+          | Pull _ -> () (* destinations are assigned at emission *))
+      | Emitting ->
+          if t.dest.Spider.leg = leg then
+            if survive = 0 then return_to_master t else clamp t survive
+      | In_transit k ->
+          if t.dest.Spider.leg = leg then
+            if k > survive then begin
+              (* the transfer into [k] was aborted in the resource sweep *)
+              let p = k - 1 in
+              if p = 0 || p > survive then return_to_master t
+              else begin
+                t.st <- At_node p;
+                t.comms_rev <- List.tl t.comms_rev;
+                clamp t survive;
+                t.gen <- t.gen + 1;
+                proceed t
+              end
+            end
+            else clamp t survive
+      | At_node k ->
+          if t.dest.Spider.leg = leg then
+            if k > survive then return_to_master t
+            else if t.dest.Spider.depth > survive then begin
+              clamp t survive;
+              if t.dest.Spider.depth = k then begin
+                (* was queued on a now-dead link; execute here instead *)
+                t.gen <- t.gen + 1;
+                proceed t
+              end
+            end
+      | Executing k ->
+          if t.dest.Spider.leg = leg && k > survive then return_to_master t
+    in
+    let crash_sweep ~leg ~survive ~old_alive =
+      for k = survive + 1 to old_alive do
+        (match fres_abort links.(leg - 1).(k - 1) with
+        | Some _ -> incr aborted
+        | None -> ());
+        match fres_abort procs.(leg - 1).(k - 1) with
+        | Some _ -> incr aborted
+        | None -> ()
+      done;
+      (if survive = 0 then
+         match port.busy with
+         | Some op when op.owner.dest.Spider.leg = leg ->
+             ignore (fres_abort port);
+             incr aborted;
+             emitting := false
+         | _ -> ());
+      Array.iter (sweep_task ~leg ~survive) tasks
+    in
+    let build_snapshot index at =
+      let completed = ref [] and in_flight = ref [] in
+      Array.iter
+        (fun t ->
+          match t.st with
+          | Finished _ -> completed := t.id :: !completed
+          | At_master -> ()
+          | Emitting | At_node _ | In_transit _ | Executing _ ->
+              in_flight := (t.id, t.dest) :: !in_flight)
+        tasks;
+      {
+        Fault.time = at;
+        state = Fault.copy state;
+        completed = List.rev !completed;
+        in_flight = List.rev !in_flight;
+        at_master = List.map (fun id -> (id, (task id).dest)) !pending;
+        remaining = List.filteri (fun i _ -> i > index) trace;
+      }
+    in
+    let apply_redirect lst =
+      let ids = List.map fst lst in
+      if List.sort compare ids <> List.sort compare !pending then
+        invalid_arg
+          "Netsim.replay_under_faults: Redirect must cover exactly the \
+           master-resident tasks";
+      List.iter
+        (fun (id, addr) ->
+          if not (Fault.is_alive state addr) then
+            invalid_arg "Netsim.replay_under_faults: Redirect to a dead processor";
+          (task id).dest <- addr)
+        lst;
+      pending := ids
+    in
+    let handle_fault index at event =
+      (match event with
+      | Fault.Slow_proc { address = { Spider.leg; depth }; factor } ->
+          Fault.apply state event;
+          if depth <= Fault.alive_depth state ~leg then
+            fres_stretch procs.(leg - 1).(depth - 1) ~factor
+      | Fault.Slow_link { address = { Spider.leg; depth }; factor } ->
+          Fault.apply state event;
+          if depth = 1 then (
+            (* the master port is busy for hop 1 of whichever leg it feeds *)
+            match port.busy with
+            | Some op when op.owner.dest.Spider.leg = leg ->
+                fres_stretch port ~factor
+            | _ -> ())
+          else if depth <= Fault.alive_depth state ~leg then
+            fres_stretch links.(leg - 1).(depth - 1) ~factor
+      | Fault.Drop_transfer { address = { Spider.leg; depth }; penalty } ->
+          if depth = 1 then (
+            match port.busy with
+            | Some op when op.owner.dest.Spider.leg = leg -> (
+                match fres_abort port with
+                | None -> ()
+                | Some t ->
+                    incr aborted;
+                    incr retries;
+                    emitting := false;
+                    t.gen <- t.gen + 1;
+                    t.st <- At_master;
+                    t.comms_rev <- [];
+                    t.earliest <- at + penalty;
+                    pending := !pending @ [ t.id ];
+                    (* pull mode: the requesting processor is still idle and
+                       waiting — its request goes back in the queue *)
+                    (match mode with
+                    | Plan _ -> ()
+                    | Pull _ -> Queue.push t.dest requests))
+            | _ -> ())
+          else (
+            match fres_abort links.(leg - 1).(depth - 1) with
+            | None -> ()
+            | Some t ->
+                incr aborted;
+                incr retries;
+                t.gen <- t.gen + 1;
+                t.st <- At_node (depth - 1);
+                t.comms_rev <- List.tl t.comms_rev;
+                let g = t.gen in
+                Engine.schedule_at engine (at + penalty) (fun () ->
+                    if t.gen = g then proceed t);
+                (* the link itself recovers at once: let queued users in *)
+                fres_pump links.(leg - 1).(depth - 1))
+      | Fault.Crash_proc { Spider.leg; depth = _ } ->
+          let old_alive = Fault.alive_depth state ~leg in
+          Fault.apply state event;
+          let survive = Fault.alive_depth state ~leg in
+          if survive < old_alive then crash_sweep ~leg ~survive ~old_alive);
+      (match mode with
+      | Pull _ -> ()
+      | Plan _ -> (
+          match decide (build_snapshot index at) with
+          | Fault.Keep -> ()
+          | Fault.Redirect lst -> apply_redirect lst));
+      try_emit ()
+    in
+    (* Fault events are scheduled first, so at equal timestamps they fire
+       before any completion: faults take effect at the start of their
+       instant. *)
+    List.iteri
+      (fun index { Fault.at; event } ->
+        Engine.schedule_at engine at (fun () -> handle_fault index at event))
+      trace;
+    (match mode with
+    | Plan _ -> ()
+    | Pull _ ->
+        List.iter (fun addr -> Queue.push addr requests) (Spider.addresses spider));
+    try_emit ();
+    Engine.run engine;
+    Array.iter
+      (fun t ->
+        match t.st with
+        | Finished _ -> ()
+        | _ ->
+            invalid_arg
+              "Netsim: unserved tasks remain after the run (did the trace kill \
+               every processor?)")
+      tasks;
+    let entries =
+      Array.map
+        (fun t ->
+          {
+            Spider_schedule.address = t.dest;
+            start = t.exec_start;
+            comms = Array.of_list (List.rev t.comms_rev);
+          })
+        tasks
+    in
+    {
+      observed = Spider_schedule.make spider entries;
+      observed_makespan = Array.fold_left (fun acc t -> max acc t.finish) 0 tasks;
+      completions = Array.map (fun t -> t.finish) tasks;
+      aborted_ops = !aborted;
+      returned_tasks = !returned;
+      transfer_retries = !retries;
+    }
+end
+
+let replay_under_faults ?(trace = []) ?(decide = fun (_ : Fault.snapshot) -> Fault.Keep)
+    plan =
+  let spider = Spider_schedule.spider plan in
+  let dests =
+    Array.map
+      (fun (e : Spider_schedule.entry) -> e.address)
+      (Spider_schedule.entries plan)
+  in
+  Faulty.run spider (Faulty.Plan dests) trace decide
+
+let pull_under_faults ?(trace = []) spider ~tasks =
+  if tasks < 0 then invalid_arg "Netsim.pull_under_faults: negative task count";
+  Faulty.run spider (Faulty.Pull tasks) trace (fun _ -> Fault.Keep)
 
 let pull_policy ?(buffer = 1) spider ~tasks =
   if buffer < 1 then invalid_arg "Netsim.pull_policy: buffer must be >= 1";

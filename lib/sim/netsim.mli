@@ -73,8 +73,57 @@ val execute_plan_bounded :
 (** [replay_routing ~buffer] on the plan's own platform. *)
 
 val degrade :
-  Msts_platform.Spider.t -> address:Msts_platform.Spider.address ->
-  work_factor:int -> Msts_platform.Spider.t
+  ?latency_factor:int -> Msts_platform.Spider.t ->
+  address:Msts_platform.Spider.address -> work_factor:int ->
+  Msts_platform.Spider.t
 (** A copy of the spider in which one processor's work time is multiplied
-    by [work_factor] — the standard fault model for the robustness
-    experiments.  @raise Invalid_argument if [work_factor < 1]. *)
+    by [work_factor] and its incoming link's latency by [latency_factor]
+    (default 1, i.e. the link is untouched) — the standard fault model for
+    the robustness experiments.  @raise Invalid_argument if either factor
+    is [< 1]. *)
+
+(** {2 Mid-run faults}
+
+    The executors above fix the platform before the run.  The two below
+    accept a {!Fault.trace} of scripted mid-run events — slowdowns that
+    stretch operations already in flight, transient transfer drops with
+    retry after a backoff, and permanent crashes that cut off a leg's
+    suffix (store-and-forward: nothing below a dead node is reachable).
+    Tasks stranded at or in transit into dead nodes return to the master,
+    which re-issues them from its own copy of the input data; completed
+    results survive.  With an empty trace both reproduce their fault-free
+    counterparts ({!replay_routing}, {!pull_policy} with [buffer = 1])
+    exactly. *)
+
+type fault_report = {
+  observed : Msts_schedule.Spider_schedule.t;
+      (** realised routing and {e grant} dates; durations are nominal, so
+          under slowdowns this is the decision log, not the timing truth *)
+  observed_makespan : int;  (** realised completion of the last task *)
+  completions : int array;  (** realised completion time, per task *)
+  aborted_ops : int;  (** operations cut short by drops and crashes *)
+  returned_tasks : int;  (** tasks the master had to re-issue *)
+  transfer_retries : int;  (** transfers re-attempted after a drop *)
+}
+
+val replay_under_faults :
+  ?trace:Fault.trace ->
+  ?decide:(Fault.snapshot -> Fault.decision) ->
+  Msts_schedule.Spider_schedule.t -> fault_report
+(** Execute a plan's decisions while the trace unfolds.  After processing
+    each fault event the [decide] hook (default: always {!Fault.Keep}) sees
+    a {!Fault.snapshot} and may redirect the tasks still at the master —
+    {!Replan.replay} plugs the online replanner in here.  Without a
+    redirect the master is blind: when a destination dies, the task is
+    retargeted to the deepest survivor of the same leg, or to the first
+    surviving leg when the whole leg is gone.
+    @raise Invalid_argument if the trace does not validate against the
+    plan's platform, if a redirect names a dead processor or the wrong task
+    set, or if every processor crashes while tasks remain. *)
+
+val pull_under_faults :
+  ?trace:Fault.trace -> Msts_platform.Spider.t -> tasks:int -> fault_report
+(** The demand-driven baseline under the same fault model: requests from
+    dead processors are discarded, returned tasks are re-served to the next
+    requester, a dropped emission re-enters the queue after its backoff.
+    @raise Invalid_argument as for {!replay_under_faults}. *)

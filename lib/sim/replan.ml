@@ -1,0 +1,114 @@
+module Spider = Msts_platform.Spider
+module Spider_schedule = Msts_schedule.Spider_schedule
+
+type outcome = {
+  report : Netsim.fault_report;
+  replans : int;
+  considered : int;
+  final_intent : Spider_schedule.t option;
+}
+
+(* A decision list turned into a decide hook: the executor calls the hook
+   exactly once per fault event, in trace order, so consuming the list
+   head by head replays a decision history; past the end it keeps. *)
+let scripted decisions =
+  let remaining = ref decisions in
+  fun (_ : Fault.snapshot) ->
+    match !remaining with
+    | [] -> Fault.Keep
+    | d :: rest ->
+        remaining := rest;
+        d
+
+(* Replan the master-resident tasks on the residual platform (surviving
+   prefixes, slowdowns folded in) with the optimal spider algorithm, and
+   express the result as a Redirect in the original platform's
+   coordinates. *)
+let candidate snap =
+  match snap.Fault.at_master with
+  | [] -> None
+  | at_master -> (
+      match Fault.residual snap.Fault.state with
+      | None -> None
+      | Some (residual, leg_map) -> (
+          let m = List.length at_master in
+          match Msts_spider.Algorithm.schedule_tasks residual m with
+          | exception _ -> None
+          | plan ->
+              let entries = Spider_schedule.entries plan in
+              if Array.length entries <> m then None
+              else
+                let back (a : Spider.address) =
+                  { Spider.leg = leg_map.(a.Spider.leg - 1); depth = a.Spider.depth }
+                in
+                let redirect =
+                  List.mapi
+                    (fun j (id, _) ->
+                      (id, back entries.(j).Spider_schedule.address))
+                    at_master
+                in
+                Some (redirect, plan, leg_map)))
+
+(* The spliced intended schedule: the original plan's entries for tasks
+   already emitted (or done), followed by the residual plan re-anchored at
+   the fault's instant and mapped back onto the original platform.  A
+   statement of intent, not a certified-feasible schedule: in-flight tasks
+   keep their original (now possibly optimistic) dates. *)
+let splice plan snap residual_plan leg_map =
+  let spider = Spider_schedule.spider plan in
+  let at_master_ids = List.map fst snap.Fault.at_master in
+  let kept =
+    Spider_schedule.filter_tasks plan ~keep:(fun i -> not (List.mem i at_master_ids))
+  in
+  let mapped =
+    Array.map
+      (fun (e : Spider_schedule.entry) ->
+        {
+          e with
+          Spider_schedule.address =
+            {
+              Spider.leg = leg_map.(e.address.Spider.leg - 1);
+              depth = e.address.Spider.depth;
+            };
+        })
+      (Spider_schedule.entries
+         (Spider_schedule.shift residual_plan ~delta:snap.Fault.time))
+  in
+  Spider_schedule.concat kept (Spider_schedule.make spider mapped)
+
+let eval plan trace decisions =
+  match Netsim.replay_under_faults ~trace ~decide:(scripted decisions) plan with
+  | r -> r.Netsim.observed_makespan
+  | exception _ -> max_int
+
+let replay ?(trace = []) plan =
+  let trace = Fault.normalize trace in
+  let history = ref [] in (* newest first *)
+  let replans = ref 0 and considered = ref 0 in
+  let final_intent = ref None in
+  let decide snap =
+    (* Lookahead selection: simulate the whole remaining run (under the
+       known trace, keeping from here on) once per candidate and keep the
+       cheaper branch.  Keep-forever is always a candidate, so by induction
+       the realised makespan never exceeds the blind static replay's. *)
+    let h = List.rev !history in
+    let choice =
+      match candidate snap with
+      | None -> Fault.Keep
+      | Some (redirect_list, residual_plan, leg_map) ->
+          incr considered;
+          let keep_cost = eval plan trace (h @ [ Fault.Keep ]) in
+          let redirect = Fault.Redirect redirect_list in
+          let redirect_cost = eval plan trace (h @ [ redirect ]) in
+          if redirect_cost < keep_cost then begin
+            incr replans;
+            final_intent := Some (splice plan snap residual_plan leg_map);
+            redirect
+          end
+          else Fault.Keep
+    in
+    history := choice :: !history;
+    choice
+  in
+  let report = Netsim.replay_under_faults ~trace ~decide plan in
+  { report; replans = !replans; considered = !considered; final_intent = !final_intent }

@@ -212,3 +212,32 @@ Spider bounds (including the fluid relaxation) and metrics:
     depth 2   tasks 3    link busy  24.3%  cpu busy  81.1%  max buffered 0
   leg 2: 2 tasks
     depth 1   tasks 2    link busy  54.1%  cpu busy  48.6%  max buffered 1
+
+Mid-run fault injection: scripted slowdown + crash, static replay vs
+online replanning vs the pull baseline on identical traces:
+
+  $ cat > trace.txt <<'TRACE'
+  > # leg 1 slows, then its deep node dies mid-run
+  > 4 slow-proc 1 2 3
+  > 12 crash 1 2
+  > TRACE
+  $ ../../bin/msts.exe faults -p spider.txt -n 6 --trace trace.txt
+  fault trace:
+  4 slow-proc 1 2 3
+  12 crash 1 2
+  == execution under faults, n=6 ==
+  +-------------------------------+----------+---------+-----------+---------+
+  | policy                        | makespan | aborted | re-issued | retries |
+  +===============================+==========+=========+===========+=========+
+  | planned (no faults)           | 37       | -       | -         | -       |
+  | static replay (blind)         | 82       | 1       | 2         | 0       |
+  | replan on fault (1/2 adopted) | 63       | 1       | 2         | 0       |
+  | demand-driven pull            | 63       | 1       | 1         | 0       |
+  +-------------------------------+----------+---------+-----------+---------+
+
+A malformed trace is rejected with a diagnostic:
+
+  $ printf '5 meteor 1 1\n' > bad.txt
+  $ ../../bin/msts.exe faults -p spider.txt -n 6 --trace bad.txt
+  error: cannot load trace bad.txt: line 1: unknown event kind "meteor"
+  [2]

@@ -19,6 +19,7 @@ let () =
          Test_buffers.suites;
          Test_golden.suites;
          Test_robustness.suites;
+         Test_faults.suites;
          Test_local_search.suites;
          Test_spider_trace.suites;
          Test_spider_analysis.suites;

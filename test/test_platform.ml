@@ -108,6 +108,54 @@ let spider_of_chain_fork () =
   Alcotest.(check int) "three legs" 3 (Msts.Spider.legs as_spider);
   Alcotest.(check int) "all depth 1" 1 (Msts.Spider.max_depth as_spider)
 
+let spider_scale () =
+  let spider =
+    Msts.Spider.of_legs [ figure2_chain; Msts.Chain.of_pairs [ (1, 4) ] ]
+  in
+  let target = { Msts.Spider.leg = 1; depth = 2 } in
+  let scaled = Msts.Spider.scale ~latency_factor:2 ~work_factor:3 spider target in
+  Alcotest.(check int) "latency scaled" 6 (Msts.Spider.latency scaled target);
+  Alcotest.(check int) "work scaled" 15 (Msts.Spider.work scaled target);
+  Alcotest.(check int) "shallower node untouched" 2
+    (Msts.Spider.latency scaled { Msts.Spider.leg = 1; depth = 1 });
+  Alcotest.(check int) "other leg untouched" 4
+    (Msts.Spider.work scaled { Msts.Spider.leg = 2; depth = 1 });
+  Alcotest.(check bool) "original unchanged" true
+    (Msts.Spider.work spider target = 5);
+  Alcotest.check_raises "factor < 1 rejected"
+    (Invalid_argument "Chain.scale: work_factor must be >= 1") (fun () ->
+      ignore (Msts.Spider.scale ~work_factor:0 spider target))
+
+let spider_restrict () =
+  let spider =
+    Msts.Spider.of_legs [ figure2_chain; Msts.Chain.of_pairs [ (1, 4) ] ]
+  in
+  (match Msts.Spider.restrict spider ~depths:[| 1; 0 |] with
+  | None -> Alcotest.fail "leg 1 survives"
+  | Some (r, leg_map) ->
+      Alcotest.(check int) "one leg" 1 (Msts.Spider.legs r);
+      Alcotest.(check (array int)) "leg map" [| 1 |] leg_map;
+      Alcotest.(check int) "prefix kept" 1
+        (Msts.Chain.length (Msts.Spider.leg_chain r 1));
+      Alcotest.(check int) "values preserved" 3
+        (Msts.Spider.work r { Msts.Spider.leg = 1; depth = 1 }));
+  (match Msts.Spider.restrict spider ~depths:[| 2; 1 |] with
+  | None -> Alcotest.fail "everything survives"
+  | Some (r, leg_map) ->
+      Alcotest.(check bool) "full depths reproduce the spider" true
+        (Msts.Spider.equal r spider);
+      Alcotest.(check (array int)) "identity map" [| 1; 2 |] leg_map);
+  Alcotest.(check bool) "all dead" true
+    (Msts.Spider.restrict spider ~depths:[| 0; 0 |] = None);
+  Alcotest.(check bool) "wrong length rejected" true
+    (match Msts.Spider.restrict spider ~depths:[| 1 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true);
+  Alcotest.(check bool) "depth beyond the leg rejected" true
+    (match Msts.Spider.restrict spider ~depths:[| 3; 1 |] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
 (* ---------- Tree ---------- *)
 
 let leaf ~latency ~work = Msts.Tree.node ~latency ~work ()
@@ -353,6 +401,8 @@ let suites =
       [
         case "addresses and lookups" spider_addresses;
         case "chain/fork promotion" spider_of_chain_fork;
+        case "scale (fault surgery)" spider_scale;
+        case "restrict (residual platforms)" spider_restrict;
       ] );
     ( "platform.tree",
       [

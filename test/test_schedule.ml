@@ -296,6 +296,35 @@ let spider_schedule_validation () =
     (fun () ->
       ignore (Msts.Spider_schedule.make two_leg_spider [| sentry 2 2 0 [ 0; 0 ] |]))
 
+let spider_schedule_splice () =
+  let s =
+    Msts.Spider_schedule.make two_leg_spider
+      [| sentry 1 1 2 [ 0 ]; sentry 2 1 3 [ 2 ]; sentry 1 2 8 [ 3; 5 ] |]
+  in
+  (* shift re-anchors every date *)
+  let moved = Msts.Spider_schedule.shift s ~delta:4 in
+  let e = (Msts.Spider_schedule.entries moved).(2) in
+  Alcotest.(check int) "start moved" 12 e.Msts.Spider_schedule.start;
+  Alcotest.(check (array int)) "comms moved" [| 7; 9 |]
+    e.Msts.Spider_schedule.comms;
+  Alcotest.check_raises "negative dates rejected"
+    (Invalid_argument "Spider_schedule.shift: negative date after shift")
+    (fun () -> ignore (Msts.Spider_schedule.shift s ~delta:(-1)));
+  (* filter keeps a subset in order *)
+  let odd = Msts.Spider_schedule.filter_tasks s ~keep:(fun i -> i mod 2 = 1) in
+  Alcotest.(check int) "two survivors" 2 (Msts.Spider_schedule.task_count odd);
+  Alcotest.(check int) "order preserved" 8
+    (Msts.Spider_schedule.entry odd 2).Msts.Spider_schedule.start;
+  (* concat splices two partial schedules *)
+  let spliced = Msts.Spider_schedule.concat odd (Msts.Spider_schedule.filter_tasks s ~keep:(( = ) 2)) in
+  Alcotest.(check int) "spliced tasks" 3 (Msts.Spider_schedule.task_count spliced);
+  Alcotest.(check int) "second part appended" 3
+    (Msts.Spider_schedule.entry spliced 3).Msts.Spider_schedule.start;
+  let other = Msts.Spider_schedule.make (Msts.Spider.of_chain figure2_chain) [||] in
+  Alcotest.check_raises "different spiders rejected"
+    (Invalid_argument "Spider_schedule.concat: schedules are on different spiders")
+    (fun () -> ignore (Msts.Spider_schedule.concat s other))
+
 let spider_of_chain_schedule () =
   let s = fig2_schedule () in
   let sp = Msts.Spider_schedule.of_chain_schedule s in
@@ -439,6 +468,7 @@ let suites =
         case "master one-port conflict" spider_master_port_conflict;
         case "leg violations reported" spider_leg_violation_reported;
         case "structural validation" spider_schedule_validation;
+        case "shift/filter/concat (replan splicing)" spider_schedule_splice;
         case "chain schedule as one-leg spider" spider_of_chain_schedule;
       ] );
     ( "schedule.render",

@@ -69,6 +69,29 @@ let engine_step () =
   Alcotest.(check bool) "one step" true (Msts.Engine.step e);
   Alcotest.(check bool) "drained" false (Msts.Engine.step e)
 
+let engine_rejects_negative_delay () =
+  let e = Msts.Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule_after: negative delay") (fun () ->
+      Msts.Engine.schedule_after e (-2) (fun () -> ()))
+
+let engine_counts_cascades () =
+  let e = Msts.Engine.create () in
+  (* a chain of events, each scheduling the next: the counter must see
+     callbacks created mid-run, not just the initial batch *)
+  let rec ripple n =
+    if n > 0 then Msts.Engine.schedule_after e 1 (fun () -> ripple (n - 1))
+  in
+  ripple 5;
+  Msts.Engine.run e;
+  Alcotest.(check int) "all five counted" 5 (Msts.Engine.events_processed e);
+  Alcotest.(check int) "clock followed" 5 (Msts.Engine.now e);
+  (* same-time events count individually *)
+  Msts.Engine.schedule_at e 5 (fun () -> ());
+  Msts.Engine.schedule_at e 5 (fun () -> ());
+  Msts.Engine.run e;
+  Alcotest.(check int) "seven total" 7 (Msts.Engine.events_processed e)
+
 (* ---------- resource ---------- *)
 
 let resource_fifo () =
@@ -230,6 +253,8 @@ let suites =
         case "past scheduling rejected" engine_rejects_past;
         engine_stress;
         case "step" engine_step;
+        case "negative delay rejected" engine_rejects_negative_delay;
+        case "events_processed counts cascades" engine_counts_cascades;
       ] );
     ( "sim.resource",
       [
