@@ -6,14 +6,47 @@
 
    Reproduction experiments (DESIGN.md par.3) come first, then the
    ablations, then the Bechamel timing benches backing the complexity
-   claims. *)
+   claims.
+
+   Every experiment runs under an in-memory observability sink; its
+   counter totals and span timings are written to BENCH_<name>.json so
+   CI (and humans) can diff algorithmic work — candidate scans, hull
+   updates, simulator events — across revisions, not just wall time. *)
 
 let registry = Experiments.all @ Ablations.all @ Faults.all @ Timing.all
+
+let counters_path name = Printf.sprintf "BENCH_%s.json" name
 
 let run_one (name, description, fn) =
   Printf.printf "\n==================== %s ====================\n" name;
   Printf.printf "-- %s\n\n" description;
-  fn ();
+  let mem = Msts.Obs.Memory.create () in
+  let t0 = Unix.gettimeofday () in
+  Msts.Obs.with_sink (Msts.Obs.Memory.sink mem) fn;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let json =
+    Msts.Json.Obj
+      [
+        ("experiment", Msts.Json.String name);
+        ("description", Msts.Json.String description);
+        ("wall_s", Msts.Json.Float elapsed);
+        ( "profile",
+          Msts.Obs.Memory.to_json mem );
+      ]
+  in
+  Out_channel.with_open_text (counters_path name) (fun oc ->
+      Out_channel.output_string oc (Msts.Json.to_string ~pretty:true json);
+      Out_channel.output_char oc '\n');
+  let totals =
+    List.map
+      (function
+        | [ counter; total ] -> Printf.sprintf "%s=%s" counter total
+        | _ -> "?")
+      (Msts.Obs.Memory.counter_rows mem)
+  in
+  if totals <> [] then
+    Printf.printf "\n[obs] counters: %s\n" (String.concat " " totals);
+  Printf.printf "[obs] profile written to %s\n" (counters_path name);
   flush stdout
 
 let () =

@@ -2,7 +2,10 @@
 
    Every subcommand works on a platform description file (see
    Msts.Platform_format for the format); `msts generate` produces such
-   files.  Chains get the §3 algorithm, spiders the §7 algorithm. *)
+   files.  Solving goes through the `Msts.Solve` facade: chains get the §3
+   algorithm, everything else is promoted to a spider for the §7 algorithm.
+   Read-only subcommands accept `--format=text|json`; JSON goes through the
+   shared `Msts.Json` encoder. *)
 
 open Cmdliner
 
@@ -13,19 +16,19 @@ let read_platform path =
       Printf.eprintf "error: cannot load platform %s: %s\n" path msg;
       exit 2
 
-let as_spider = function
-  | Msts.Platform_format.Chain_platform chain -> Msts.Spider.of_chain chain
-  | Msts.Platform_format.Fork_platform fork -> Msts.Spider.of_fork fork
-  | Msts.Platform_format.Spider_platform spider -> spider
-  | Msts.Platform_format.Tree_platform tree -> (
-      (* exact only when nothing branches below the master *)
-      match Msts.Tree.to_spider tree with
-      | Some spider -> spider
-      | None ->
-          Printf.eprintf
-            "error: this tree branches below the master; use `msts tree` for \
-             the cover heuristics\n";
-          exit 2)
+let as_spider platform =
+  match Msts.Solve.as_spider platform with
+  | Ok spider -> spider
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+
+let solve_or_die problem =
+  match Msts.Solve.solve problem with
+  | Ok plan -> plan
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
 
 (* ---------- common arguments ---------- *)
 
@@ -45,11 +48,71 @@ let output_arg =
   let doc = "Write to $(docv) instead of standard output." in
   Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
 
+type fmt = Text | Json
+
+let format_arg =
+  let doc = "Output format: $(b,text) (default) or $(b,json)." in
+  Arg.(
+    value
+    & opt (enum [ ("text", Text); ("json", Json) ]) Text
+    & info [ "format" ] ~docv:"FMT" ~doc)
+
 let emit output text =
   match output with
   | None -> print_string text
   | Some path ->
       Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc text)
+
+let emit_json json = print_endline (Msts.Json.to_string ~pretty:true json)
+
+let json_of_table table =
+  Msts.Json.of_table ~title:(Msts.Table.title table)
+    ~columns:(Msts.Table.columns table) ~rows:(Msts.Table.rows table)
+
+let print_table fmt table =
+  match fmt with
+  | Text -> Msts.Table.print table
+  | Json -> emit_json (json_of_table table)
+
+let json_of_plan ?(extra = []) plan =
+  let open Msts.Json in
+  let comms_json comms = List (Array.to_list (Array.map (fun c -> Int c) comms)) in
+  let entries =
+    match plan with
+    | Msts.Plan.Chain sched ->
+        Array.to_list (Msts.Schedule.entries sched)
+        |> List.mapi (fun idx (e : Msts.Schedule.entry) ->
+               Obj
+                 [
+                   ("task", Int (idx + 1));
+                   ("proc", Int e.proc);
+                   ("start", Int e.start);
+                   ("comms", comms_json e.comms);
+                 ])
+    | Msts.Plan.Spider sched ->
+        Array.to_list (Msts.Spider_schedule.entries sched)
+        |> List.mapi (fun idx (e : Msts.Spider_schedule.entry) ->
+               Obj
+                 [
+                   ("task", Int (idx + 1));
+                   ("leg", Int e.address.Msts.Spider.leg);
+                   ("depth", Int e.address.Msts.Spider.depth);
+                   ("start", Int e.start);
+                   ("comms", comms_json e.comms);
+                 ])
+  in
+  Obj
+    (extra
+    @ [
+        ( "kind",
+          String
+            (match plan with
+            | Msts.Plan.Chain _ -> "chain"
+            | Msts.Plan.Spider _ -> "spider") );
+        ("tasks", Int (Msts.Plan.task_count plan));
+        ("makespan", Int (Msts.Plan.makespan plan));
+        ("entries", List entries);
+      ])
 
 (* ---------- generate ---------- *)
 
@@ -130,37 +193,24 @@ let schedule_cmd =
     let doc = "Write a per-task CSV table to $(docv)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run path n gantt svg plan_out csv width =
-    match read_platform path with
-    | Msts.Platform_format.Chain_platform chain ->
-        let sched = Msts.Chain_algorithm.schedule chain n in
-        Printf.printf "optimal makespan: %d\n%s\n"
-          (Msts.Schedule.makespan sched)
-          (Msts.Schedule.to_string sched);
-        if gantt then print_endline (Msts.Gantt.render ~width sched);
-        Option.iter (fun f -> Msts.Svg.save f (Msts.Svg.render sched)) svg;
-        Option.iter (fun f -> emit (Some f) (Msts.Serial.schedule_to_string sched)) plan_out;
-        Option.iter
-          (fun f -> emit (Some f) (Msts.Serial.schedule_to_csv sched ^ "\n"))
-          csv
-    | platform ->
-        let spider = as_spider platform in
-        let sched = Msts.Spider_algorithm.schedule_tasks spider n in
-        Printf.printf "optimal makespan: %d\n%s\n"
-          (Msts.Spider_schedule.makespan sched)
-          (Msts.Spider_schedule.to_string sched);
-        if gantt then print_endline (Msts.Gantt.render_spider ~width sched);
-        Option.iter (fun f -> Msts.Svg.save f (Msts.Svg.render_spider sched)) svg;
-        Option.iter
-          (fun f -> emit (Some f) (Msts.Serial.spider_schedule_to_string sched))
-          plan_out;
-        Option.iter
-          (fun f -> emit (Some f) (Msts.Serial.spider_schedule_to_csv sched ^ "\n"))
-          csv
+  let run path n fmt gantt svg plan_out csv width =
+    let platform = read_platform path in
+    let plan = solve_or_die (Msts.Solve.problem ~tasks:n platform) in
+    (match fmt with
+    | Text ->
+        Printf.printf "optimal makespan: %d\n%s\n" (Msts.Plan.makespan plan)
+          (Msts.Plan.to_string plan);
+        if gantt then print_endline (Msts.Plan.gantt ~width plan)
+    | Json -> emit_json (json_of_plan plan));
+    Option.iter (fun f -> Msts.Svg.save f (Msts.Plan.svg plan)) svg;
+    Option.iter (fun f -> emit (Some f) (Msts.Plan.serialize plan)) plan_out;
+    Option.iter (fun f -> emit (Some f) (Msts.Plan.to_csv plan ^ "\n")) csv
   in
   let doc = "Compute the optimal schedule for N tasks." in
   Cmd.v (Cmd.info "schedule" ~doc)
-    Term.(const run $ platform_arg $ tasks_arg $ gantt $ svg $ plan_out $ csv $ width_arg)
+    Term.(
+      const run $ platform_arg $ tasks_arg $ format_arg $ gantt $ svg $ plan_out
+      $ csv $ width_arg)
 
 (* ---------- deadline ---------- *)
 
@@ -169,22 +219,20 @@ let deadline_cmd =
     let doc = "Time limit." in
     Arg.(required & opt (some int) None & info [ "d"; "deadline" ] ~docv:"T" ~doc)
   in
-  let run path deadline =
-    match read_platform path with
-    | Msts.Platform_format.Chain_platform chain ->
-        let sched = Msts.Chain_deadline.schedule chain ~deadline in
+  let run path deadline fmt =
+    let platform = read_platform path in
+    let plan = solve_or_die (Msts.Solve.problem ~deadline platform) in
+    match fmt with
+    | Text ->
         Printf.printf "tasks completed by %d: %d\n%s\n" deadline
-          (Msts.Schedule.task_count sched)
-          (Msts.Schedule.to_string sched)
-    | platform ->
-        let spider = as_spider platform in
-        let sched = Msts.Spider_algorithm.schedule spider ~deadline in
-        Printf.printf "tasks completed by %d: %d\n%s\n" deadline
-          (Msts.Spider_schedule.task_count sched)
-          (Msts.Spider_schedule.to_string sched)
+          (Msts.Plan.task_count plan)
+          (Msts.Plan.to_string plan)
+    | Json ->
+        emit_json (json_of_plan ~extra:[ ("deadline", Msts.Json.Int deadline) ] plan)
   in
   let doc = "Maximise the number of tasks completed within a deadline." in
-  Cmd.v (Cmd.info "deadline" ~doc) Term.(const run $ platform_arg $ deadline)
+  Cmd.v (Cmd.info "deadline" ~doc)
+    Term.(const run $ platform_arg $ deadline $ format_arg)
 
 (* ---------- validate ---------- *)
 
@@ -248,68 +296,72 @@ let explain_cmd =
 (* ---------- bounds ---------- *)
 
 let bounds_cmd =
-  let run path n =
-    match read_platform path with
-    | Msts.Platform_format.Chain_platform chain ->
-        let table =
-          Msts.Table.create ~title:(Printf.sprintf "bounds and schedulers, n=%d" n)
-            ~columns:[ "method"; "makespan" ]
-        in
-        Msts.Table.add_row table
-          [ "port lower bound"; string_of_int (Msts.Bounds.port_bound chain n) ];
-        Msts.Table.add_row table
-          [ "capacity lower bound"; string_of_int (Msts.Bounds.capacity_bound chain n) ];
-        Msts.Table.add_row table
-          [ "fluid lower bound"; Msts.Table.cell_float (Msts.Bounds.fluid_bound chain n) ];
-        Msts.Table.add_row table
-          [ "optimal (this paper)"; string_of_int (Msts.Chain_algorithm.makespan chain n) ];
-        List.iter
-          (fun policy ->
-            Msts.Table.add_row table
-              [
-                "heuristic " ^ Msts.List_sched.chain_policy_name policy;
-                string_of_int (Msts.List_sched.chain_makespan policy chain n);
-              ])
-          Msts.List_sched.all_chain_policies;
-        Msts.Table.print table
-    | platform ->
-        let spider = as_spider platform in
-        let table =
-          Msts.Table.create ~title:(Printf.sprintf "bounds and schedulers, n=%d" n)
-            ~columns:[ "method"; "makespan" ]
-        in
-        Msts.Table.add_row table
-          [
-            "port lower bound";
-            string_of_int (Msts.Bounds.spider_port_bound spider n);
-          ];
-        Msts.Table.add_row table
-          [
-            "capacity lower bound";
-            string_of_int (Msts.Bounds.spider_capacity_bound spider n);
-          ];
-        Msts.Table.add_row table
-          [
-            "fluid lower bound";
-            Msts.Table.cell_float (Msts.Bounds.spider_fluid_bound spider n);
-          ];
-        Msts.Table.add_row table
-          [
-            "optimal (this paper)";
-            string_of_int (Msts.Spider_algorithm.min_makespan spider n);
-          ];
-        List.iter
-          (fun policy ->
-            Msts.Table.add_row table
-              [
-                "heuristic " ^ Msts.List_sched.spider_policy_name policy;
-                string_of_int (Msts.List_sched.spider_makespan policy spider n);
-              ])
-          Msts.List_sched.all_spider_policies;
-        Msts.Table.print table
+  let run path n fmt =
+    let table =
+      match read_platform path with
+      | Msts.Platform_format.Chain_platform chain ->
+          let table =
+            Msts.Table.create ~title:(Printf.sprintf "bounds and schedulers, n=%d" n)
+              ~columns:[ "method"; "makespan" ]
+          in
+          Msts.Table.add_row table
+            [ "port lower bound"; string_of_int (Msts.Bounds.port_bound chain n) ];
+          Msts.Table.add_row table
+            [ "capacity lower bound"; string_of_int (Msts.Bounds.capacity_bound chain n) ];
+          Msts.Table.add_row table
+            [ "fluid lower bound"; Msts.Table.cell_float (Msts.Bounds.fluid_bound chain n) ];
+          Msts.Table.add_row table
+            [ "optimal (this paper)"; string_of_int (Msts.Chain_algorithm.makespan chain n) ];
+          List.iter
+            (fun policy ->
+              Msts.Table.add_row table
+                [
+                  "heuristic " ^ Msts.List_sched.chain_policy_name policy;
+                  string_of_int (Msts.List_sched.chain_makespan policy chain n);
+                ])
+            Msts.List_sched.all_chain_policies;
+          table
+      | platform ->
+          let spider = as_spider platform in
+          let table =
+            Msts.Table.create ~title:(Printf.sprintf "bounds and schedulers, n=%d" n)
+              ~columns:[ "method"; "makespan" ]
+          in
+          Msts.Table.add_row table
+            [
+              "port lower bound";
+              string_of_int (Msts.Bounds.spider_port_bound spider n);
+            ];
+          Msts.Table.add_row table
+            [
+              "capacity lower bound";
+              string_of_int (Msts.Bounds.spider_capacity_bound spider n);
+            ];
+          Msts.Table.add_row table
+            [
+              "fluid lower bound";
+              Msts.Table.cell_float (Msts.Bounds.spider_fluid_bound spider n);
+            ];
+          Msts.Table.add_row table
+            [
+              "optimal (this paper)";
+              string_of_int (Msts.Spider_algorithm.min_makespan spider n);
+            ];
+          List.iter
+            (fun policy ->
+              Msts.Table.add_row table
+                [
+                  "heuristic " ^ Msts.List_sched.spider_policy_name policy;
+                  string_of_int (Msts.List_sched.spider_makespan policy spider n);
+                ])
+            Msts.List_sched.all_spider_policies;
+          table
+    in
+    print_table fmt table
   in
   let doc = "Compare the optimal makespan with lower bounds and heuristics." in
-  Cmd.v (Cmd.info "bounds" ~doc) Term.(const run $ platform_arg $ tasks_arg)
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Term.(const run $ platform_arg $ tasks_arg $ format_arg)
 
 (* ---------- throughput ---------- *)
 
@@ -394,18 +446,91 @@ let tree_cmd =
 (* ---------- metrics ---------- *)
 
 let metrics_cmd =
-  let run path n =
-    match read_platform path with
-    | Msts.Platform_format.Chain_platform chain ->
-        let sched = Msts.Chain_algorithm.schedule chain n in
-        print_string (Msts.Metrics.summary sched)
-    | platform ->
-        let spider = as_spider platform in
-        let sched = Msts.Spider_algorithm.schedule_tasks spider n in
+  let pct x = Msts.Json.Float (Float.round (1000.0 *. x) /. 10.0) in
+  let chain_metrics_json sched =
+    let open Msts.Json in
+    let chain = Msts.Schedule.chain sched in
+    let procs =
+      List.map
+        (fun k ->
+          Obj
+            [
+              ("proc", Int k);
+              ("tasks", Int (List.length (Msts.Schedule.tasks_on sched k)));
+              ("link_busy_pct", pct (Msts.Metrics.link_utilisation sched k));
+              ("cpu_busy_pct", pct (Msts.Metrics.proc_utilisation sched k));
+              ("max_buffered", Int (Msts.Metrics.buffer_high_water sched k));
+            ])
+        (Msts.Intx.range 1 (Msts.Chain.length chain))
+    in
+    Obj
+      [
+        ("kind", String "chain");
+        ("tasks", Int (Msts.Schedule.task_count sched));
+        ("makespan", Int (Msts.Schedule.makespan sched));
+        ("total_waiting", Int (Msts.Metrics.total_waiting sched));
+        ("max_waiting", Int (Msts.Metrics.max_waiting sched));
+        ("processors", List procs)
+      ]
+  in
+  let spider_metrics_json sched =
+    let open Msts.Json in
+    let spider = Msts.Spider_schedule.spider sched in
+    let makespan = Msts.Spider_schedule.makespan sched in
+    let legs =
+      List.map
+        (fun l ->
+          let leg = Msts.Spider_schedule.leg_schedule sched l in
+          let nodes =
+            List.map
+              (fun k ->
+                Obj
+                  [
+                    ("depth", Int k);
+                    ("tasks", Int (List.length (Msts.Schedule.tasks_on leg k)));
+                    ( "link_busy_pct",
+                      pct
+                        (Msts.Intervals.utilisation
+                           (Msts.Schedule.link_intervals leg k) ~horizon:makespan) );
+                    ( "cpu_busy_pct",
+                      pct
+                        (Msts.Intervals.utilisation
+                           (Msts.Schedule.proc_intervals leg k) ~horizon:makespan) );
+                    ("max_buffered", Int (Msts.Metrics.buffer_high_water leg k));
+                  ])
+              (Msts.Intx.range 1
+                 (Msts.Chain.length (Msts.Spider.leg_chain spider l)))
+          in
+          Obj
+            [
+              ("leg", Int l);
+              ("tasks", Int (Msts.Schedule.task_count leg));
+              ("nodes", List nodes);
+            ])
+        (Msts.Intx.range 1 (Msts.Spider.legs spider))
+    in
+    Obj
+      [
+        ("kind", String "spider");
+        ("tasks", Int (Msts.Spider_schedule.task_count sched));
+        ("makespan", Int makespan);
+        ("master_port_busy_pct", pct (Msts.Metrics.spider_master_utilisation sched));
+        ("legs", List legs)
+      ]
+  in
+  let run path n fmt =
+    let platform = read_platform path in
+    let plan = solve_or_die (Msts.Solve.problem ~tasks:n platform) in
+    match (fmt, plan) with
+    | Text, Msts.Plan.Chain sched -> print_string (Msts.Metrics.summary sched)
+    | Text, Msts.Plan.Spider sched ->
         print_string (Msts.Metrics.spider_summary sched)
+    | Json, Msts.Plan.Chain sched -> emit_json (chain_metrics_json sched)
+    | Json, Msts.Plan.Spider sched -> emit_json (spider_metrics_json sched)
   in
   let doc = "Waiting, buffering and utilisation report for the optimal schedule." in
-  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ platform_arg $ tasks_arg)
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(const run $ platform_arg $ tasks_arg $ format_arg)
 
 (* ---------- faults ---------- *)
 
@@ -430,7 +555,7 @@ let faults_cmd =
     let doc = "Also print the realised routing of the replanned run." in
     Arg.(value & flag & info [ "gantt" ] ~doc)
   in
-  let run path n trace_file seed events gantt width =
+  let run path n trace_file seed events fmt gantt width =
     let spider = as_spider (read_platform path) in
     let plan = Msts.Spider_algorithm.schedule_tasks spider n in
     let planned = Msts.Spider_schedule.makespan plan in
@@ -455,7 +580,8 @@ let faults_cmd =
         Printf.eprintf "error: trace does not fit the platform:\n";
         List.iter (fun p -> Printf.eprintf "  %s\n" p) problems;
         exit 2);
-    Printf.printf "fault trace:\n%s" (Msts.Fault.to_string trace);
+    if fmt = Text then
+      Printf.printf "fault trace:\n%s" (Msts.Fault.to_string trace);
     let static, replanned, pull =
       try
         ( Msts.Netsim.replay_under_faults ~trace plan,
@@ -488,10 +614,25 @@ let faults_cmd =
          replanned.Msts.Replan.considered)
       replanned.Msts.Replan.report;
     row "demand-driven pull" pull;
-    Msts.Table.print table;
-    if gantt then
-      print_string
-        (Msts.Gantt.render_spider ~width replanned.Msts.Replan.report.observed)
+    (match fmt with
+    | Text ->
+        Msts.Table.print table;
+        if gantt then
+          print_string
+            (Msts.Gantt.render_spider ~width replanned.Msts.Replan.report.observed)
+    | Json ->
+        emit_json
+          (Msts.Json.Obj
+             [
+               ( "trace",
+                 Msts.Json.List
+                   (Msts.Fault.to_string trace |> String.split_on_char '\n'
+                   |> List.filter (fun l -> l <> "")
+                   |> List.map (fun l -> Msts.Json.String l)) );
+               ("replans_adopted", Msts.Json.Int replanned.Msts.Replan.replans);
+               ("replans_considered", Msts.Json.Int replanned.Msts.Replan.considered);
+               ("results", json_of_table table);
+             ]))
   in
   let doc =
     "Inject mid-run faults (slowdowns, transfer drops, crashes) and compare \
@@ -500,7 +641,178 @@ let faults_cmd =
   Cmd.v (Cmd.info "faults" ~doc)
     Term.(
       const run $ platform_arg $ tasks_arg $ trace_arg $ seed_arg $ events_arg
-      $ gantt_arg $ width_arg)
+      $ format_arg $ gantt_arg $ width_arg)
+
+(* ---------- profile ---------- *)
+
+let profile_cmd =
+  let tasks_arg =
+    let doc = "Number of tasks in the profiled workload." in
+    Arg.(value & opt int 16 & info [ "n"; "tasks" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Solve for a deadline instead of a task count." in
+    Arg.(value & opt (some int) None & info [ "d"; "deadline" ] ~docv:"T" ~doc)
+  in
+  let workload_arg =
+    let doc =
+      "Workload to instrument: $(b,solve) (construction only), \
+       $(b,execute) (solve, then event-driven execution; default), \
+       $(b,pull) (demand-driven baseline) or $(b,faults) (seeded fault \
+       trace with online replanning)."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("solve", `Solve); ("execute", `Execute); ("pull", `Pull); ("faults", `Faults) ]) `Execute
+      & info [ "workload" ] ~docv:"KIND" ~doc)
+  in
+  let trace_out_arg =
+    let doc = "Write a Chrome trace_event JSON file to $(docv) (open in \
+               about:tracing or Perfetto)." in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed for the faults workload." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let events_arg =
+    let doc = "Fault events for the faults workload." in
+    Arg.(value & opt int 4 & info [ "events" ] ~docv:"E" ~doc)
+  in
+  let run path n deadline workload trace_out seed events fmt =
+    let platform = read_platform path in
+    let mem = Msts.Obs.Memory.create () in
+    let problem =
+      match deadline with
+      | Some d -> Msts.Solve.problem ~deadline:d platform
+      | None -> Msts.Solve.problem ~tasks:n platform
+    in
+    let summary =
+      Msts.Obs.with_sink (Msts.Obs.Memory.sink mem) @@ fun () ->
+      match workload with
+      | `Solve ->
+          let plan = solve_or_die problem in
+          [
+            ("workload", Msts.Json.String "solve");
+            ("makespan", Msts.Json.Int (Msts.Plan.makespan plan));
+            ("tasks", Msts.Json.Int (Msts.Plan.task_count plan));
+          ]
+      | `Execute ->
+          let plan = solve_or_die problem in
+          let report = Msts.Netsim.execute plan in
+          [
+            ("workload", Msts.Json.String "execute");
+            ("planned_makespan", Msts.Json.Int report.Msts.Netsim.planned_makespan);
+            ("realized_makespan", Msts.Json.Int report.Msts.Netsim.realized_makespan);
+            ("tasks", Msts.Json.Int (Msts.Plan.task_count plan));
+          ]
+      | `Pull ->
+          let spider = as_spider platform in
+          let sched = Msts.Netsim.pull_policy spider ~tasks:n in
+          [
+            ("workload", Msts.Json.String "pull");
+            ("makespan", Msts.Json.Int (Msts.Spider_schedule.makespan sched));
+            ("tasks", Msts.Json.Int n);
+          ]
+      | `Faults ->
+          let spider = as_spider platform in
+          let plan = Msts.Spider_algorithm.schedule_tasks spider n in
+          let trace =
+            Msts.Fault.random (Msts.Prng.create seed) spider ~events
+              ~horizon:(Msts.Spider_schedule.makespan plan)
+          in
+          let outcome = Msts.Replan.replay ~trace plan in
+          [
+            ("workload", Msts.Json.String "faults");
+            ( "observed_makespan",
+              Msts.Json.Int
+                outcome.Msts.Replan.report.Msts.Netsim.observed_makespan );
+            ("replans_adopted", Msts.Json.Int outcome.Msts.Replan.replans);
+            ("tasks", Msts.Json.Int n);
+          ]
+    in
+    let trace_info =
+      Option.map
+        (fun file ->
+          let trace = Msts.Obs.Memory.chrome_trace mem in
+          let text = Msts.Json.to_string ~pretty:true trace in
+          emit (Some file) (text ^ "\n");
+          (* re-read and re-parse: the written artefact itself is checked *)
+          let events =
+            match
+              Msts.Json.parse (In_channel.with_open_text file In_channel.input_all)
+            with
+            | Error msg ->
+                Printf.eprintf "error: emitted trace is invalid JSON: %s\n" msg;
+                exit 1
+            | Ok json -> (
+                match Msts.Json.member "traceEvents" json with
+                | Some (Msts.Json.List evs) -> List.length evs
+                | _ ->
+                    Printf.eprintf "error: emitted trace lacks traceEvents\n";
+                    exit 1)
+          in
+          (file, events))
+        trace_out
+    in
+    match fmt with
+    | Text ->
+        List.iter
+          (fun (key, value) ->
+            let v =
+              match value with
+              | Msts.Json.String s -> s
+              | Msts.Json.Int i -> string_of_int i
+              | other -> Msts.Json.to_string other
+            in
+            Printf.printf "%s: %s\n" key v)
+          summary;
+        let counters =
+          Msts.Table.create ~title:"counters" ~columns:[ "counter"; "total" ]
+        in
+        List.iter (Msts.Table.add_row counters) (Msts.Obs.Memory.counter_rows mem);
+        Msts.Table.print counters;
+        let spans =
+          Msts.Table.create ~title:"spans"
+            ~columns:[ "span"; "calls"; "total_us"; "max_us" ]
+        in
+        List.iter (Msts.Table.add_row spans) (Msts.Obs.Memory.span_rows mem);
+        Msts.Table.print spans;
+        Option.iter
+          (fun (file, events) ->
+            Printf.printf "trace: %s (%d events, valid chrome trace)\n" file events)
+          trace_info
+    | Json ->
+        let profile = Msts.Obs.Memory.to_json mem in
+        let trace_fields =
+          match trace_info with
+          | None -> []
+          | Some (file, events) ->
+              [
+                ( "trace",
+                  Msts.Json.Obj
+                    [
+                      ("file", Msts.Json.String file);
+                      ("events", Msts.Json.Int events);
+                    ] );
+              ]
+        in
+        let fields =
+          match profile with
+          | Msts.Json.Obj fields -> fields
+          | other -> [ ("profile", other) ]
+        in
+        emit_json (Msts.Json.Obj (summary @ fields @ trace_fields))
+  in
+  let doc =
+    "Run a solve/simulate workload with the observability sink installed: \
+     counter totals, span timings, and optionally a Chrome trace_event \
+     file for about:tracing / Perfetto."
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ platform_arg $ tasks_arg $ deadline_arg $ workload_arg
+      $ trace_out_arg $ seed_arg $ events_arg $ format_arg)
 
 (* ---------- dot ---------- *)
 
@@ -524,8 +836,18 @@ let main_cmd =
       pull_cmd;
       faults_cmd;
       metrics_cmd;
+      profile_cmd;
       tree_cmd;
       dot_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  try exit (Cmd.eval ~catch:false main_cmd) with
+  | Sys_error msg ->
+      (* unwritable -o/--svg/--plan-out/--csv/--trace-out targets etc. *)
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  | e ->
+      Printf.eprintf "msts: internal error, uncaught exception:\n      %s\n"
+        (Printexc.to_string e);
+      exit 125

@@ -1,6 +1,7 @@
 module Chain = Msts_platform.Chain
 module Comm_vector = Msts_schedule.Comm_vector
 module Schedule = Msts_schedule.Schedule
+module Obs = Msts_obs.Obs
 
 type state = { hull : int array; occupancy : int array }
 
@@ -24,7 +25,9 @@ let candidate chain st k =
   v
 
 let candidates chain st =
-  Array.init (Chain.length chain) (fun idx -> candidate chain st (idx + 1))
+  let p = Chain.length chain in
+  Obs.count ~n:p "chain.candidate_scans";
+  Array.init p (fun idx -> candidate chain st (idx + 1))
 
 let select cands =
   if Array.length cands = 0 then invalid_arg "Algorithm.select: no candidates";
@@ -53,6 +56,8 @@ let place_with ~select chain st ~task =
   for j = 1 to chosen_proc do
     st.hull.(j - 1) <- chosen_vector.(j - 1)
   done;
+  Obs.count "chain.tasks_placed";
+  Obs.count ~n:chosen_proc "chain.hull_updates";
   { task; chosen_proc; chosen_vector; start; all_candidates; state_before }
 
 let place = place_with ~select
@@ -61,6 +66,7 @@ let horizon = Chain.master_only_makespan
 
 let schedule_core ~select ?on_step chain n =
   if n < 0 then invalid_arg "Algorithm.schedule: negative task count";
+  Obs.span "chain.schedule" ~args:[ ("n", string_of_int n) ] @@ fun () ->
   let st = initial_state chain ~horizon:(horizon chain n) in
   let entries =
     Array.init n (fun _ -> { Schedule.proc = 1; start = 0; comms = [| 0 |] })
@@ -84,6 +90,7 @@ let schedule_with_selector ~select chain n = schedule_core ~select chain n
 let makespan chain n =
   if n = 0 then 0
   else begin
+    Obs.span "chain.makespan" ~args:[ ("n", string_of_int n) ] @@ fun () ->
     (* The last-placed (first-emitted) task fixes the shift; task n always
        finishes exactly at the horizon. *)
     let st = initial_state chain ~horizon:(horizon chain n) in

@@ -1,16 +1,21 @@
 module Chain = Msts_platform.Chain
+module Obs = Msts_obs.Obs
 
 let schedule ?max_tasks chain ~deadline =
   if deadline < 0 then invalid_arg "Deadline.schedule: negative deadline";
   (match max_tasks with
   | Some budget when budget < 0 -> invalid_arg "Deadline.schedule: negative max_tasks"
   | _ -> ());
+  Obs.span "chain.deadline.schedule" ~args:[ ("deadline", string_of_int deadline) ]
+  @@ fun () ->
   let construction = Incremental.create chain ~horizon:deadline in
   let (_ : int) = Incremental.fill construction ?max_tasks () in
   Incremental.schedule construction
 
 let max_tasks chain ~deadline =
   if deadline < 0 then invalid_arg "Deadline.max_tasks: negative deadline";
+  Obs.span "chain.deadline.max_tasks" ~args:[ ("deadline", string_of_int deadline) ]
+  @@ fun () ->
   let construction = Incremental.create chain ~horizon:deadline in
   Incremental.fill construction ()
 

@@ -9,6 +9,7 @@
     public entry points under one namespace:
 
     {ul
+    {- the unified facade: {!Solve} (one problem record, one {!Plan});}
     {- platform descriptions: {!Chain}, {!Fork}, {!Spider}, {!Tree},
        {!Generator}, {!Platform_format}, {!Dot};}
     {- schedules and their audit: {!Comm_vector}, {!Schedule},
@@ -19,7 +20,11 @@
     {- oracles and baselines: {!Asap}, {!Brute_force}, {!List_sched},
        {!Bounds}, {!Steady_state};}
     {- execution substrate: {!Engine}, {!Resource}, {!Netsim};}
+    {- observability: {!Obs} (spans, counters, Chrome traces), {!Json};}
     {- utilities: {!Prng}, {!Heap}, {!Stats}, {!Table}, {!Intx}.} } *)
+
+(* The unified facade: one problem record in, one polymorphic plan out. *)
+module Solve = Solve
 
 (* Platforms *)
 module Chain = Msts_platform.Chain
@@ -40,6 +45,7 @@ module Gantt = Msts_schedule.Gantt
 module Svg = Msts_schedule.Svg
 module Serial = Msts_schedule.Serial
 module Metrics = Msts_schedule.Metrics
+module Plan = Msts_schedule.Plan
 
 (* The paper's algorithms *)
 module Chain_algorithm = Msts_chain.Algorithm
@@ -79,6 +85,11 @@ module Resource = Msts_sim.Resource
 module Netsim = Msts_sim.Netsim
 module Fault = Msts_sim.Fault
 module Replan = Msts_sim.Replan
+
+(* Observability: spans, counters, sinks, Chrome traces; Json doubles as
+   the shared encoder behind every [--format=json] CLI output. *)
+module Obs = Msts_obs.Obs
+module Json = Msts_obs.Json
 
 (* Utilities *)
 module Prng = Msts_util.Prng

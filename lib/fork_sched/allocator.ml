@@ -39,14 +39,20 @@ let try_insert accepted ~deadline (candidate : Expansion.vnode) =
 let allocate candidates ~deadline ~budget =
   if deadline < 0 then invalid_arg "Allocator.allocate: negative deadline";
   if budget < 0 then invalid_arg "Allocator.allocate: negative budget";
+  Msts_obs.Obs.span "fork.allocate" ~args:[ ("deadline", string_of_int deadline) ]
+  @@ fun () ->
   let rec loop accepted count = function
     | [] -> accepted
     | _ when count >= budget -> accepted
     | candidate :: rest -> (
+        Msts_obs.Obs.count "fork.insert_probes";
         match try_insert accepted ~deadline candidate with
-        | Some accepted -> loop accepted (count + 1) rest
+        | Some accepted ->
+            Msts_obs.Obs.count "fork.nodes_accepted";
+            loop accepted (count + 1) rest
         | None -> loop accepted count rest)
   in
+  Msts_obs.Obs.count ~n:(List.length candidates) "fork.nodes_considered";
   let accepted = loop [] 0 (Expansion.allocation_order candidates) in
   emission_schedule accepted
 

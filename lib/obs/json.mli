@@ -1,0 +1,35 @@
+(** Minimal JSON values: the shared encoder behind every [--format=json]
+    CLI output, the Chrome-trace exporter and the bench counter dumps.
+
+    Deliberately tiny — no external dependency, no streaming.  The printer
+    escapes strings per RFC 8259; integers print as integers, floats with
+    enough digits to round-trip.  The parser accepts exactly the documents
+    the printer produces (plus whitespace and any standard JSON), so a
+    written trace can be re-read and validated without another library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialise.  [pretty] (default false) indents with two spaces. *)
+
+val parse : string -> (t, string) result
+(** Recursive-descent parser for ordinary JSON documents; errors carry a
+    byte offset.  Numbers with a fraction or exponent become [Float],
+    anything else [Int]. *)
+
+val member : string -> t -> t option
+(** [member key json] is the value bound to [key] when [json] is an
+    object. *)
+
+val of_table :
+  title:string -> columns:string list -> rows:string list list -> t
+(** The uniform JSON shape for every tabular CLI report:
+    [{"title": ..., "columns": [...], "rows": [[...], ...]}].  Cells stay
+    strings — they come from already-formatted table renderers. *)

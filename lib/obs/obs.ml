@@ -1,0 +1,200 @@
+type event =
+  | Span_begin of { name : string; ts : int; args : (string * string) list }
+  | Span_end of { name : string; ts : int }
+  | Count of { name : string; delta : int; ts : int }
+
+type sink = event -> unit
+
+(* ---------- global sink ---------- *)
+
+let the_sink : sink option ref = ref None
+let set_sink s = the_sink := s
+let current_sink () = !the_sink
+let enabled () = Option.is_some !the_sink
+
+let with_sink s f =
+  let saved = !the_sink in
+  the_sink := Some s;
+  Fun.protect ~finally:(fun () -> the_sink := saved) f
+
+(* ---------- clock ---------- *)
+
+let wall_us () = int_of_float (Unix.gettimeofday () *. 1e6)
+let the_clock : (unit -> int) ref = ref wall_us
+let last_ts = ref 0
+
+let set_clock = function
+  | Some f -> the_clock := f
+  | None -> the_clock := wall_us
+
+(* Monotonised: wall clocks can step backwards (NTP); span durations and
+   trace viewers both assume time never decreases. *)
+let now_us () =
+  let t = !the_clock () in
+  if t > !last_ts then last_ts := t;
+  !last_ts
+
+(* ---------- instrumentation points ---------- *)
+
+let span ?(args = []) name f =
+  match !the_sink with
+  | None -> f ()
+  | Some sink ->
+      sink (Span_begin { name; ts = now_us (); args });
+      Fun.protect ~finally:(fun () -> sink (Span_end { name; ts = now_us () })) f
+
+let count ?(n = 1) name =
+  match !the_sink with
+  | None -> ()
+  | Some sink -> sink (Count { name; delta = n; ts = now_us () })
+
+(* ---------- memory sink ---------- *)
+
+module Memory = struct
+  type span_stat = { calls : int; total_us : int; max_us : int }
+
+  type t = {
+    mutable log : event list; (* newest first *)
+    counters : (string, int) Hashtbl.t;
+    stats : (string, span_stat) Hashtbl.t;
+    mutable stack : (string * int) list; (* open spans, innermost first *)
+    mutable max_depth : int;
+  }
+
+  let create () =
+    {
+      log = [];
+      counters = Hashtbl.create 32;
+      stats = Hashtbl.create 32;
+      stack = [];
+      max_depth = 0;
+    }
+
+  let record t ev =
+    t.log <- ev :: t.log;
+    match ev with
+    | Count { name; delta; _ } ->
+        let current = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
+        Hashtbl.replace t.counters name (current + delta)
+    | Span_begin { name; ts; _ } ->
+        t.stack <- (name, ts) :: t.stack;
+        t.max_depth <- max t.max_depth (List.length t.stack)
+    | Span_end { name; ts } -> (
+        (* An end closes the innermost open span of that name; out-of-order
+           ends (possible only through hand-fed sinks) are dropped. *)
+        match t.stack with
+        | (open_name, began) :: rest when open_name = name ->
+            t.stack <- rest;
+            let d = ts - began in
+            let prev =
+              Option.value
+                ~default:{ calls = 0; total_us = 0; max_us = 0 }
+                (Hashtbl.find_opt t.stats name)
+            in
+            Hashtbl.replace t.stats name
+              {
+                calls = prev.calls + 1;
+                total_us = prev.total_us + d;
+                max_us = max prev.max_us d;
+              }
+        | _ -> ())
+
+  let sink t = record t
+
+  let sorted_bindings tbl =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+  let counters t = sorted_bindings t.counters
+  let counter t name = Option.value ~default:0 (Hashtbl.find_opt t.counters name)
+  let spans t = sorted_bindings t.stats
+  let events t = List.rev t.log
+  let max_depth t = t.max_depth
+  let open_spans t = List.rev_map fst t.stack
+
+  let counter_rows t =
+    List.map (fun (name, total) -> [ name; string_of_int total ]) (counters t)
+
+  let span_rows t =
+    List.map
+      (fun (name, { calls; total_us; max_us }) ->
+        [ name; string_of_int calls; string_of_int total_us; string_of_int max_us ])
+      (spans t)
+
+  let to_json t =
+    Json.Obj
+      [
+        ( "counters",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)) );
+        ( "spans",
+          Json.Obj
+            (List.map
+               (fun (k, { calls; total_us; max_us }) ->
+                 ( k,
+                   Json.Obj
+                     [
+                       ("calls", Json.Int calls);
+                       ("total_us", Json.Int total_us);
+                       ("max_us", Json.Int max_us);
+                     ] ))
+               (spans t)) );
+      ]
+
+  let chrome_trace ?(process_name = "msts") t =
+    let common ts =
+      [ ("ts", Json.Int ts); ("pid", Json.Int 1); ("tid", Json.Int 1) ]
+    in
+    let running = Hashtbl.create 16 in
+    let trace_event = function
+      | Span_begin { name; ts; args } ->
+          let fields =
+            [
+              ("name", Json.String name);
+              ("cat", Json.String "msts");
+              ("ph", Json.String "B");
+            ]
+            @ common ts
+          in
+          let fields =
+            match args with
+            | [] -> fields
+            | args ->
+                fields
+                @ [
+                    ( "args",
+                      Json.Obj
+                        (List.map (fun (k, v) -> (k, Json.String v)) args) );
+                  ]
+          in
+          Json.Obj fields
+      | Span_end { name; ts } ->
+          Json.Obj
+            ([
+               ("name", Json.String name);
+               ("cat", Json.String "msts");
+               ("ph", Json.String "E");
+             ]
+            @ common ts)
+      | Count { name; delta; ts } ->
+          let total =
+            delta + Option.value ~default:0 (Hashtbl.find_opt running name)
+          in
+          Hashtbl.replace running name total;
+          Json.Obj
+            ([
+               ("name", Json.String name);
+               ("cat", Json.String "msts");
+               ("ph", Json.String "C");
+             ]
+            @ common ts
+            @ [ ("args", Json.Obj [ ("value", Json.Int total) ]) ])
+    in
+    Json.Obj
+      [
+        ("traceEvents", Json.List (List.map trace_event (events t)));
+        ("displayTimeUnit", Json.String "ms");
+        ( "metadata",
+          Json.Obj [ ("process_name", Json.String process_name) ] );
+      ]
+end

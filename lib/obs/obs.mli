@@ -1,0 +1,110 @@
+(** Zero-dependency observability: hierarchical spans, named counters and
+    pluggable sinks.
+
+    The library's hot paths (chain placement, fork allocation, the event
+    engine, the network executors, the replanner) call {!span} and
+    {!count} unconditionally.  With no sink installed — the default, the
+    "null sink" — both are a single mutable-field read and a branch: no
+    clock is read, nothing allocates, and no behaviour changes (the
+    instrumentation only observes; the test suite asserts outputs are
+    identical with and without a sink).
+
+    With a sink installed every event carries a timestamp from a
+    non-decreasing (monotonised wall) microsecond clock, overridable for
+    deterministic tests via {!set_clock}.
+
+    Naming convention: [<subsystem>.<metric>], lowercase, dot-separated —
+    e.g. [chain.candidate_scans], [engine.events], [netsim.transfers].
+    See docs/OBSERVABILITY.md for the full catalogue. *)
+
+type event =
+  | Span_begin of { name : string; ts : int; args : (string * string) list }
+  | Span_end of { name : string; ts : int }
+  | Count of { name : string; delta : int; ts : int }
+      (** timestamps in microseconds *)
+
+type sink = event -> unit
+
+(** {2 Sink management} *)
+
+val set_sink : sink option -> unit
+(** Install ([Some]) or remove ([None], the null sink) the global sink. *)
+
+val current_sink : unit -> sink option
+
+val enabled : unit -> bool
+(** [true] iff a sink is installed. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** Install a sink, run, restore the previous sink (also on exceptions). *)
+
+(** {2 Clock} *)
+
+val set_clock : (unit -> int) option -> unit
+(** Override the microsecond clock ([None] restores the wall clock).
+    Whatever the source, emitted timestamps never decrease. *)
+
+val now_us : unit -> int
+(** Current (monotonised) timestamp in microseconds. *)
+
+(** {2 Instrumentation points} *)
+
+val span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a [name] span.  The end event is emitted
+    even when [f] raises.  Free when no sink is installed. *)
+
+val count : ?n:int -> string -> unit
+(** Add [n] (default 1) to a named counter.  Free when no sink is
+    installed. *)
+
+(** {2 Sinks} *)
+
+(** Aggregating in-memory sink: counter totals, per-span statistics and the
+    raw event log (for exporters and tests). *)
+module Memory : sig
+  type t
+
+  val create : unit -> t
+  val sink : t -> sink
+
+  val counters : t -> (string * int) list
+  (** Counter totals, sorted by name. *)
+
+  val counter : t -> string -> int
+  (** A single total (0 when never incremented). *)
+
+  type span_stat = {
+    calls : int;
+    total_us : int;  (** summed wall time, nested spans included *)
+    max_us : int;
+  }
+
+  val spans : t -> (string * span_stat) list
+  (** Completed-span statistics, sorted by name. *)
+
+  val events : t -> event list
+  (** The raw log, in emission order. *)
+
+  val max_depth : t -> int
+  (** Deepest span nesting observed. *)
+
+  val open_spans : t -> string list
+  (** Names of begun-but-unfinished spans, outermost first (empty after a
+      balanced run). *)
+
+  val counter_rows : t -> string list list
+  (** Counter totals as [[name; total]] rows for the shared table
+      renderers (columns: counter, total). *)
+
+  val span_rows : t -> string list list
+  (** Span statistics as [[name; calls; total_us; max_us]] rows. *)
+
+  val to_json : t -> Json.t
+  (** [{"counters": {...}, "spans": {name: {calls, total_us, max_us}}}]. *)
+
+  val chrome_trace : ?process_name:string -> t -> Json.t
+  (** The event log as a Chrome [trace_event] document (the JSON-object
+      format with a ["traceEvents"] array of [B]/[E] duration events and
+      [C] counter samples), loadable in [about:tracing] and Perfetto.
+      Counter samples carry running totals. *)
+end

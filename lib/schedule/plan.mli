@@ -1,0 +1,38 @@
+(** The unified plan: one polymorphic result type covering both schedule
+    shapes the algorithms produce.
+
+    [Msts.Solve] returns it, [Msts.Netsim.execute] consumes it, and the
+    CLI renders every subcommand through it — so chains and spiders flow
+    through one code path end to end.  Chain plans promote losslessly to
+    one-leg spider plans ({!to_spider}) whenever an executor only speaks
+    spider. *)
+
+type t =
+  | Chain of Schedule.t
+  | Spider of Spider_schedule.t
+
+val makespan : t -> int
+val task_count : t -> int
+
+val to_string : t -> string
+(** The shape's native human rendering ({!Schedule.to_string} /
+    {!Spider_schedule.to_string}). *)
+
+val check : ?require_nonnegative:bool -> t -> string list
+(** Feasibility audit; [[]] means feasible. *)
+
+val to_spider : t -> Spider_schedule.t
+(** Promote a chain plan to its one-leg spider equivalent; the identity on
+    spider plans. *)
+
+val gantt : ?width:int -> t -> string
+(** ASCII Gantt chart. *)
+
+val svg : t -> string
+(** SVG Gantt chart. *)
+
+val serialize : t -> string
+(** Machine-readable form ({!Serial}). *)
+
+val to_csv : t -> string
+(** Per-task CSV table ({!Serial}). *)

@@ -38,6 +38,7 @@ let step t =
   | Some ev ->
       t.clock <- ev.time;
       t.processed <- t.processed + 1;
+      Msts_obs.Obs.count "engine.events";
       ev.action ();
       true
 

@@ -2,6 +2,8 @@ module Spider = Msts_platform.Spider
 module Chain = Msts_platform.Chain
 module Schedule = Msts_schedule.Schedule
 module Spider_schedule = Msts_schedule.Spider_schedule
+module Plan = Msts_schedule.Plan
+module Obs = Msts_obs.Obs
 
 type record = {
   mutable address : Spider.address;
@@ -40,15 +42,18 @@ let build spider =
 let rec forward net record ~task ~at ~on_complete =
   let { Spider.leg; depth } = record.address in
   let chain = Spider.leg_chain net.spider leg in
-  if at = depth then
+  if at = depth then begin
+    Obs.count "netsim.executions";
     Resource.request net.procs.(leg - 1).(depth - 1)
       ~duration:(Chain.work chain depth) ~tag:task ~on_start:(fun start ->
         record.start <- start;
         Engine.schedule_at net.engine (start + Chain.work chain depth)
           on_complete)
+  end
   else begin
     let next = at + 1 in
     let c = Chain.latency chain next in
+    Obs.count "netsim.transfers";
     Resource.request net.links.(leg - 1).(next - 1) ~duration:c ~tag:task
       ~on_start:(fun start ->
         record.comms.(next - 1) <- start;
@@ -61,6 +66,7 @@ let emit net record ~task ~on_complete =
   let { Spider.leg; _ } = record.address in
   let chain = Spider.leg_chain net.spider leg in
   let c1 = Chain.latency chain 1 in
+  Obs.count "netsim.transfers";
   Resource.request net.port ~duration:c1 ~tag:task ~on_start:(fun start ->
       record.comms.(0) <- start;
       Engine.schedule_at net.engine (start + c1) (fun () ->
@@ -107,12 +113,15 @@ type execution_report = {
   per_task_slack : int array;
 }
 
-let execute_plan plan =
+let execute_spider plan =
   (match Spider_schedule.check ~require_nonnegative:true plan with
   | [] -> ()
   | problems ->
       invalid_arg
         ("Netsim.execute_plan: infeasible plan: " ^ String.concat "; " problems));
+  Obs.span "netsim.execute"
+    ~args:[ ("tasks", string_of_int (Spider_schedule.task_count plan)) ]
+  @@ fun () ->
   let spider = Spider_schedule.spider plan in
   let net = build spider in
   let entries = Spider_schedule.entries plan in
@@ -146,8 +155,13 @@ let execute_plan plan =
     per_task_slack = slack;
   }
 
-let execute_chain_plan plan =
-  execute_plan (Spider_schedule.of_chain_schedule plan)
+let execute = function
+  | Plan.Spider plan -> execute_spider plan
+  | Plan.Chain plan -> execute_spider (Spider_schedule.of_chain_schedule plan)
+
+(* Deprecated spellings, kept as thin wrappers for one release. *)
+let execute_plan plan = execute (Plan.Spider plan)
+let execute_chain_plan plan = execute (Plan.Chain plan)
 
 (* ---------- finite buffers ---------- *)
 
@@ -165,7 +179,10 @@ module Credit = struct
       t.free <- t.free - 1;
       k ()
     end
-    else Queue.push k t.waiting
+    else begin
+      Msts_obs.Obs.count "netsim.buffer_waits";
+      Queue.push k t.waiting
+    end
 
   let release t =
     match Queue.take_opt t.waiting with
@@ -181,6 +198,9 @@ let same_shape a b =
 
 let replay_routing ?(buffer = max_int) ?on plan =
   if buffer < 1 then invalid_arg "Netsim.replay_routing: buffer must be >= 1";
+  Obs.span "netsim.replay_routing"
+    ~args:[ ("tasks", string_of_int (Spider_schedule.task_count plan)) ]
+  @@ fun () ->
   let spider =
     match on with
     | None -> Spider_schedule.spider plan
@@ -206,16 +226,19 @@ let replay_routing ?(buffer = max_int) ?on plan =
   let rec forward_bounded record ~task ~at =
     let { Spider.leg; depth } = record.address in
     let chain = Spider.leg_chain net.spider leg in
-    if at = depth then
+    if at = depth then begin
+      Obs.count "netsim.executions";
       Resource.request net.procs.(leg - 1).(depth - 1)
         ~duration:(Chain.work chain depth) ~tag:task ~on_start:(fun start ->
           record.start <- start;
           (* execution begins: the buffer slot at the destination frees *)
           Credit.release (credit { Spider.leg; depth = at }))
+    end
     else begin
       let next = at + 1 in
       let c = Chain.latency chain next in
       Credit.acquire (credit { Spider.leg; depth = next }) (fun () ->
+          Obs.count "netsim.transfers";
           Resource.request net.links.(leg - 1).(next - 1) ~duration:c ~tag:task
             ~on_start:(fun start ->
               record.comms.(next - 1) <- start;
@@ -232,6 +255,7 @@ let replay_routing ?(buffer = max_int) ?on plan =
       let chain = Spider.leg_chain net.spider leg in
       let c1 = Chain.latency chain 1 in
       Credit.acquire (credit { Spider.leg; depth = 1 }) (fun () ->
+          Obs.count "netsim.transfers";
           Resource.request net.port ~duration:c1 ~tag:(idx + 1)
             ~on_start:(fun start ->
               record.comms.(0) <- start;
@@ -383,6 +407,13 @@ module Faulty = struct
     | [] -> ()
     | problems ->
         invalid_arg ("Netsim: bad fault trace: " ^ String.concat "; " problems));
+    Obs.span "netsim.faulty_run"
+      ~args:
+        [
+          ("mode", match mode with Plan _ -> "plan" | Pull _ -> "pull");
+          ("fault_events", string_of_int (List.length trace));
+        ]
+    @@ fun () ->
     let trace = Fault.normalize trace in
     let engine = Engine.create () in
     let state = Fault.init spider in
@@ -427,7 +458,8 @@ module Faulty = struct
       match t.st with
       | At_node k ->
           let { Spider.leg; depth } = t.dest in
-          if k = depth then
+          if k = depth then (
+            Obs.count "netsim.executions";
             fres_request procs.(leg - 1).(k - 1)
               {
                 owner = t;
@@ -445,9 +477,10 @@ module Faulty = struct
                     t.st <- Finished k;
                     t.finish <- Engine.now engine;
                     task_finished t k);
-              }
-          else
+              })
+          else begin
             let next = k + 1 in
+            Obs.count "netsim.transfers";
             fres_request links.(leg - 1).(next - 1)
               {
                 owner = t;
@@ -465,6 +498,7 @@ module Faulty = struct
                     t.st <- At_node next;
                     proceed t);
               }
+          end
       | _ -> ()
     and task_finished t k =
       match mode with
@@ -475,6 +509,7 @@ module Faulty = struct
           try_emit ()
     and emit t =
       emitting := true;
+      Obs.count "netsim.transfers";
       fres_request port
         {
           owner = t;
@@ -670,6 +705,7 @@ module Faulty = struct
       pending := ids
     in
     let handle_fault index at event =
+      Obs.count "netsim.fault_events";
       (match event with
       | Fault.Slow_proc { address = { Spider.leg; depth }; factor } ->
           Fault.apply state event;
@@ -755,6 +791,9 @@ module Faulty = struct
               "Netsim: unserved tasks remain after the run (did the trace kill \
                every processor?)")
       tasks;
+    if !aborted > 0 then Obs.count ~n:!aborted "netsim.aborted_ops";
+    if !returned > 0 then Obs.count ~n:!returned "netsim.returned_tasks";
+    if !retries > 0 then Obs.count ~n:!retries "netsim.transfer_retries";
     let entries =
       Array.map
         (fun t ->
@@ -792,6 +831,7 @@ let pull_under_faults ?(trace = []) spider ~tasks =
 let pull_policy ?(buffer = 1) spider ~tasks =
   if buffer < 1 then invalid_arg "Netsim.pull_policy: buffer must be >= 1";
   if tasks < 0 then invalid_arg "Netsim.pull_policy: negative task count";
+  Obs.span "netsim.pull" ~args:[ ("tasks", string_of_int tasks) ] @@ fun () ->
   let net = build spider in
   let emitted = ref 0 in
   let records = ref [] in

@@ -33,11 +33,19 @@ type execution_report = {
           feasible plan) *)
 }
 
+val execute : Msts_schedule.Plan.t -> execution_report
+(** Unified executor over the polymorphic plan type: chain plans are
+    promoted to one-leg spiders, spider plans run as-is.  The plan must be
+    feasible with non-negative dates (checked; @raise Invalid_argument
+    otherwise). *)
+
 val execute_plan : Msts_schedule.Spider_schedule.t -> execution_report
-(** The plan must be feasible with non-negative dates (checked; @raise
-    Invalid_argument otherwise). *)
+(** Thin wrapper over {!execute}.
+    @deprecated use [execute (Plan.Spider plan)]; kept for one release. *)
 
 val execute_chain_plan : Msts_schedule.Schedule.t -> execution_report
+(** Thin wrapper over {!execute}.
+    @deprecated use [execute (Plan.Chain plan)]; kept for one release. *)
 
 val pull_policy :
   ?buffer:int -> Msts_platform.Spider.t -> tasks:int -> Msts_schedule.Spider_schedule.t

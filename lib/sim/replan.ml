@@ -1,5 +1,6 @@
 module Spider = Msts_platform.Spider
 module Spider_schedule = Msts_schedule.Spider_schedule
+module Obs = Msts_obs.Obs
 
 type outcome = {
   report : Netsim.fault_report;
@@ -27,7 +28,10 @@ let scripted decisions =
 let candidate snap =
   match snap.Fault.at_master with
   | [] -> None
-  | at_master -> (
+  | at_master ->
+      Obs.span "replan.candidate"
+        ~args:[ ("at_master", string_of_int (List.length at_master)) ]
+      @@ fun () -> (
       match Fault.residual snap.Fault.state with
       | None -> None
       | Some (residual, leg_map) -> (
@@ -77,11 +81,14 @@ let splice plan snap residual_plan leg_map =
   Spider_schedule.concat kept (Spider_schedule.make spider mapped)
 
 let eval plan trace decisions =
+  Obs.span "replan.lookahead" @@ fun () ->
   match Netsim.replay_under_faults ~trace ~decide:(scripted decisions) plan with
   | r -> r.Netsim.observed_makespan
   | exception _ -> max_int
 
 let replay ?(trace = []) plan =
+  Obs.span "replan.replay" ~args:[ ("fault_events", string_of_int (List.length trace)) ]
+  @@ fun () ->
   let trace = Fault.normalize trace in
   let history = ref [] in (* newest first *)
   let replans = ref 0 and considered = ref 0 in
@@ -97,15 +104,20 @@ let replay ?(trace = []) plan =
       | None -> Fault.Keep
       | Some (redirect_list, residual_plan, leg_map) ->
           incr considered;
+          Obs.count "replan.considered";
           let keep_cost = eval plan trace (h @ [ Fault.Keep ]) in
           let redirect = Fault.Redirect redirect_list in
           let redirect_cost = eval plan trace (h @ [ redirect ]) in
           if redirect_cost < keep_cost then begin
             incr replans;
+            Obs.count "replan.adopted";
             final_intent := Some (splice plan snap residual_plan leg_map);
             redirect
           end
-          else Fault.Keep
+          else begin
+            Obs.count "replan.rejected";
+            Fault.Keep
+          end
     in
     history := choice :: !history;
     choice

@@ -13,6 +13,7 @@ let name t = t.name
 let request t ~duration ~tag ~on_start =
   if duration < 0 then invalid_arg "Resource.request: negative duration";
   let start = max t.free_at (Engine.now t.engine) in
+  if start > Engine.now t.engine then Msts_obs.Obs.count "netsim.resource_waits";
   t.free_at <- start + duration;
   t.log <- { Msts_schedule.Intervals.start; duration; tag } :: t.log;
   t.served <- t.served + 1;

@@ -4,8 +4,11 @@ module Schedule = Msts_schedule.Schedule
 module Spider_schedule = Msts_schedule.Spider_schedule
 module Allocator = Msts_fork.Allocator
 module Deadline = Msts_chain.Deadline
+module Obs = Msts_obs.Obs
 
 let leg_schedules ?(budget = max_int) spider ~deadline =
+  Obs.span "spider.leg_schedules" ~args:[ ("deadline", string_of_int deadline) ]
+  @@ fun () ->
   Array.init (Spider.legs spider) (fun idx ->
       Deadline.schedule ~max_tasks:budget
         (Spider.leg_chain spider (idx + 1))
@@ -19,6 +22,8 @@ let virtual_fork spider ~deadline legs =
 let schedule ?(budget = max_int) spider ~deadline =
   if deadline < 0 then invalid_arg "Spider algorithm: negative deadline";
   if budget < 0 then invalid_arg "Spider algorithm: negative budget";
+  Obs.span "spider.schedule" ~args:[ ("deadline", string_of_int deadline) ]
+  @@ fun () ->
   let legs = leg_schedules ~budget spider ~deadline in
   let nodes = virtual_fork spider ~deadline legs in
   let allocations = Allocator.allocate nodes ~deadline ~budget in
@@ -58,9 +63,11 @@ let min_makespan spider n =
   if n < 0 then invalid_arg "Spider algorithm: negative task count";
   if n = 0 then 0
   else begin
+    Obs.span "spider.min_makespan" ~args:[ ("n", string_of_int n) ] @@ fun () ->
     let hi = makespan_upper_bound spider n in
     match
       Msts_util.Intx.binary_search_least ~lo:0 ~hi (fun d ->
+          Obs.count "spider.search_probes";
           max_tasks ~budget:n spider ~deadline:d >= n)
     with
     | Some d -> d

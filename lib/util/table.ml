@@ -13,6 +13,10 @@ let add_row t row =
 
 let add_int_row t row = add_row t (List.map string_of_int row)
 
+let title t = t.title
+let columns t = t.columns
+let rows t = List.rev t.rows
+
 let widths t =
   let update ws row =
     List.map2 (fun w cell -> max w (String.length cell)) ws row

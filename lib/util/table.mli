@@ -16,6 +16,13 @@ val add_row : t -> string list -> unit
 val add_int_row : t -> int list -> unit
 (** Convenience: a row of integers. *)
 
+val title : t -> string
+val columns : t -> string list
+
+val rows : t -> string list list
+(** Rows in insertion order — the accessors feed the shared JSON encoder
+    so tabular CLI reports render uniformly in both formats. *)
+
 val render : t -> string
 (** Box-drawing text rendering with the title on top. *)
 

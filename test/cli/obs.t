@@ -1,0 +1,150 @@
+Observability and the unified facade from the command line.
+
+  $ cat > fig2.txt <<'PLATFORM'
+  > chain
+  > 2 3
+  > 3 5
+  > PLATFORM
+  $ ../../bin/msts.exe generate --kind spider --size 3 --seed 5 -o spider.txt
+
+Profiling a pure solve: the summary and counter totals are deterministic
+(span timings are not, so only the counter table is checked here).
+
+  $ ../../bin/msts.exe profile -p spider.txt -n 6 --workload solve --trace-out trace.json > out.txt
+  $ head -3 out.txt
+  workload: solve
+  makespan: 20
+  tasks: 6
+  $ sed -n '/== counters ==/,/== spans ==/p' out.txt | grep -E '\| (chain|fork|spider)\.'
+  | chain.candidate_scans | 132   |
+  | chain.hull_updates    | 43    |
+  | chain.tasks_placed    | 40    |
+  | fork.insert_probes    | 34    |
+  | fork.nodes_accepted   | 28    |
+  | fork.nodes_considered | 40    |
+  | spider.search_probes  | 5     |
+  | spider.virtual_nodes  | 40    |
+
+The spans table follows (timings vary run to run, so only names are checked):
+
+  $ sed -n '/== spans ==/,$p' out.txt | grep -oE '(chain|fork|spider|netsim)\.[a-z_.]+' | sort -u
+  chain.deadline.schedule
+  fork.allocate
+  spider.leg_schedules
+  spider.min_makespan
+  spider.schedule
+  $ grep '^trace:' out.txt
+  trace: trace.json (343 events, valid chrome trace)
+
+The emitted trace is a valid Chrome trace_event document (the profile
+command re-parses the written file itself; double-check the shape):
+
+  $ grep -c '"traceEvents"' trace.json
+  1
+  $ grep -o '"ph": "[BEC]"' trace.json | sort | uniq -c | sed 's/^ *//'
+  38 "ph": "B"
+  267 "ph": "C"
+  38 "ph": "E"
+
+Every read-only subcommand speaks JSON through the same encoder:
+
+  $ ../../bin/msts.exe schedule -p fig2.txt -n 3 --format=json
+  {
+    "kind": "chain",
+    "tasks": 3,
+    "makespan": 10,
+    "entries": [
+      {
+        "task": 1,
+        "proc": 2,
+        "start": 5,
+        "comms": [
+          0,
+          2
+        ]
+      },
+      {
+        "task": 2,
+        "proc": 1,
+        "start": 4,
+        "comms": [
+          2
+        ]
+      },
+      {
+        "task": 3,
+        "proc": 1,
+        "start": 7,
+        "comms": [
+          5
+        ]
+      }
+    ]
+  }
+  $ ../../bin/msts.exe bounds -p fig2.txt -n 5 --format=json | head -12
+  {
+    "title": "bounds and schedulers, n=5",
+    "columns": [
+      "method",
+      "makespan"
+    ],
+    "rows": [
+      [
+        "port lower bound",
+        "13"
+      ],
+      [
+  $ ../../bin/msts.exe metrics -p fig2.txt -n 3 --format=json | head -8
+  {
+    "kind": "chain",
+    "tasks": 3,
+    "makespan": 10,
+    "total_waiting": 0,
+    "max_waiting": 0,
+    "processors": [
+      {
+  $ ../../bin/msts.exe deadline -p fig2.txt -d 10 --format=json | head -6
+  {
+    "deadline": 10,
+    "kind": "chain",
+    "tasks": 3,
+    "makespan": 10,
+    "entries": [
+  $ ../../bin/msts.exe faults -p spider.txt -n 4 --seed 2 --events 2 --format=json | head -10
+  {
+    "trace": [
+      "7 slow-proc 3 1 3",
+      "12 drop 1 1 1"
+    ],
+    "replans_adopted": 0,
+    "replans_considered": 0,
+    "results": {
+      "title": "execution under faults, n=4",
+      "columns": [
+
+The execute workload drives the plan through the event-driven simulator:
+
+  $ ../../bin/msts.exe profile -p spider.txt -n 6 --workload execute > big.txt; head -4 big.txt
+  workload: execute
+  planned_makespan: 20
+  realized_makespan: 20
+  tasks: 6
+  $ sed -n '/== counters ==/,/== spans ==/p' big.txt | grep -E '\| (engine|netsim)\.'
+  | engine.events         | 24    |
+  | netsim.executions     | 6     |
+  | netsim.resource_waits | 5     |
+
+Solving errors surface through the facade with exit code 2:
+
+  $ cat > branchy.txt <<'PLATFORM'
+  > tree
+  > 1 1 0
+  > 1 2 1
+  > 1 3 1
+  > PLATFORM
+  $ ../../bin/msts.exe schedule -p branchy.txt -n 3
+  error: this tree branches below the master; use the tree cover heuristics instead
+  [2]
+  $ ../../bin/msts.exe schedule -p fig2.txt -n 3 --format=yaml 2>&1 | head -2
+  msts: option '--format': invalid value 'yaml', expected either 'text' or
+        'json'

@@ -25,5 +25,7 @@ let () =
          Test_spider_analysis.suites;
          Test_parsers_fuzz.suites;
          Test_tree.suites;
+         Test_obs.suites;
+         Test_solve.suites;
          Test_integration.suites;
        ])

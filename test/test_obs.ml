@@ -1,0 +1,228 @@
+(* Tests for the observability layer: span nesting under a deterministic
+   clock, counter totals, Chrome-trace well-formedness, and — crucially —
+   that the default null sink changes no output at all. *)
+
+open Helpers
+module Obs = Msts.Obs
+module Json = Msts.Json
+
+(* Install a deterministic clock ticking [step] microseconds per read and
+   run [f] with a fresh memory sink; restores the wall clock afterwards. *)
+let with_ticking_clock ?(step = 10) f =
+  let t = ref 0 in
+  Obs.set_clock
+    (Some
+       (fun () ->
+         let now = !t in
+         t := now + step;
+         now));
+  Fun.protect
+    ~finally:(fun () -> Obs.set_clock None)
+    (fun () ->
+      let mem = Obs.Memory.create () in
+      Obs.with_sink (Obs.Memory.sink mem) (fun () -> f ());
+      mem)
+
+(* ---------- spans ---------- *)
+
+let span_nesting () =
+  let mem =
+    with_ticking_clock (fun () ->
+        Obs.span "outer" (fun () ->
+            Obs.span "inner" (fun () -> ());
+            Obs.span "inner" (fun () -> ())))
+  in
+  Alcotest.(check int) "max depth" 2 (Obs.Memory.max_depth mem);
+  Alcotest.(check (list string)) "balanced" [] (Obs.Memory.open_spans mem);
+  let stats = Obs.Memory.spans mem in
+  let stat name = List.assoc name stats in
+  Alcotest.(check int) "inner calls" 2 (stat "inner").Obs.Memory.calls;
+  Alcotest.(check int) "outer calls" 1 (stat "outer").Obs.Memory.calls;
+  (* clock ticks once per event: outer B, inner B, inner E, inner B,
+     inner E, outer E at ts 0,10,20,30,40,50 *)
+  Alcotest.(check int) "outer total" 50 (stat "outer").Obs.Memory.total_us;
+  Alcotest.(check int) "inner total" 20 (stat "inner").Obs.Memory.total_us;
+  Alcotest.(check int) "inner max" 10 (stat "inner").Obs.Memory.max_us
+
+let span_survives_exception () =
+  let mem =
+    with_ticking_clock (fun () ->
+        try Obs.span "risky" (fun () -> failwith "boom")
+        with Failure _ -> ())
+  in
+  Alcotest.(check (list string)) "end emitted on raise" []
+    (Obs.Memory.open_spans mem);
+  Alcotest.(check int) "one completed call" 1
+    (List.assoc "risky" (Obs.Memory.spans mem)).Obs.Memory.calls
+
+let span_returns_value () =
+  Alcotest.(check int) "pass-through without a sink" 42
+    (Obs.span "x" (fun () -> 42));
+  let mem = Obs.Memory.create () in
+  let v = Obs.with_sink (Obs.Memory.sink mem) (fun () -> Obs.span "x" (fun () -> 7)) in
+  Alcotest.(check int) "pass-through with a sink" 7 v
+
+(* ---------- counters ---------- *)
+
+let counter_totals () =
+  let mem =
+    with_ticking_clock (fun () ->
+        Obs.count "a";
+        Obs.count ~n:4 "b";
+        Obs.count ~n:2 "a";
+        Obs.count "b")
+  in
+  Alcotest.(check (list (pair string int)))
+    "sorted totals"
+    [ ("a", 3); ("b", 5) ]
+    (Obs.Memory.counters mem);
+  Alcotest.(check int) "single lookup" 3 (Obs.Memory.counter mem "a");
+  Alcotest.(check int) "missing is zero" 0 (Obs.Memory.counter mem "zzz")
+
+let counter_rows_match () =
+  let mem =
+    with_ticking_clock (fun () ->
+        Obs.count ~n:3 "x";
+        Obs.count "y")
+  in
+  Alcotest.(check (list (list string)))
+    "table rows"
+    [ [ "x"; "3" ]; [ "y"; "1" ] ]
+    (Obs.Memory.counter_rows mem)
+
+(* ---------- null sink: no behavioural change ---------- *)
+
+let null_sink_is_default () =
+  Alcotest.(check bool) "disabled by default" false (Obs.enabled ());
+  (* count/span with no sink must be pure no-ops *)
+  Obs.count ~n:1000 "ghost";
+  Obs.span "ghost" (fun () -> ());
+  let mem = with_ticking_clock (fun () -> ()) in
+  Alcotest.(check (list (pair string int)))
+    "nothing leaked into later sinks" [] (Obs.Memory.counters mem)
+
+let null_sink_identical_outputs () =
+  let chain = figure2_chain in
+  let quiet = Msts.Chain_algorithm.schedule chain 5 in
+  let mem = Obs.Memory.create () in
+  let observed =
+    Obs.with_sink (Obs.Memory.sink mem) (fun () ->
+        Msts.Chain_algorithm.schedule chain 5)
+  in
+  Alcotest.(check string)
+    "schedule text identical with and without a sink"
+    (Msts.Schedule.to_string quiet)
+    (Msts.Schedule.to_string observed);
+  Alcotest.(check bool)
+    "and the sink did observe work" true
+    (Obs.Memory.counter mem "chain.tasks_placed" > 0)
+
+let with_sink_restores () =
+  let outer = Obs.Memory.create () in
+  Obs.with_sink (Obs.Memory.sink outer) (fun () ->
+      let inner = Obs.Memory.create () in
+      (try
+         Obs.with_sink (Obs.Memory.sink inner) (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Obs.count "after");
+  Alcotest.(check bool) "no sink after with_sink" false (Obs.enabled ());
+  Alcotest.(check int) "outer sink restored after inner raised" 1
+    (Obs.Memory.counter outer "after")
+
+(* ---------- Chrome trace export ---------- *)
+
+let chrome_trace_wellformed () =
+  let mem =
+    with_ticking_clock (fun () ->
+        Obs.span "phase" ~args:[ ("n", "5") ] (fun () -> Obs.count ~n:2 "work");
+        Obs.count "work")
+  in
+  let text = Json.to_string ~pretty:true (Obs.Memory.chrome_trace mem) in
+  match Json.parse text with
+  | Error msg -> Alcotest.failf "emitted trace does not re-parse: %s" msg
+  | Ok json -> (
+      match Json.member "traceEvents" json with
+      | Some (Json.List events) ->
+          Alcotest.(check int) "B + E + two counter samples" 4
+            (List.length events);
+          let phases =
+            List.filter_map
+              (fun ev ->
+                match Json.member "ph" ev with
+                | Some (Json.String ph) -> Some ph
+                | _ -> None)
+              events
+          in
+          Alcotest.(check (list string)) "phases" [ "B"; "C"; "E"; "C" ] phases;
+          (* counter samples carry running totals *)
+          let totals =
+            List.filter_map
+              (fun ev ->
+                match (Json.member "ph" ev, Json.member "args" ev) with
+                | Some (Json.String "C"), Some (Json.Obj [ (_, Json.Int v) ]) ->
+                    Some v
+                | _ -> None)
+              events
+          in
+          Alcotest.(check (list int)) "running totals" [ 2; 3 ] totals
+      | _ -> Alcotest.fail "traceEvents missing or not a list")
+
+(* ---------- the shared JSON encoder ---------- *)
+
+let json_roundtrip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.String "a \"quoted\"\nline");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 31.3);
+        ("b", Json.Bool true);
+        ("null", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Int 2 ]);
+      ]
+  in
+  List.iter
+    (fun pretty ->
+      match Json.parse (Json.to_string ~pretty doc) with
+      | Ok parsed ->
+          Alcotest.(check bool)
+            (Printf.sprintf "roundtrip pretty=%b" pretty)
+            true (parsed = doc)
+      | Error msg -> Alcotest.failf "roundtrip failed: %s" msg)
+    [ false; true ]
+
+let json_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      match Json.parse bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated" ]
+
+let suites =
+  [
+    ( "obs.spans",
+      [
+        case "nesting and totals" span_nesting;
+        case "end emitted on exception" span_survives_exception;
+        case "returns the body's value" span_returns_value;
+      ] );
+    ( "obs.counters",
+      [
+        case "totals and lookup" counter_totals;
+        case "table rows" counter_rows_match;
+      ] );
+    ( "obs.sink",
+      [
+        case "null sink is the default" null_sink_is_default;
+        case "outputs identical with and without a sink"
+          null_sink_identical_outputs;
+        case "with_sink restores on exceptions" with_sink_restores;
+      ] );
+    ( "obs.export",
+      [
+        case "chrome trace is well-formed" chrome_trace_wellformed;
+        case "json roundtrip" json_roundtrip;
+        case "json rejects garbage" json_rejects_garbage;
+      ] );
+  ]

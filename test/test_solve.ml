@@ -1,0 +1,170 @@
+(* Tests for the Msts.Solve facade: the one-call entry point must agree
+   exactly with the underlying per-shape algorithms, and Netsim.execute
+   must accept either plan shape. *)
+
+open Helpers
+module Solve = Msts.Solve
+module Plan = Msts.Plan
+
+let fig2_platform = Msts.Platform_format.Chain_platform figure2_chain
+
+let spider_fixture () =
+  Msts.Spider.make
+    [|
+      Msts.Chain.of_pairs [ (2, 3); (3, 5) ];
+      Msts.Chain.of_pairs [ (1, 4) ];
+      Msts.Chain.of_pairs [ (3, 2); (2, 2) ];
+    |]
+
+let chain_tasks_agrees () =
+  match Solve.solve (Solve.problem ~tasks:5 fig2_platform) with
+  | Ok (Plan.Chain sched) ->
+      let direct = Msts.Chain_algorithm.schedule figure2_chain 5 in
+      Alcotest.(check string) "same schedule"
+        (Msts.Schedule.to_string direct)
+        (Msts.Schedule.to_string sched);
+      Alcotest.(check int) "plan makespan" (Msts.Schedule.makespan direct)
+        (Plan.makespan (Plan.Chain sched))
+  | Ok (Plan.Spider _) -> Alcotest.fail "chain problem produced a spider plan"
+  | Error msg -> Alcotest.fail msg
+
+let chain_deadline_agrees () =
+  match Solve.solve (Solve.problem ~deadline:20 fig2_platform) with
+  | Ok (Plan.Chain sched) ->
+      let direct = Msts.Chain_deadline.schedule figure2_chain ~deadline:20 in
+      Alcotest.(check int) "same task count"
+        (Msts.Schedule.task_count direct)
+        (Plan.task_count (Plan.Chain sched))
+  | Ok (Plan.Spider _) -> Alcotest.fail "chain problem produced a spider plan"
+  | Error msg -> Alcotest.fail msg
+
+let spider_tasks_agrees () =
+  let spider = spider_fixture () in
+  let platform = Msts.Platform_format.Spider_platform spider in
+  match Solve.solve (Solve.problem ~tasks:7 platform) with
+  | Ok (Plan.Spider sched) ->
+      let direct = Msts.Spider_algorithm.schedule_tasks spider 7 in
+      Alcotest.(check int) "same makespan"
+        (Msts.Spider_schedule.makespan direct)
+        (Msts.Spider_schedule.makespan sched)
+  | Ok (Plan.Chain _) -> Alcotest.fail "spider problem produced a chain plan"
+  | Error msg -> Alcotest.fail msg
+
+let fork_is_promoted () =
+  let fork = Msts.Fork.of_pairs [ (2, 3); (1, 4); (3, 2) ] in
+  let platform = Msts.Platform_format.Fork_platform fork in
+  match Solve.solve (Solve.problem ~tasks:6 platform) with
+  | Ok (Plan.Spider sched) ->
+      let direct =
+        Msts.Spider_algorithm.schedule_tasks (Msts.Spider.of_fork fork) 6
+      in
+      Alcotest.(check int) "fork promoted to one-node legs"
+        (Msts.Spider_schedule.makespan direct)
+        (Msts.Spider_schedule.makespan sched)
+  | Ok (Plan.Chain _) -> Alcotest.fail "fork should become a spider plan"
+  | Error msg -> Alcotest.fail msg
+
+let budgeted_deadline () =
+  (* tasks AND deadline: fill the deadline but never exceed the budget *)
+  match Solve.solve (Solve.problem ~tasks:2 ~deadline:50 fig2_platform) with
+  | Ok plan ->
+      Alcotest.(check int) "budget caps the count" 2 (Plan.task_count plan)
+  | Error msg -> Alcotest.fail msg
+
+let errors_are_reported () =
+  let check_error name problem =
+    match Solve.solve problem with
+    | Ok _ -> Alcotest.failf "%s should be rejected" name
+    | Error _ -> ()
+  in
+  check_error "no objective" (Solve.problem fig2_platform);
+  check_error "negative tasks" (Solve.problem ~tasks:(-1) fig2_platform);
+  check_error "negative deadline" (Solve.problem ~deadline:(-3) fig2_platform);
+  let branchy =
+    (* a node below the master with two children: not a spider *)
+    let leaf = Msts.Tree.node ~latency:1 ~work:1 () in
+    Msts.Tree.make
+      [ Msts.Tree.node ~latency:1 ~work:1 ~children:[ leaf; leaf ] () ]
+  in
+  check_error "branching tree"
+    (Solve.problem ~tasks:3 (Msts.Platform_format.Tree_platform branchy));
+  Alcotest.check_raises "solve_exn raises"
+    (Invalid_argument "Solve.solve: nothing to solve: set a task count or a deadline")
+    (fun () -> ignore (Solve.solve_exn (Solve.problem fig2_platform)))
+
+let plan_check_dispatches () =
+  let chain_plan = Solve.solve_exn (Solve.problem ~tasks:4 fig2_platform) in
+  Alcotest.(check (list string)) "chain plan feasible" [] (Plan.check chain_plan);
+  let spider_plan =
+    Solve.solve_exn
+      (Solve.problem ~tasks:4
+         (Msts.Platform_format.Spider_platform (spider_fixture ())))
+  in
+  Alcotest.(check (list string)) "spider plan feasible" [] (Plan.check spider_plan)
+
+(* ---------- the unified executor ---------- *)
+
+let execute_accepts_both_shapes () =
+  let chain_plan = Solve.solve_exn (Solve.problem ~tasks:4 fig2_platform) in
+  let report = Msts.Netsim.execute chain_plan in
+  Alcotest.(check int) "chain plan replays exactly"
+    (Plan.makespan chain_plan)
+    report.Msts.Netsim.realized_makespan;
+  let spider_plan =
+    Solve.solve_exn
+      (Solve.problem ~tasks:5
+         (Msts.Platform_format.Spider_platform (spider_fixture ())))
+  in
+  let report = Msts.Netsim.execute spider_plan in
+  Alcotest.(check int) "spider plan replays exactly"
+    (Plan.makespan spider_plan)
+    report.Msts.Netsim.realized_makespan
+
+let deprecated_wrappers_agree () =
+  let spider = spider_fixture () in
+  let sched = Msts.Spider_algorithm.schedule_tasks spider 5 in
+  let via_unified = Msts.Netsim.execute (Plan.Spider sched) in
+  let via_legacy = Msts.Netsim.execute_plan sched in
+  Alcotest.(check int) "execute_plan = execute (Spider _)"
+    via_unified.Msts.Netsim.realized_makespan
+    via_legacy.Msts.Netsim.realized_makespan;
+  let chain_sched = Msts.Chain_algorithm.schedule figure2_chain 4 in
+  let via_unified = Msts.Netsim.execute (Plan.Chain chain_sched) in
+  let via_legacy = Msts.Netsim.execute_chain_plan chain_sched in
+  Alcotest.(check int) "execute_chain_plan = execute (Chain _)"
+    via_unified.Msts.Netsim.realized_makespan
+    via_legacy.Msts.Netsim.realized_makespan
+
+let facade_matches_direct_stress =
+  to_alcotest
+    (QCheck.Test.make ~count:40
+       ~name:"facade chain solve equals direct algorithm"
+       (chain_with_n_arb ())
+       (fun (chain, n) ->
+         let direct = Msts.Chain_algorithm.schedule chain n in
+         match
+           Solve.solve
+             (Solve.problem ~tasks:n (Msts.Platform_format.Chain_platform chain))
+         with
+         | Ok plan -> Plan.makespan plan = Msts.Schedule.makespan direct
+         | Error _ -> false))
+
+let suites =
+  [
+    ( "solve.facade",
+      [
+        case "chain tasks" chain_tasks_agrees;
+        case "chain deadline" chain_deadline_agrees;
+        case "spider tasks" spider_tasks_agrees;
+        case "fork promotion" fork_is_promoted;
+        case "budgeted deadline" budgeted_deadline;
+        case "error reporting" errors_are_reported;
+        case "plan feasibility dispatch" plan_check_dispatches;
+        facade_matches_direct_stress;
+      ] );
+    ( "solve.execute",
+      [
+        case "unified executor accepts both shapes" execute_accepts_both_shapes;
+        case "deprecated wrappers agree" deprecated_wrappers_agree;
+      ] );
+  ]
