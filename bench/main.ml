@@ -13,7 +13,8 @@
    CI (and humans) can diff algorithmic work — candidate scans, hull
    updates, simulator events — across revisions, not just wall time. *)
 
-let registry = Experiments.all @ Ablations.all @ Faults.all @ Timing.all
+let registry =
+  Experiments.all @ Ablations.all @ Faults.all @ Batch_bench.all @ Timing.all
 
 let counters_path name = Printf.sprintf "BENCH_%s.json" name
 

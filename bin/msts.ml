@@ -643,6 +643,214 @@ let faults_cmd =
       const run $ platform_arg $ tasks_arg $ trace_arg $ seed_arg $ events_arg
       $ format_arg $ gantt_arg $ width_arg)
 
+(* ---------- batch ---------- *)
+
+let batch_cmd =
+  let manifest_arg =
+    let doc =
+      "Manifest file: one instance per line, `<platform-file> <tasks> \
+       [<deadline>]` ($(b,-) for no task budget), `#` comments ignored."
+    in
+    Arg.(value & opt (some file) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+  in
+  let count_arg =
+    let doc = "Generate $(docv) seeded random instances instead of reading a manifest." in
+    Arg.(value & opt (some int) None & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed for the generated instances." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains ($(b,0) = one per recommended core).  Outputs are \
+       byte-identical whatever $(docv) is."
+    in
+    Arg.(value & opt int 0 & info [ "j"; "jobs" ] ~docv:"J" ~doc)
+  in
+  let cache_arg =
+    let doc = "Capacity of the LRU solve cache." in
+    Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"K" ~doc)
+  in
+  let parse_manifest path =
+    let problems = ref [] in
+    In_channel.with_open_text path (fun ic ->
+        let lineno = ref 0 in
+        try
+          while true do
+            let line = In_channel.input_line ic |> Option.get in
+            incr lineno;
+            let line =
+              match String.index_opt line '#' with
+              | Some i -> String.sub line 0 i
+              | None -> line
+            in
+            match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+            | [] -> ()
+            | file :: rest ->
+                let objective name = function
+                  | "-" -> None
+                  | s -> (
+                      match int_of_string_opt s with
+                      | Some v -> Some v
+                      | None ->
+                          Printf.eprintf "error: %s:%d: bad %s %S\n" path !lineno
+                            name s;
+                          exit 2)
+                in
+                let tasks, deadline =
+                  match rest with
+                  | [ n ] -> (objective "task count" n, None)
+                  | [ n; d ] -> (objective "task count" n, objective "deadline" d)
+                  | _ ->
+                      Printf.eprintf
+                        "error: %s:%d: expected `<file> <tasks> [<deadline>]`\n"
+                        path !lineno;
+                      exit 2
+                in
+                problems :=
+                  Msts.Solve.problem ?tasks ?deadline (read_platform file)
+                  :: !problems
+          done
+        with Invalid_argument _ -> ());
+    Array.of_list (List.rev !problems)
+  in
+  (* Seeded mixed workload: all four generator profiles, three platform
+     shapes, and a deterministic sprinkling of exact duplicates so the
+     solve cache has something to do. *)
+  let generated ~count ~seed =
+    let rng = Msts.Prng.create seed in
+    let profiles =
+      [|
+        Msts.Generator.default_profile;
+        Msts.Generator.balanced_profile;
+        Msts.Generator.compute_bound_profile;
+        Msts.Generator.comm_bound_profile;
+      |]
+    in
+    let fresh i =
+      let profile = profiles.(i mod Array.length profiles) in
+      let platform =
+        match i mod 3 with
+        | 0 ->
+            Msts.Platform_format.Chain_platform
+              (Msts.Generator.chain rng profile ~p:(Msts.Prng.int_in rng 2 5))
+        | 1 ->
+            Msts.Platform_format.Spider_platform
+              (Msts.Generator.spider rng profile
+                 ~legs:(Msts.Prng.int_in rng 2 4)
+                 ~max_depth:2)
+        | _ ->
+            Msts.Platform_format.Fork_platform
+              (Msts.Generator.fork rng profile ~slaves:(Msts.Prng.int_in rng 2 5))
+      in
+      Msts.Solve.problem ~tasks:(Msts.Prng.int_in rng 3 24) platform
+    in
+    let out = Array.make count (Msts.Solve.problem (fresh 0).Msts.Solve.platform) in
+    for i = 0 to count - 1 do
+      out.(i) <- (if i mod 4 = 3 then out.(i / 2) else fresh i)
+    done;
+    out
+  in
+  let run manifest count seed jobs cache_size fmt =
+    if cache_size < 1 then begin
+      Printf.eprintf "error: --cache-size must be >= 1\n";
+      exit 2
+    end;
+    let problems =
+      match (manifest, count) with
+      | Some _, Some _ ->
+          Printf.eprintf "error: --manifest and --count are mutually exclusive\n";
+          exit 2
+      | Some path, None -> parse_manifest path
+      | None, Some n ->
+          if n < 1 then begin
+            Printf.eprintf "error: --count must be >= 1\n";
+            exit 2
+          end;
+          generated ~count:n ~seed
+      | None, None ->
+          Printf.eprintf "error: give either --manifest or --count\n";
+          exit 2
+    in
+    let cache = Msts.Batch.cache ~capacity:cache_size in
+    let jobs = if jobs <= 0 then None else Some jobs in
+    let outcomes, stats =
+      Msts.Batch.run ?jobs ~cache ~solve:Msts.Solve.solve problems
+    in
+    let kind_of i =
+      match problems.(i).Msts.Solve.platform with
+      | Msts.Platform_format.Chain_platform _ -> "chain"
+      | Msts.Platform_format.Fork_platform _ -> "fork"
+      | Msts.Platform_format.Spider_platform _ -> "spider"
+      | Msts.Platform_format.Tree_platform _ -> "tree"
+    in
+    let failures = ref 0 in
+    (match fmt with
+    | Text ->
+        Printf.printf "batch: %d instances (cache capacity %d)\n"
+          stats.Msts.Batch.requests cache_size;
+        Array.iteri
+          (fun i outcome ->
+            match outcome with
+            | Ok plan ->
+                Printf.printf "  %d: kind=%s tasks=%d makespan=%d\n" (i + 1)
+                  (kind_of i) (Msts.Plan.task_count plan) (Msts.Plan.makespan plan)
+            | Error msg ->
+                incr failures;
+                Printf.printf "  %d: kind=%s error=%s\n" (i + 1) (kind_of i) msg)
+          outcomes;
+        (* The counter block `msts profile` would show, without running a
+           sink: batch statistics are part of the deterministic output. *)
+        Printf.printf "pool.cache_hits: %d\n" stats.Msts.Batch.cache_hits;
+        Printf.printf "pool.cache_misses: %d\n" stats.Msts.Batch.cache_misses;
+        Printf.printf "pool.solves: %d\n" stats.Msts.Batch.cache_misses
+    | Json ->
+        let result i outcome =
+          let open Msts.Json in
+          match outcome with
+          | Ok plan ->
+              Obj
+                [
+                  ("instance", Int (i + 1));
+                  ("kind", String (kind_of i));
+                  ("tasks", Int (Msts.Plan.task_count plan));
+                  ("makespan", Int (Msts.Plan.makespan plan));
+                ]
+          | Error msg ->
+              incr failures;
+              Obj
+                [
+                  ("instance", Int (i + 1));
+                  ("kind", String (kind_of i));
+                  ("error", String msg);
+                ]
+        in
+        emit_json
+          (Msts.Json.Obj
+             [
+               ("instances", Msts.Json.Int stats.Msts.Batch.requests);
+               ( "cache",
+                 Msts.Json.Obj
+                   [
+                     ("capacity", Msts.Json.Int cache_size);
+                     ("hits", Msts.Json.Int stats.Msts.Batch.cache_hits);
+                     ("misses", Msts.Json.Int stats.Msts.Batch.cache_misses);
+                   ] );
+               ( "results",
+                 Msts.Json.List (Array.to_list (Array.mapi result outcomes)) );
+             ]));
+    if !failures > 0 then exit 1
+  in
+  let doc =
+    "Solve many instances at once on a domain pool with an LRU solve cache.  \
+     Results are in submission order and byte-identical for any --jobs."
+  in
+  Cmd.v (Cmd.info "batch" ~doc)
+    Term.(
+      const run $ manifest_arg $ count_arg $ seed_arg $ jobs_arg $ cache_arg
+      $ format_arg)
+
 (* ---------- profile ---------- *)
 
 let profile_cmd =
@@ -835,6 +1043,7 @@ let main_cmd =
       throughput_cmd;
       pull_cmd;
       faults_cmd;
+      batch_cmd;
       metrics_cmd;
       profile_cmd;
       tree_cmd;

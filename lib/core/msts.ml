@@ -10,6 +10,9 @@
 
     {ul
     {- the unified facade: {!Solve} (one problem record, one {!Plan});}
+    {- multicore batch solving: {!Pool} (domain pool, sharded queue) and
+       {!Batch} (LRU solve cache, deterministic fan-out), surfaced as
+       {!Solve.solve_batch};}
     {- platform descriptions: {!Chain}, {!Fork}, {!Spider}, {!Tree},
        {!Generator}, {!Platform_format}, {!Dot};}
     {- schedules and their audit: {!Comm_vector}, {!Schedule},
@@ -25,6 +28,11 @@
 
 (* The unified facade: one problem record in, one polymorphic plan out. *)
 module Solve = Solve
+
+(* Multicore batch solving: a fixed-size domain pool with a sharded work
+   queue, and the batch driver with its shared LRU solve cache. *)
+module Pool = Msts_pool.Pool
+module Batch = Msts_pool.Batch
 
 (* Platforms *)
 module Chain = Msts_platform.Chain
@@ -97,3 +105,4 @@ module Heap = Msts_util.Heap
 module Stats = Msts_util.Stats
 module Table = Msts_util.Table
 module Intx = Msts_util.Intx
+module Lru = Msts_util.Lru

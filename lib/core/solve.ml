@@ -4,7 +4,7 @@ module Tree = Msts_platform.Tree
 module Plan = Msts_schedule.Plan
 module Obs = Msts_obs.Obs
 
-type problem = {
+type problem = Msts_pool.Batch.request = {
   platform : Parse.platform;
   tasks : int option;
   deadline : int option;
@@ -58,3 +58,6 @@ let solve_exn p =
   match solve p with
   | Ok plan -> plan
   | Error msg -> invalid_arg ("Solve.solve: " ^ msg)
+
+let solve_batch ?pool ?jobs ?cache problems =
+  fst (Msts_pool.Batch.run ?pool ?jobs ?cache ~solve problems)

@@ -16,11 +16,13 @@
     solve runs inside an [Obs] span, so installing a sink (see
     {!Msts_obs.Obs}) observes the full construction. *)
 
-type problem = {
+type problem = Msts_pool.Batch.request = {
   platform : Msts_platform.Parse.platform;
   tasks : int option;  (** number of tasks (a budget when a deadline is set) *)
   deadline : int option;  (** time limit [T_lim] *)
 }
+(** The same record as {!Msts_pool.Batch.request}, so problems flow into
+    the batch machinery without conversion. *)
 
 val problem :
   ?tasks:int -> ?deadline:int -> Msts_platform.Parse.platform -> problem
@@ -39,6 +41,21 @@ val solve : problem -> (Msts_schedule.Plan.t, string) result
 
 val solve_exn : problem -> Msts_schedule.Plan.t
 (** {!solve}, raising [Invalid_argument] on [Error]. *)
+
+val solve_batch :
+  ?pool:Msts_pool.Pool.t ->
+  ?jobs:int ->
+  ?cache:Msts_pool.Batch.cache ->
+  problem array ->
+  (Msts_schedule.Plan.t, string) result array
+(** Solve a whole batch across a domain pool, deduplicated through the
+    (optional, shareable) LRU solve cache.  Results come back in
+    submission order and are {e structurally identical} to calling
+    {!solve} one by one, whatever [jobs] is — the parallel path may not
+    change a single date (see docs/PERFORMANCE.md for the determinism
+    argument, and [Msts.Batch.run] for per-batch cache statistics).
+    [jobs] defaults to [Domain.recommended_domain_count ()]; [pool], when
+    given, wins over [jobs]. *)
 
 val as_spider : Msts_platform.Parse.platform -> (Msts_platform.Spider.t, string) result
 (** The promotion {!solve} uses for non-chain platforms, exposed for

@@ -5,46 +5,52 @@ type event =
 
 type sink = event -> unit
 
-(* ---------- global sink ---------- *)
+(* ---------- domain-local sink ----------
 
-let the_sink : sink option ref = ref None
-let set_sink s = the_sink := s
-let current_sink () = !the_sink
-let enabled () = Option.is_some !the_sink
+   The sink (and the clock override below) lives in domain-local storage,
+   not a shared ref: a freshly spawned domain starts with the null sink, so
+   worker domains (Msts_pool.Pool) never race on a caller's sink and emit
+   nothing.  Coordinators aggregate worker-side counters and emit the
+   totals from their own domain. *)
+
+let the_sink : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let set_sink s = Domain.DLS.set the_sink s
+let current_sink () = Domain.DLS.get the_sink
+let enabled () = Option.is_some (Domain.DLS.get the_sink)
 
 let with_sink s f =
-  let saved = !the_sink in
-  the_sink := Some s;
-  Fun.protect ~finally:(fun () -> the_sink := saved) f
+  let saved = Domain.DLS.get the_sink in
+  Domain.DLS.set the_sink (Some s);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set the_sink saved) f
 
 (* ---------- clock ---------- *)
 
 let wall_us () = int_of_float (Unix.gettimeofday () *. 1e6)
-let the_clock : (unit -> int) ref = ref wall_us
-let last_ts = ref 0
+let the_clock : (unit -> int) Domain.DLS.key = Domain.DLS.new_key (fun () -> wall_us)
+let last_ts : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
 
 let set_clock = function
-  | Some f -> the_clock := f
-  | None -> the_clock := wall_us
+  | Some f -> Domain.DLS.set the_clock f
+  | None -> Domain.DLS.set the_clock wall_us
 
 (* Monotonised: wall clocks can step backwards (NTP); span durations and
    trace viewers both assume time never decreases. *)
 let now_us () =
-  let t = !the_clock () in
-  if t > !last_ts then last_ts := t;
-  !last_ts
+  let t = (Domain.DLS.get the_clock) () in
+  if t > Domain.DLS.get last_ts then Domain.DLS.set last_ts t;
+  Domain.DLS.get last_ts
 
 (* ---------- instrumentation points ---------- *)
 
 let span ?(args = []) name f =
-  match !the_sink with
+  match Domain.DLS.get the_sink with
   | None -> f ()
   | Some sink ->
       sink (Span_begin { name; ts = now_us (); args });
       Fun.protect ~finally:(fun () -> sink (Span_end { name; ts = now_us () })) f
 
 let count ?(n = 1) name =
-  match !the_sink with
+  match Domain.DLS.get the_sink with
   | None -> ()
   | Some sink -> sink (Count { name; delta = n; ts = now_us () })
 

@@ -13,6 +13,13 @@
     non-decreasing (monotonised wall) microsecond clock, overridable for
     deterministic tests via {!set_clock}.
 
+    Sink and clock are {e domain-local}: a freshly spawned domain starts
+    with the null sink, so the pool's worker domains ({!Msts_pool.Pool})
+    stay silent and race-free no matter what the spawning domain has
+    installed.  Multi-domain components gather their own per-domain
+    statistics and emit totals from the coordinating domain (see the
+    [pool.*] counters).
+
     Naming convention: [<subsystem>.<metric>], lowercase, dot-separated —
     e.g. [chain.candidate_scans], [engine.events], [netsim.transfers].
     See docs/OBSERVABILITY.md for the full catalogue. *)
@@ -28,7 +35,8 @@ type sink = event -> unit
 (** {2 Sink management} *)
 
 val set_sink : sink option -> unit
-(** Install ([Some]) or remove ([None], the null sink) the global sink. *)
+(** Install ([Some]) or remove ([None], the null sink) the calling
+    domain's sink. *)
 
 val current_sink : unit -> sink option
 

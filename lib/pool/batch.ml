@@ -1,0 +1,137 @@
+module Parse = Msts_platform.Parse
+module Lru = Msts_util.Lru
+module Obs = Msts_obs.Obs
+
+type request = {
+  platform : Parse.platform;
+  tasks : int option;
+  deadline : int option;
+}
+
+type outcome = (Msts_schedule.Plan.t, string) result
+
+let fingerprint { platform; tasks; deadline } =
+  let objective = function None -> "-" | Some v -> string_of_int v in
+  Printf.sprintf "%s\ntasks=%s deadline=%s"
+    (Parse.platform_to_string platform)
+    (objective tasks) (objective deadline)
+
+(* ---------- the shared cache ---------- *)
+
+type cache = { lock : Mutex.t; lru : (string, outcome) Lru.t }
+
+let cache ~capacity = { lock = Mutex.create (); lru = Lru.create ~capacity }
+let cache_capacity c = Lru.capacity c.lru
+let cache_length c = Mutex.protect c.lock (fun () -> Lru.length c.lru)
+let cache_find c fp = Mutex.protect c.lock (fun () -> Lru.find c.lru fp)
+let cache_add c fp outcome = Mutex.protect c.lock (fun () -> Lru.add c.lru fp outcome)
+
+(* ---------- batch driver ---------- *)
+
+type stats = {
+  jobs : int;
+  requests : int;
+  cache_hits : int;
+  cache_misses : int;
+  queue_wait_us : int;
+  busy_us : int;
+}
+
+type resolution =
+  | Cached of outcome (* found in the LRU on the coordinator's probe *)
+  | Fresh of int (* index into the to-solve array *)
+  | Duplicate of int (* same fingerprint as this earlier request *)
+
+let run ?pool ?jobs ?cache:shared ~solve requests =
+  let n = Array.length requests in
+  let fingerprints = Array.map fingerprint requests in
+  let cache =
+    match shared with
+    | Some c -> c
+    | None -> cache ~capacity:(max 1 n)
+  in
+  (* Sequential coordinator pass: duplicate detection and cache probes in
+     submission order — the source of the determinism guarantee. *)
+  let first_of = Hashtbl.create (2 * n) in
+  let to_solve = ref [] in
+  let n_solve = ref 0 in
+  let resolutions =
+    Array.init n (fun i ->
+        let fp = fingerprints.(i) in
+        match Hashtbl.find_opt first_of fp with
+        | Some j -> Duplicate j
+        | None -> (
+            Hashtbl.add first_of fp i;
+            match cache_find cache fp with
+            | Some outcome -> Cached outcome
+            | None ->
+                let slot = !n_solve in
+                incr n_solve;
+                to_solve := i :: !to_solve;
+                Fresh slot))
+  in
+  let to_solve = Array.of_list (List.rev !to_solve) in
+  (* hits = LRU hits + within-batch duplicates = everything not solved *)
+  let hits = n - Array.length to_solve in
+  (* Fan the distinct misses over the pool; per-slot timing cells are
+     written by exactly one worker each, read only after the barrier. *)
+  let wait_us = Array.make (Array.length to_solve) 0 in
+  let busy_us = Array.make (Array.length to_solve) 0 in
+  let run_on pool =
+    let submitted = Obs.now_us () in
+    ( Pool.jobs pool,
+      Pool.map pool
+        (fun slot ->
+          let started = Obs.now_us () in
+          let outcome = solve requests.(to_solve.(slot)) in
+          let finished = Obs.now_us () in
+          wait_us.(slot) <- max 0 (started - submitted);
+          busy_us.(slot) <- max 0 (finished - started);
+          outcome)
+        (Array.init (Array.length to_solve) Fun.id) )
+  in
+  let used_jobs, solved =
+    Obs.span "pool.batch"
+      ~args:[ ("requests", string_of_int n) ]
+      (fun () ->
+        match pool with
+        | Some pool -> run_on pool
+        | None -> Pool.with_pool ?jobs run_on)
+  in
+  (* Sequential epilogue: insert fresh outcomes in submission order (so the
+     eviction sequence is deterministic), then resolve duplicates. *)
+  Array.iteri
+    (fun slot outcome -> cache_add cache fingerprints.(to_solve.(slot)) outcome)
+    solved;
+  let outcomes =
+    Array.map
+      (function
+        | Cached outcome -> outcome
+        | Fresh slot -> solved.(slot)
+        | Duplicate _ -> Error "unresolved") (* patched below *)
+      resolutions
+  in
+  Array.iteri
+    (fun i resolution ->
+      match resolution with
+      | Duplicate j -> outcomes.(i) <- outcomes.(j)
+      | _ -> ())
+    resolutions;
+  let sum = Array.fold_left ( + ) 0 in
+  let stats =
+    {
+      jobs = used_jobs;
+      requests = n;
+      cache_hits = hits;
+      cache_misses = Array.length to_solve;
+      queue_wait_us = sum wait_us;
+      busy_us = sum busy_us;
+    }
+  in
+  Obs.count ~n:stats.requests "pool.requests";
+  Obs.count ~n:stats.cache_hits "pool.cache_hits";
+  Obs.count ~n:stats.cache_misses "pool.cache_misses";
+  Obs.count ~n:stats.cache_misses "pool.solves";
+  Obs.count ~n:stats.queue_wait_us "pool.queue_wait_us";
+  Obs.count ~n:stats.busy_us "pool.busy_us";
+  (outcomes, stats)

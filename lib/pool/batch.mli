@@ -1,0 +1,83 @@
+(** Batch solving: fan a set of problems across a domain pool, with a
+    bounded LRU solve cache shared behind a mutex.
+
+    The driver is deliberately deterministic: results depend only on the
+    requests (and the cache's prior content), never on the worker count or
+    on scheduling, so [jobs = 1] and [jobs = 4] produce byte-identical
+    outputs.  The argument, spelled out in docs/PERFORMANCE.md:
+
+    {ol
+    {- every request is fingerprinted on the {e canonical} platform
+       serialisation plus the objective — the full key, not its hash;}
+    {- cache probes, within-batch deduplication and cache insertions all
+       run sequentially on the coordinating domain, in submission order,
+       so the LRU's eviction sequence is a pure function of the request
+       sequence;}
+    {- worker domains only ever run [solve] on distinct fingerprints —
+       pure, independent calls whose results land in per-request slots
+       ({!Pool.map} preserves submission order).}}
+
+    Observability: the coordinator wraps the run in a [pool.batch] span
+    and emits [pool.requests], [pool.cache_hits], [pool.cache_misses],
+    [pool.solves], [pool.queue_wait_us] and [pool.busy_us] counters.
+    Workers aggregate their timings in per-domain (per-slot) cells on the
+    fast path and never touch the sink ({!Msts_obs.Obs} is
+    domain-local). *)
+
+type request = {
+  platform : Msts_platform.Parse.platform;
+  tasks : int option;
+  deadline : int option;
+}
+(** Same shape as [Msts.Solve.problem] (the facade re-exports this very
+    type, so the two are interchangeable). *)
+
+type outcome = (Msts_schedule.Plan.t, string) result
+
+val fingerprint : request -> string
+(** Canonical cache key: the platform's textual serialisation (the
+    round-tripping {!Msts_platform.Parse.platform_to_string} form) plus
+    the objective.  Equal fingerprints iff same platform and same
+    objective. *)
+
+(** {2 The shared solve cache} *)
+
+type cache
+
+val cache : capacity:int -> cache
+(** A bounded LRU cache ({!Msts_util.Lru}) behind a mutex, safe to share
+    across pools and batches.  @raise Invalid_argument if
+    [capacity < 1]. *)
+
+val cache_capacity : cache -> int
+
+val cache_length : cache -> int
+(** Current number of cached outcomes. *)
+
+(** {2 Running a batch} *)
+
+type stats = {
+  jobs : int;  (** worker count actually used *)
+  requests : int;
+  cache_hits : int;
+      (** requests served without a fresh solve: LRU hits plus duplicates
+          of an earlier request in the same batch *)
+  cache_misses : int;  (** = solves dispatched to the pool *)
+  queue_wait_us : int;  (** summed submission-to-start latency *)
+  busy_us : int;  (** summed worker time spent solving *)
+}
+(** Always: [requests = cache_hits + cache_misses]. *)
+
+val run :
+  ?pool:Pool.t ->
+  ?jobs:int ->
+  ?cache:cache ->
+  solve:(request -> outcome) ->
+  request array ->
+  outcome array * stats
+(** [run ~solve requests] solves every request and returns the outcomes in
+    submission order.  [?pool] reuses a running pool (its size wins over
+    [?jobs]); otherwise a fresh pool of [?jobs] workers (default
+    [Domain.recommended_domain_count ()]) is spun up and shut down.
+    Without [?cache] a private throw-away cache sized to the batch is
+    used, so within-batch deduplication still applies. *)

@@ -1,0 +1,146 @@
+(* One queue (shard) per worker, each behind its own mutex; a single
+   pool-wide mutex/condition pair coordinates sleep and wake-up.
+
+   Lock ordering: a thread holding the pool lock may take a shard lock
+   (the sleep-path re-scan), but never the other way round — submitters
+   release the shard lock before signalling.  This makes the classic
+   lost-wakeup race impossible: a submitter's push happens-before its
+   broadcast (both ordered by the pool lock against the worker's re-scan
+   and wait). *)
+
+type shard = { lock : Mutex.t; tasks : (unit -> unit) Queue.t }
+
+type t = {
+  size : int; (* requested worker count, >= 1 *)
+  shards : shard array; (* one per worker; empty when size = 1 *)
+  lock : Mutex.t;
+  work : Condition.t;
+  stop : bool Atomic.t;
+  mutable workers : unit Domain.t array;
+  next : int Atomic.t; (* round-robin submission cursor *)
+}
+
+let clamp_jobs j = max 1 (min 64 j)
+
+let try_pop (shard : shard) =
+  Mutex.lock shard.lock;
+  let task =
+    if Queue.is_empty shard.tasks then None else Some (Queue.pop shard.tasks)
+  in
+  Mutex.unlock shard.lock;
+  task
+
+(* Own shard first, then steal round-robin from the others. *)
+let find_task t w =
+  let rec scan i remaining =
+    if remaining = 0 then None
+    else
+      match try_pop t.shards.(i) with
+      | Some _ as task -> task
+      | None -> scan ((i + 1) mod t.size) (remaining - 1)
+  in
+  scan w t.size
+
+let rec worker_loop t w =
+  match find_task t w with
+  | Some task ->
+      task ();
+      worker_loop t w
+  | None ->
+      if not (Atomic.get t.stop) then begin
+        Mutex.lock t.lock;
+        (* Re-check under the pool lock; submitters broadcast under it. *)
+        let idle =
+          (not (Atomic.get t.stop))
+          && Array.for_all
+               (fun (shard : shard) ->
+                 Mutex.lock shard.lock;
+                 let empty = Queue.is_empty shard.tasks in
+                 Mutex.unlock shard.lock;
+                 empty)
+               t.shards
+        in
+        if idle then Condition.wait t.work t.lock;
+        Mutex.unlock t.lock;
+        worker_loop t w
+      end
+
+let create ?jobs () =
+  let size =
+    clamp_jobs (match jobs with Some j -> j | None -> Domain.recommended_domain_count ())
+  in
+  let t =
+    {
+      size;
+      shards =
+        Array.init
+          (if size > 1 then size else 0)
+          (fun _ -> { lock = Mutex.create (); tasks = Queue.create () });
+      lock = Mutex.create ();
+      work = Condition.create ();
+      stop = Atomic.make false;
+      workers = [||];
+      next = Atomic.make 0;
+    }
+  in
+  if size > 1 then
+    t.workers <- Array.init size (fun w -> Domain.spawn (fun () -> worker_loop t w));
+  t
+
+let jobs t = t.size
+
+let submit t task =
+  let shard = t.shards.(Atomic.fetch_and_add t.next 1 mod t.size) in
+  Mutex.lock shard.lock;
+  Queue.push task shard.tasks;
+  Mutex.unlock shard.lock;
+  Mutex.lock t.lock;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock
+
+let map t f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else if t.size <= 1 || Array.length t.workers = 0 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let first_error = Atomic.make None in
+    let remaining = Atomic.make n in
+    let done_lock = Mutex.create () in
+    let all_done = Condition.create () in
+    Array.iteri
+      (fun i item ->
+        submit t (fun () ->
+            (try results.(i) <- Some (f item)
+             with e ->
+               ignore (Atomic.compare_and_set first_error None (Some e)));
+            if Atomic.fetch_and_add remaining (-1) = 1 then begin
+              Mutex.lock done_lock;
+              Condition.broadcast all_done;
+              Mutex.unlock done_lock
+            end))
+      items;
+    Mutex.lock done_lock;
+    while Atomic.get remaining > 0 do
+      Condition.wait all_done done_lock
+    done;
+    Mutex.unlock done_lock;
+    (match Atomic.get first_error with Some e -> raise e | None -> ());
+    Array.map
+      (function Some r -> r | None -> failwith "Pool.map: lost result")
+      results
+  end
+
+let shutdown t =
+  if not (Atomic.get t.stop) then begin
+    Atomic.set t.stop true;
+    Mutex.lock t.lock;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

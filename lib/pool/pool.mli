@@ -1,0 +1,44 @@
+(** Fixed-size domain pool with a sharded work queue.
+
+    [create ~jobs ()] spawns [jobs] worker domains ([Domain.spawn], no
+    dependencies beyond the standard library).  Work is sharded round-robin
+    across one queue per worker; an idle worker drains its own shard first
+    and then steals from the others, so one expensive item cannot strand
+    the rest of a batch behind it.
+
+    {!map} returns results {e in submission order} regardless of which
+    domain ran which item, and is the only way work enters the pool — each
+    item's slot in the result array is fixed at submission, so results can
+    be neither lost, duplicated nor reordered by scheduling.
+
+    The function passed to {!map} runs on worker domains: it must not
+    touch shared mutable state.  Solver calls are pure, and the
+    observability layer is domain-local ({!Msts_obs.Obs}), so worker-side
+    [span]/[count] calls hit the null sink and are free.
+
+    A pool with [jobs <= 1] spawns no domains at all; {!map} then runs
+    inline on the caller, which is the baseline the differential tests
+    compare against. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] starts the workers.  [jobs] defaults to
+    [Domain.recommended_domain_count ()] and is clamped to [1..64]. *)
+
+val jobs : t -> int
+(** Worker count (>= 1). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map t f items] applies [f] to every item on the pool and returns the
+    results in the order of [items].  Blocks until every item finished.
+    If any [f] raises, the first exception (in completion order) is
+    re-raised after the whole batch has drained.  Not re-entrant: one
+    [map] at a time per pool. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent; {!map} after [shutdown] runs
+    inline. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and always shuts it down. *)

@@ -14,6 +14,12 @@ let to_string = function
   | Chain s -> Schedule.to_string s
   | Spider s -> Spider_schedule.to_string s
 
+let equal a b =
+  match (a, b) with
+  | Chain x, Chain y -> Schedule.equal x y
+  | Spider x, Spider y -> Spider_schedule.equal x y
+  | Chain _, Spider _ | Spider _, Chain _ -> false
+
 let check ?require_nonnegative = function
   | Chain s ->
       List.map Feasibility.violation_to_string

@@ -18,6 +18,12 @@ val to_string : t -> string
 (** The shape's native human rendering ({!Schedule.to_string} /
     {!Spider_schedule.to_string}). *)
 
+val equal : t -> t -> bool
+(** Structural equality: same shape, same platform, same dates — the
+    invariant the batch solver's differential tests enforce against the
+    sequential path.  A chain plan is never equal to a spider plan, even
+    its own one-leg promotion. *)
+
 val check : ?require_nonnegative:bool -> t -> string list
 (** Feasibility audit; [[]] means feasible. *)
 

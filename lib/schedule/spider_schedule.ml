@@ -165,6 +165,13 @@ let of_chain_schedule sched =
   in
   make spider entries
 
+let equal a b =
+  Spider.equal a.spider b.spider
+  && Array.length a.entries = Array.length b.entries
+  && Array.for_all2
+       (fun x y -> x.address = y.address && x.start = y.start && x.comms = y.comms)
+       a.entries b.entries
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>spider schedule (makespan %d):@," (makespan t);
   Array.iteri

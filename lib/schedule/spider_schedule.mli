@@ -65,6 +65,10 @@ val filter_tasks : t -> keep:(int -> bool) -> t
 (** Sub-schedule of the tasks whose (1-based) index satisfies [keep];
     survivors are renumbered consecutively, entry order preserved. *)
 
+val equal : t -> t -> bool
+(** Same spider, same entries (routes, starts and emission dates all
+    included). *)
+
 val concat : t -> t -> t
 (** Entries of both schedules, first then second, renumbered — the splice
     of two partial schedules.  Purely structural: feasibility of the result

@@ -27,5 +27,6 @@ let () =
          Test_tree.suites;
          Test_obs.suites;
          Test_solve.suites;
+         Test_batch.suites;
          Test_integration.suites;
        ])

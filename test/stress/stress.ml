@@ -111,4 +111,74 @@ let () =
           (Msts.Feasibility.violation_to_string (List.hd vs))
   done;
 
+  section "domain pool: many small batches, jobs in {1,2,4} (60 batches)";
+  (* Hammer the pool machinery rather than the solver: lots of small
+     batches with within-batch duplicates, each checked element-wise
+     against the sequential path — no lost, duplicated or reordered
+     results, whatever the worker count. *)
+  let outcome_equal a b =
+    match (a, b) with
+    | Ok p, Ok q -> Msts.Plan.equal p q
+    | Error e, Error f -> String.equal e f
+    | _ -> false
+  in
+  let shared_cache = Msts.Batch.cache ~capacity:32 in
+  for batch = 1 to 60 do
+    let size = Msts.Prng.int_in rng 1 24 in
+    let problems =
+      Array.init size (fun _ ->
+          let p = Msts.Prng.int_in rng 1 4 in
+          let chain = Msts.Generator.chain rng Msts.Generator.default_profile ~p in
+          Msts.Solve.problem
+            ~tasks:(Msts.Prng.int_in rng 0 12)
+            (Msts.Platform_format.Chain_platform chain))
+    in
+    (* plant within-batch duplicates so the dedupe path gets exercised *)
+    Array.iteri
+      (fun i _ ->
+        if i > 1 && i mod 5 = 0 then problems.(i) <- problems.(i / 2))
+      problems;
+    let expected = Array.map Msts.Solve.solve problems in
+    List.iter
+      (fun jobs ->
+        let got, stats =
+          Msts.Batch.run ~jobs ~cache:shared_cache ~solve:Msts.Solve.solve
+            problems
+        in
+        if Array.length got <> size then
+          fail "pool batch %d jobs=%d: %d results for %d requests" batch jobs
+            (Array.length got) size;
+        if stats.Msts.Batch.requests <> size then
+          fail "pool batch %d jobs=%d: stats.requests=%d" batch jobs
+            stats.Msts.Batch.requests;
+        if
+          stats.Msts.Batch.cache_hits + stats.Msts.Batch.cache_misses <> size
+        then
+          fail "pool batch %d jobs=%d: hits+misses <> requests" batch jobs;
+        Array.iteri
+          (fun i o ->
+            if not (outcome_equal expected.(i) o) then
+              fail "pool batch %d jobs=%d slot %d diverges from sequential"
+                batch jobs i)
+          got;
+        if Msts.Batch.cache_length shared_cache > 32 then
+          fail "pool batch %d jobs=%d: cache overflowed its bound" batch jobs)
+      [ 1; 2; 4 ]
+  done;
+
+  section "domain pool: one long-lived pool across 40 maps";
+  Msts.Pool.with_pool ~jobs:4 (fun pool ->
+      for round = 1 to 40 do
+        let size = Msts.Prng.int_in rng 1 200 in
+        let items = Array.init size (fun i -> (round * 1_000) + i) in
+        let got = Msts.Pool.map pool (fun x -> (x * 2) + 1) items in
+        if Array.length got <> size then
+          fail "pool map round %d: wrong length" round;
+        Array.iteri
+          (fun i v ->
+            if v <> (items.(i) * 2) + 1 then
+              fail "pool map round %d slot %d: got %d" round i v)
+          got
+      done);
+
   print_endline "stress campaign: all checks passed"

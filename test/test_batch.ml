@@ -1,0 +1,283 @@
+(* The multicore batch solver: parallel must equal sequential, bit for bit.
+
+   The load-bearing test is the differential campaign: ~200 seeded random
+   instances — chains, spiders and forks across all four generator
+   profiles, task-count and deadline objectives — solved through
+   `Solve.solve_batch ~jobs:4` and compared structurally (every route,
+   start and emission date) against `Solve.solve` called one instance at a
+   time.  The parallel path may not change a single date. *)
+
+open Helpers
+module Solve = Msts.Solve
+module Batch = Msts.Batch
+module Plan = Msts.Plan
+
+let profiles =
+  [
+    Msts.Generator.default_profile;
+    Msts.Generator.balanced_profile;
+    Msts.Generator.compute_bound_profile;
+    Msts.Generator.comm_bound_profile;
+  ]
+
+(* 200 mixed instances: 4 profiles x 50 each, cycling chain/spider/fork
+   and task/deadline/budgeted objectives. *)
+let campaign_instances () =
+  let rng = Msts.Prng.create 20260806 in
+  List.concat_map
+    (fun profile ->
+      List.init 50 (fun i ->
+          let platform =
+            match i mod 3 with
+            | 0 ->
+                Msts.Platform_format.Chain_platform
+                  (Msts.Generator.chain rng profile ~p:(Msts.Prng.int_in rng 1 5))
+            | 1 ->
+                Msts.Platform_format.Spider_platform
+                  (Msts.Generator.spider rng profile
+                     ~legs:(Msts.Prng.int_in rng 1 3)
+                     ~max_depth:2)
+            | _ ->
+                Msts.Platform_format.Fork_platform
+                  (Msts.Generator.fork rng profile
+                     ~slaves:(Msts.Prng.int_in rng 1 4))
+          in
+          match i mod 4 with
+          | 0 | 1 -> Solve.problem ~tasks:(Msts.Prng.int_in rng 0 10) platform
+          | 2 -> Solve.problem ~deadline:(Msts.Prng.int_in rng 0 60) platform
+          | _ ->
+              Solve.problem
+                ~tasks:(Msts.Prng.int_in rng 1 8)
+                ~deadline:(Msts.Prng.int_in rng 10 80)
+                platform))
+    profiles
+  |> Array.of_list
+
+let outcome_equal a b =
+  match (a, b) with
+  | Ok p, Ok q -> Plan.equal p q
+  | Error e, Error f -> String.equal e f
+  | _ -> false
+
+let differential_campaign () =
+  let problems = campaign_instances () in
+  Alcotest.(check int) "campaign size" 200 (Array.length problems);
+  let sequential = Array.map Solve.solve problems in
+  let parallel = Solve.solve_batch ~jobs:4 problems in
+  Alcotest.(check int) "one result per instance" (Array.length problems)
+    (Array.length parallel);
+  (* the campaign must actually exercise the solver, not fail en masse *)
+  let solved =
+    Array.fold_left (fun n o -> if Result.is_ok o then n + 1 else n) 0 parallel
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "most instances solve (%d/200)" solved)
+    true (solved >= 150);
+  Array.iteri
+    (fun i outcome ->
+      if not (outcome_equal sequential.(i) outcome) then
+        Alcotest.failf "instance %d: parallel result differs from sequential" i;
+      (* every plan must independently pass the feasibility audit *)
+      match outcome with
+      | Ok plan ->
+          (match Plan.check plan with
+          | [] -> ()
+          | v :: _ -> Alcotest.failf "instance %d infeasible: %s" i v);
+          (* and serialise identically: same bytes end to end *)
+          (match sequential.(i) with
+          | Ok seq_plan ->
+              Alcotest.(check string)
+                (Printf.sprintf "instance %d serialisation" i)
+                (Plan.serialize seq_plan) (Plan.serialize plan)
+          | Error _ -> assert false)
+      | Error _ -> ())
+    parallel
+
+let jobs_sweep_agrees () =
+  let problems = campaign_instances () in
+  let problems = Array.sub problems 0 60 in
+  let reference = Solve.solve_batch ~jobs:1 problems in
+  List.iter
+    (fun jobs ->
+      let got = Solve.solve_batch ~jobs problems in
+      Array.iteri
+        (fun i outcome ->
+          if not (outcome_equal reference.(i) outcome) then
+            Alcotest.failf "jobs=%d instance %d differs from jobs=1" jobs i)
+        got)
+    [ 2; 3; 4 ]
+
+let errors_keep_their_slot () =
+  let leaf = Msts.Tree.node ~latency:1 ~work:1 () in
+  let branchy =
+    Msts.Platform_format.Tree_platform
+      (Msts.Tree.make [ Msts.Tree.node ~latency:1 ~work:1 ~children:[ leaf; leaf ] () ])
+  in
+  let good = Msts.Platform_format.Chain_platform figure2_chain in
+  let problems =
+    [|
+      Solve.problem ~tasks:3 good;
+      Solve.problem ~tasks:3 branchy;
+      Solve.problem good (* no objective *);
+      Solve.problem ~tasks:5 good;
+    |]
+  in
+  let outcomes = Solve.solve_batch ~jobs:2 problems in
+  (match outcomes.(0) with Ok _ -> () | Error m -> Alcotest.failf "slot 0: %s" m);
+  (match outcomes.(1) with
+  | Error m ->
+      Alcotest.(check bool) "tree error text" true
+        (String.length m > 0 && String.sub m 0 9 = "this tree")
+  | Ok _ -> Alcotest.fail "branchy tree must not solve");
+  (match outcomes.(2) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "objective-less problem must not solve");
+  match outcomes.(3) with
+  | Ok plan -> Alcotest.(check int) "slot 3 intact" 5 (Plan.task_count plan)
+  | Error m -> Alcotest.failf "slot 3: %s" m
+
+(* ---------- the batch cache ---------- *)
+
+let stats_invariants () =
+  let problems = Array.sub (campaign_instances ()) 0 40 in
+  let cache = Batch.cache ~capacity:64 in
+  let _, stats = Batch.run ~jobs:2 ~cache ~solve:Solve.solve problems in
+  Alcotest.(check int) "requests" 40 stats.Batch.requests;
+  Alcotest.(check int) "hits + misses = requests" 40
+    (stats.Batch.cache_hits + stats.Batch.cache_misses);
+  Alcotest.(check bool) "cache filled" true (Batch.cache_length cache > 0);
+  Alcotest.(check bool) "cache bounded" true (Batch.cache_length cache <= 64);
+  (* second pass over a warm cache: zero solves *)
+  let again, warm = Batch.run ~jobs:2 ~cache ~solve:Solve.solve problems in
+  Alcotest.(check int) "warm pass all hits" 40 warm.Batch.cache_hits;
+  Alcotest.(check int) "warm pass no solves" 0 warm.Batch.cache_misses;
+  Array.iter (fun o -> Alcotest.(check bool) "warm ok" true (Result.is_ok o)) again
+
+let cache_hit_returns_identical_plan () =
+  let platform = Msts.Platform_format.Chain_platform figure2_chain in
+  let problem = Solve.problem ~tasks:5 platform in
+  let cache = Batch.cache ~capacity:8 in
+  let first, _ = Batch.run ~jobs:1 ~cache ~solve:Solve.solve [| problem |] in
+  let second, stats = Batch.run ~jobs:1 ~cache ~solve:Solve.solve [| problem |] in
+  Alcotest.(check int) "second run hits" 1 stats.Batch.cache_hits;
+  match (first.(0), second.(0)) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) "physically the same plan" true (a == b)
+  | _ -> Alcotest.fail "solve failed"
+
+let duplicates_inside_one_batch () =
+  let platform = Msts.Platform_format.Chain_platform figure2_chain in
+  let p = Solve.problem ~tasks:4 platform in
+  let q = Solve.problem ~tasks:6 platform in
+  let outcomes, stats =
+    Batch.run ~jobs:3 ~solve:Solve.solve [| p; q; p; q; p |]
+  in
+  Alcotest.(check int) "two distinct solves" 2 stats.Batch.cache_misses;
+  Alcotest.(check int) "three duplicates" 3 stats.Batch.cache_hits;
+  (match (outcomes.(0), outcomes.(2), outcomes.(4)) with
+  | Ok a, Ok b, Ok c ->
+      Alcotest.(check bool) "duplicates share one plan" true (a == b && b == c)
+  | _ -> Alcotest.fail "solve failed");
+  match (outcomes.(1), outcomes.(3)) with
+  | Ok a, Ok b -> Alcotest.(check bool) "other family too" true (a == b)
+  | _ -> Alcotest.fail "solve failed"
+
+(* Fingerprints must separate near-identical requests: same platform with
+   different objectives, and different platforms of equal shape. *)
+let fingerprint_separates () =
+  let platform = Msts.Platform_format.Chain_platform figure2_chain in
+  let close = Msts.Platform_format.Chain_platform (Msts.Chain.of_pairs [ (2, 3); (3, 6) ]) in
+  let fps =
+    [
+      Batch.fingerprint (Solve.problem ~tasks:5 platform);
+      Batch.fingerprint (Solve.problem ~tasks:6 platform);
+      Batch.fingerprint (Solve.problem ~deadline:5 platform);
+      Batch.fingerprint (Solve.problem ~tasks:5 ~deadline:5 platform);
+      Batch.fingerprint (Solve.problem ~tasks:5 close);
+    ]
+  in
+  let distinct = List.sort_uniq String.compare fps in
+  Alcotest.(check int) "all distinct" (List.length fps) (List.length distinct);
+  Alcotest.(check string) "stable for equal requests"
+    (Batch.fingerprint (Solve.problem ~tasks:5 platform))
+    (List.hd fps)
+
+(* A cache too small for the batch still returns correct results and never
+   exceeds its bound — eviction under pressure. *)
+let tiny_cache_under_pressure () =
+  let problems = Array.sub (campaign_instances ()) 0 30 in
+  let cache = Batch.cache ~capacity:3 in
+  let sequential = Array.map Solve.solve problems in
+  let outcomes, _ = Batch.run ~jobs:4 ~cache ~solve:Solve.solve problems in
+  Alcotest.(check bool) "bound held" true (Batch.cache_length cache <= 3);
+  Array.iteri
+    (fun i o ->
+      if not (outcome_equal sequential.(i) o) then
+        Alcotest.failf "instance %d wrong under eviction pressure" i)
+    outcomes
+
+(* ---------- the pool itself ---------- *)
+
+let pool_map_preserves_order () =
+  Msts.Pool.with_pool ~jobs:4 (fun pool ->
+      let items = Array.init 101 Fun.id in
+      let got = Msts.Pool.map pool (fun i -> i * i) items in
+      Alcotest.(check (array int)) "squares in order"
+        (Array.map (fun i -> i * i) items)
+        got)
+
+let pool_reuse_across_batches () =
+  Msts.Pool.with_pool ~jobs:3 (fun pool ->
+      Alcotest.(check int) "size" 3 (Msts.Pool.jobs pool);
+      for round = 1 to 5 do
+        let items = Array.init (10 * round) Fun.id in
+        let got = Msts.Pool.map pool (fun i -> i + round) items in
+        Alcotest.(check int) "length" (Array.length items) (Array.length got);
+        Array.iteri
+          (fun i v -> Alcotest.(check int) "value" (i + round) v)
+          got
+      done)
+
+let pool_propagates_exceptions () =
+  Msts.Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "first error resurfaces" (Failure "boom") (fun () ->
+          ignore
+            (Msts.Pool.map pool
+               (fun i -> if i = 7 then failwith "boom" else i)
+               (Array.init 16 Fun.id))))
+
+let pool_batch_through_shared_pool () =
+  let problems = Array.sub (campaign_instances ()) 0 20 in
+  let sequential = Array.map Solve.solve problems in
+  Msts.Pool.with_pool ~jobs:4 (fun pool ->
+      let outcomes = Solve.solve_batch ~pool problems in
+      Array.iteri
+        (fun i o ->
+          if not (outcome_equal sequential.(i) o) then
+            Alcotest.failf "instance %d differs through shared pool" i)
+        outcomes)
+
+let suites =
+  [
+    ( "batch.differential",
+      [
+        case "200-instance campaign: parallel = sequential" differential_campaign;
+        case "jobs 1/2/3/4 all agree" jobs_sweep_agrees;
+        case "errors keep their slot" errors_keep_their_slot;
+      ] );
+    ( "batch.cache",
+      [
+        case "stats invariants and warm pass" stats_invariants;
+        case "hit returns the identical plan" cache_hit_returns_identical_plan;
+        case "within-batch duplicates" duplicates_inside_one_batch;
+        case "fingerprints separate close requests" fingerprint_separates;
+        case "tiny cache under eviction pressure" tiny_cache_under_pressure;
+      ] );
+    ( "batch.pool",
+      [
+        case "map preserves order" pool_map_preserves_order;
+        case "pool survives many batches" pool_reuse_across_batches;
+        case "exceptions propagate" pool_propagates_exceptions;
+        case "facade over a shared pool" pool_batch_through_shared_pool;
+      ] );
+  ]

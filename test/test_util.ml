@@ -255,6 +255,84 @@ let table_rows_in_order () =
   Alcotest.(check bool) "ordered" true
     (pos "| 1" < pos "| 2" && pos "| 2" < pos "| 3")
 
+(* ---------- Lru ---------- *)
+
+let lru_case msg expected got = Alcotest.(check int) msg expected got
+
+let lru_basics () =
+  let c = Msts.Lru.create ~capacity:2 in
+  Msts.Lru.add c "a" 1;
+  Msts.Lru.add c "b" 2;
+  lru_case "two bindings" 2 (Msts.Lru.length c);
+  Alcotest.(check (option int)) "hit a" (Some 1) (Msts.Lru.find c "a");
+  Msts.Lru.add c "c" 3;
+  (* "a" was just promoted, so "b" is the eviction victim *)
+  Alcotest.(check (option int)) "b evicted" None (Msts.Lru.find c "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Msts.Lru.find c "a");
+  Alcotest.(check (list (pair string int))) "MRU order"
+    [ ("a", 1); ("c", 3) ] (Msts.Lru.to_list c);
+  Msts.Lru.clear c;
+  lru_case "cleared" 0 (Msts.Lru.length c)
+
+let lru_rejects_zero_capacity () =
+  Alcotest.check_raises "capacity >= 1"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (Msts.Lru.create ~capacity:0))
+
+(* The model-based property: an LRU of capacity k behaves exactly like the
+   obvious list model, and a lookup only ever returns the value bound to
+   that very key — a colliding hash bucket (many keys, small table) can
+   never serve a poisoned entry.  Ops: add / find over a small key space so
+   collisions, duplicates and evictions all actually happen. *)
+let lru_matches_model =
+  let open QCheck in
+  to_alcotest
+    (Test.make ~count:300 ~name:"lru agrees with a list model"
+       (pair (int_range 1 6)
+          (list (pair (int_range 0 11) (option (int_range 0 999)))))
+       (fun (capacity, ops) ->
+         let c = Msts.Lru.create ~capacity in
+         (* model: assoc list, MRU first *)
+         let model = ref [] in
+         List.for_all
+           (fun (key, op) ->
+             match op with
+             | Some v ->
+                 Msts.Lru.add c key v;
+                 model := (key, v) :: List.remove_assoc key !model;
+                 if List.length !model > capacity then
+                   model := List.filteri (fun i _ -> i < capacity) !model;
+                 Msts.Lru.length c = List.length !model
+                 && Msts.Lru.to_list c
+                    = List.map (fun (k, v) -> (k, v)) !model
+             | None -> (
+                 let expected = List.assoc_opt key !model in
+                 (match expected with
+                 | Some _ ->
+                     model :=
+                       (key, Option.get expected)
+                       :: List.remove_assoc key !model
+                 | None -> ());
+                 Msts.Lru.find c key = expected
+                 && Msts.Lru.length c <= capacity))
+           ops))
+
+(* A hit must hand back the physically identical value — the batch cache
+   relies on this to return the very same plan, not a reconstruction. *)
+let lru_hit_is_physical () =
+  let c = Msts.Lru.create ~capacity:4 in
+  let value = Array.init 32 Fun.id in
+  Msts.Lru.add c "k" value;
+  (match Msts.Lru.find c "k" with
+  | Some v -> Alcotest.(check bool) "physically equal" true (v == value)
+  | None -> Alcotest.fail "lost binding");
+  (* still the same object after being churned by other keys *)
+  Msts.Lru.add c "x" [| 0 |];
+  Msts.Lru.add c "y" [| 1 |];
+  match Msts.Lru.find c "k" with
+  | Some v -> Alcotest.(check bool) "still physically equal" true (v == value)
+  | None -> Alcotest.fail "binding churned away"
+
 let suites =
   [
     ( "util.prng",
@@ -303,5 +381,12 @@ let suites =
         case "arity mismatch raises" table_arity;
         case "csv escaping" table_csv;
         case "rows keep insertion order" table_rows_in_order;
+      ] );
+    ( "util.lru",
+      [
+        case "basics: hit, evict, order, clear" lru_basics;
+        case "capacity must be positive" lru_rejects_zero_capacity;
+        case "hits are physically identical" lru_hit_is_physical;
+        lru_matches_model;
       ] );
   ]
