@@ -18,6 +18,35 @@ let registry =
 
 let counters_path name = Printf.sprintf "BENCH_%s.json" name
 
+(* One-line latency digest: the dominant span (by total time) and the
+   busiest histogram, with their p50/p99 — enough to eyeball a latency
+   shift in CI logs without opening the JSON. *)
+let latency_summary mem =
+  let heaviest column rows =
+    List.fold_left
+      (fun acc row ->
+        match (List.nth_opt row column, acc) with
+        | Some v, Some (_, best) when int_of_string v <= best -> acc
+        | Some v, _ -> Some (row, int_of_string v)
+        | None, _ -> acc)
+      None rows
+  in
+  let span =
+    match heaviest 2 (Msts.Obs.Memory.span_rows mem) with
+    | Some ([ name; calls; _; _; p50; p99 ], _) ->
+        Some (Printf.sprintf "span %s: %s calls, p50=%sus p99=%sus" name calls p50 p99)
+    | _ -> None
+  in
+  let hist =
+    match heaviest 1 (Msts.Obs.Memory.histogram_rows mem) with
+    | Some ([ name; count; p50; _; p99; _ ], _) ->
+        Some (Printf.sprintf "hist %s: %s samples, p50=%s p99=%s" name count p50 p99)
+    | _ -> None
+  in
+  match List.filter_map Fun.id [ span; hist ] with
+  | [] -> "no instrumentation recorded"
+  | parts -> String.concat "; " parts
+
 let run_one (name, description, fn) =
   Printf.printf "\n==================== %s ====================\n" name;
   Printf.printf "-- %s\n\n" description;
@@ -25,12 +54,14 @@ let run_one (name, description, fn) =
   let t0 = Unix.gettimeofday () in
   Msts.Obs.with_sink (Msts.Obs.Memory.sink mem) fn;
   let elapsed = Unix.gettimeofday () -. t0 in
+  let summary = latency_summary mem in
   let json =
     Msts.Json.Obj
       [
         ("experiment", Msts.Json.String name);
         ("description", Msts.Json.String description);
         ("wall_s", Msts.Json.Float elapsed);
+        ("summary", Msts.Json.String summary);
         ( "profile",
           Msts.Obs.Memory.to_json mem );
       ]
@@ -47,6 +78,7 @@ let run_one (name, description, fn) =
   in
   if totals <> [] then
     Printf.printf "\n[obs] counters: %s\n" (String.concat " " totals);
+  Printf.printf "[obs] latency: %s\n" summary;
   Printf.printf "[obs] profile written to %s\n" (counters_path name);
   flush stdout
 

@@ -982,10 +982,19 @@ let profile_cmd =
         Msts.Table.print counters;
         let spans =
           Msts.Table.create ~title:"spans"
-            ~columns:[ "span"; "calls"; "total_us"; "max_us" ]
+            ~columns:[ "span"; "calls"; "total_us"; "max_us"; "p50_us"; "p99_us" ]
         in
         List.iter (Msts.Table.add_row spans) (Msts.Obs.Memory.span_rows mem);
         Msts.Table.print spans;
+        (match Msts.Obs.Memory.histogram_rows mem with
+        | [] -> ()
+        | rows ->
+            let hists =
+              Msts.Table.create ~title:"histograms"
+                ~columns:[ "histogram"; "count"; "p50"; "p90"; "p99"; "max" ]
+            in
+            List.iter (Msts.Table.add_row hists) rows;
+            Msts.Table.print hists);
         Option.iter
           (fun (file, events) ->
             Printf.printf "trace: %s (%d events, valid chrome trace)\n" file events)
@@ -1022,6 +1031,226 @@ let profile_cmd =
       const run $ platform_arg $ tasks_arg $ deadline_arg $ workload_arg
       $ trace_out_arg $ seed_arg $ events_arg $ format_arg)
 
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let tasks_arg =
+    let doc = "Number of tasks in the reported workload." in
+    Arg.(value & opt int 16 & info [ "n"; "tasks" ] ~docv:"N" ~doc)
+  in
+  let deadline_arg =
+    let doc = "Solve for a deadline instead of a task count." in
+    Arg.(value & opt (some int) None & info [ "d"; "deadline" ] ~docv:"T" ~doc)
+  in
+  let planned_arg =
+    let doc = "Report the planned schedule instead of the realized execution." in
+    Arg.(value & flag & info [ "planned" ] ~doc)
+  in
+  let run path n deadline planned fmt =
+    let platform = read_platform path in
+    let problem =
+      match deadline with
+      | Some d -> Msts.Solve.problem ~deadline:d platform
+      | None -> Msts.Solve.problem ~tasks:n platform
+    in
+    let plan = solve_or_die problem in
+    let source, report =
+      if planned then ("planned schedule", Msts.Obs.Report.of_plan plan)
+      else
+        ( "realized execution",
+          Msts.Obs.Report.of_execution (Msts.Netsim.execute plan) )
+    in
+    match fmt with
+    | Text ->
+        Printf.printf "source: %s\n" source;
+        print_string (Msts.Obs.Report.summary report)
+    | Json ->
+        let fields =
+          match Msts.Obs.Report.to_json report with
+          | Msts.Json.Obj fields -> fields
+          | other -> [ ("report", other) ]
+        in
+        emit_json (Msts.Json.Obj (("source", Msts.Json.String source) :: fields))
+  in
+  let doc =
+    "Per-resource utilization of a run: master-port saturation, per-link \
+     busy fractions, and per-processor compute/starved/idle breakdowns \
+     (the three sum to the makespan exactly)."
+  in
+  Cmd.v (Cmd.info "report" ~doc)
+    Term.(
+      const run $ platform_arg $ tasks_arg $ deadline_arg $ planned_arg
+      $ format_arg)
+
+(* ---------- trace diff ---------- *)
+
+let trace_diff_cmd =
+  let file_a =
+    let doc =
+      "Baseline profile JSON ($(b,msts profile --format=json) output or a \
+       $(b,BENCH_*.json) file)."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc)
+  in
+  let file_b =
+    let doc = "Candidate profile JSON compared against the baseline." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"CANDIDATE" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Relative increase (percent) beyond which a change counts as a \
+       regression."
+    in
+    Arg.(value & opt float 10.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  (* Only deterministic material is compared: counter totals, span call
+     counts and the simulated-time histograms.  Wall-clock span durations
+     vary run to run and would make the exit status flaky. *)
+  let load_profile path =
+    let text = In_channel.with_open_text path In_channel.input_all in
+    match Msts.Json.parse text with
+    | Error msg ->
+        Printf.eprintf "error: %s: %s\n" path msg;
+        exit 2
+    | Ok json -> (
+        match Msts.Json.member "profile" json with
+        | Some profile -> profile (* BENCH_<name>.json wrapper *)
+        | None -> json)
+  in
+  let run file_a file_b threshold fmt =
+    let a = load_profile file_a and b = load_profile file_b in
+    let changes = ref [] in
+    let note section name metric va vb =
+      if va <> vb then changes := (section, name, metric, va, vb) :: !changes
+    in
+    let names kvs kvs' =
+      List.sort_uniq compare (List.map fst kvs @ List.map fst kvs')
+    in
+    let int_member key = function
+      | Some (Msts.Json.Obj kvs) -> (
+          match List.assoc_opt key kvs with
+          | Some (Msts.Json.Int i) -> i
+          | _ -> 0)
+      | _ -> 0
+    in
+    (* top-level summary integers: makespans, task counts *)
+    (match (a, b) with
+    | Msts.Json.Obj ka, Msts.Json.Obj kb ->
+        List.iter
+          (fun name ->
+            let get kvs =
+              match List.assoc_opt name kvs with
+              | Some (Msts.Json.Int i) -> Some i
+              | _ -> None
+            in
+            match (get ka, get kb) with
+            | Some va, Some vb -> note "summary" name "value" va vb
+            | _ -> ())
+          (names ka kb)
+    | _ -> ());
+    let section name json =
+      match Msts.Json.member name json with
+      | Some (Msts.Json.Obj kvs) -> kvs
+      | _ -> []
+    in
+    let ca = section "counters" a and cb = section "counters" b in
+    List.iter
+      (fun name ->
+        let get kvs =
+          match List.assoc_opt name kvs with
+          | Some (Msts.Json.Int i) -> i
+          | _ -> 0
+        in
+        note "counter" name "total" (get ca) (get cb))
+      (names ca cb);
+    let sa = section "spans" a and sb = section "spans" b in
+    List.iter
+      (fun name ->
+        note "span" name "calls"
+          (int_member "calls" (List.assoc_opt name sa))
+          (int_member "calls" (List.assoc_opt name sb)))
+      (names sa sb);
+    let ha = section "histograms" a and hb = section "histograms" b in
+    List.iter
+      (fun name ->
+        List.iter
+          (fun metric ->
+            note "histogram" name metric
+              (int_member metric (List.assoc_opt name ha))
+              (int_member metric (List.assoc_opt name hb)))
+          [ "count"; "p50"; "p99"; "max" ])
+      (names ha hb);
+    let changes = List.rev !changes in
+    let regression (_, _, _, va, vb) =
+      vb > va
+      && float_of_int (vb - va) *. 100.0 > threshold *. float_of_int (max va 1)
+    in
+    let regressions = List.filter regression changes in
+    let delta_pct va vb =
+      100.0 *. float_of_int (vb - va) /. float_of_int (max va 1)
+    in
+    (match fmt with
+    | Text ->
+        Printf.printf "trace diff: %s -> %s (threshold %.1f%%)\n" file_a file_b
+          threshold;
+        if changes = [] then print_endline "no differences"
+        else begin
+          let table =
+            Msts.Table.create ~title:"changes"
+              ~columns:
+                [ "section"; "name"; "metric"; "baseline"; "candidate"; "delta" ]
+          in
+          List.iter
+            (fun ((s, n, m, va, vb) as c) ->
+              Msts.Table.add_row table
+                [
+                  s;
+                  n;
+                  m;
+                  string_of_int va;
+                  string_of_int vb;
+                  Printf.sprintf "%+.1f%%%s" (delta_pct va vb)
+                    (if regression c then " !" else "");
+                ])
+            changes;
+          Msts.Table.print table
+        end;
+        Printf.printf "regressions: %d\n" (List.length regressions)
+    | Json ->
+        let change_json ((s, n, m, va, vb) as c) =
+          Msts.Json.Obj
+            [
+              ("section", Msts.Json.String s);
+              ("name", Msts.Json.String n);
+              ("metric", Msts.Json.String m);
+              ("baseline", Msts.Json.Int va);
+              ("candidate", Msts.Json.Int vb);
+              ("regression", Msts.Json.Bool (regression c));
+            ]
+        in
+        emit_json
+          (Msts.Json.Obj
+             [
+               ("baseline", Msts.Json.String file_a);
+               ("candidate", Msts.Json.String file_b);
+               ("threshold_pct", Msts.Json.Float threshold);
+               ("changes", Msts.Json.List (List.map change_json changes));
+               ("regressions", Msts.Json.Int (List.length regressions));
+             ]));
+    if regressions <> [] then exit 1
+  in
+  let doc =
+    "Compare two profile JSON files: counter deltas, span call-count deltas \
+     and simulated-time histogram shifts (p50/p99/max).  Exits 1 when any \
+     metric regressed beyond the threshold."
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(const run $ file_a $ file_b $ threshold_arg $ format_arg)
+
+let trace_cmd =
+  let doc = "Operate on saved profile JSON artefacts." in
+  Cmd.group (Cmd.info "trace" ~doc) [ trace_diff_cmd ]
+
 (* ---------- dot ---------- *)
 
 let dot_cmd =
@@ -1046,6 +1275,8 @@ let main_cmd =
       batch_cmd;
       metrics_cmd;
       profile_cmd;
+      report_cmd;
+      trace_cmd;
       tree_cmd;
       dot_cmd;
     ]

@@ -94,9 +94,14 @@ module Netsim = Msts_sim.Netsim
 module Fault = Msts_sim.Fault
 module Replan = Msts_sim.Replan
 
-(* Observability: spans, counters, sinks, Chrome traces; Json doubles as
-   the shared encoder behind every [--format=json] CLI output. *)
-module Obs = Msts_obs.Obs
+(* Observability: spans, counters, histograms, sinks, Chrome traces; Json
+   doubles as the shared encoder behind every [--format=json] CLI output.
+   Report folds an executed schedule into per-resource utilization. *)
+module Obs = struct
+  include Msts_obs.Obs
+  module Report = Msts_sim.Report
+end
+
 module Json = Msts_obs.Json
 
 (* Utilities *)

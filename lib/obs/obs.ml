@@ -2,6 +2,7 @@ type event =
   | Span_begin of { name : string; ts : int; args : (string * string) list }
   | Span_end of { name : string; ts : int }
   | Count of { name : string; delta : int; ts : int }
+  | Value of { name : string; value : int; ts : int }
 
 type sink = event -> unit
 
@@ -23,13 +24,20 @@ let with_sink s f =
   Domain.DLS.set the_sink (Some s);
   Fun.protect ~finally:(fun () -> Domain.DLS.set the_sink saved) f
 
+let tee sinks ev = List.iter (fun sink -> sink ev) sinks
+
 (* ---------- clock ---------- *)
 
 let wall_us () = int_of_float (Unix.gettimeofday () *. 1e6)
 let the_clock : (unit -> int) Domain.DLS.key = Domain.DLS.new_key (fun () -> wall_us)
 let last_ts : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
 
-let set_clock = function
+let set_clock f =
+  (* A new clock source starts a new timeline: drop the monotonising floor
+     so a deterministic clock installed after wall-clock readings is not
+     clamped to the (much larger) old timestamps. *)
+  Domain.DLS.set last_ts 0;
+  match f with
   | Some f -> Domain.DLS.set the_clock f
   | None -> Domain.DLS.set the_clock wall_us
 
@@ -54,34 +62,206 @@ let count ?(n = 1) name =
   | None -> ()
   | Some sink -> sink (Count { name; delta = n; ts = now_us () })
 
+let record name value =
+  match Domain.DLS.get the_sink with
+  | None -> ()
+  | Some sink -> sink (Value { name; value; ts = now_us () })
+
+(* ---------- event serialisation (JSONL sinks, post-mortem dumps) ---------- *)
+
+let event_to_json = function
+  | Span_begin { name; ts; args } ->
+      let fields =
+        [ ("ev", Json.String "B"); ("name", Json.String name); ("ts", Json.Int ts) ]
+      in
+      let fields =
+        match args with
+        | [] -> fields
+        | args ->
+            fields
+            @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args)) ]
+      in
+      Json.Obj fields
+  | Span_end { name; ts } ->
+      Json.Obj
+        [ ("ev", Json.String "E"); ("name", Json.String name); ("ts", Json.Int ts) ]
+  | Count { name; delta; ts } ->
+      Json.Obj
+        [
+          ("ev", Json.String "C");
+          ("name", Json.String name);
+          ("delta", Json.Int delta);
+          ("ts", Json.Int ts);
+        ]
+  | Value { name; value; ts } ->
+      Json.Obj
+        [
+          ("ev", Json.String "V");
+          ("name", Json.String name);
+          ("value", Json.Int value);
+          ("ts", Json.Int ts);
+        ]
+
+(* ---------- histograms ---------- *)
+
+module Histogram = struct
+  (* Log-bucketed (HDR-style): values below 16 get one bucket each (exact);
+     above, each power of two splits into 16 sub-buckets, so any recorded
+     value is reconstructed with < 1/16 relative error.  63-bit values fit
+     in under 960 buckets, so a histogram is one small int array — constant
+     memory regardless of how many samples it absorbs. *)
+
+  let bucket_count = 960
+
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    mutable sum : int;
+    mutable min_v : int;
+    mutable max_v : int;
+  }
+
+  let create () =
+    { buckets = Array.make bucket_count 0; count = 0; sum = 0; min_v = 0; max_v = 0 }
+
+  let msb v =
+    let rec go v acc = if v <= 1 then acc else go (v lsr 1) (acc + 1) in
+    go v 0
+
+  let bucket_of v =
+    if v < 16 then v
+    else
+      let m = msb v in
+      ((m - 4) * 16) + (v lsr (m - 4))
+
+  (* Lower bound of the bucket's value range — the deterministic
+     representative reported by [quantile]. *)
+  let bucket_value idx =
+    if idx < 16 then idx
+    else
+      let g = (idx / 16) - 1 in
+      (idx - (g * 16)) lsl g
+
+  let add t v =
+    let v = max 0 v in
+    t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+    if t.count = 0 then begin
+      t.min_v <- v;
+      t.max_v <- v
+    end
+    else begin
+      if v < t.min_v then t.min_v <- v;
+      if v > t.max_v then t.max_v <- v
+    end;
+    t.count <- t.count + 1;
+    t.sum <- t.sum + v
+
+  let count t = t.count
+  let sum t = t.sum
+  let min_value t = t.min_v
+  let max_value t = t.max_v
+  let mean t = if t.count = 0 then 0.0 else float_of_int t.sum /. float_of_int t.count
+
+  let quantile t q =
+    if t.count = 0 then 0
+    else begin
+      let q = Float.max 0.0 (Float.min 1.0 q) in
+      let rank = max 1 (min t.count (int_of_float (ceil (q *. float_of_int t.count)))) in
+      let idx = ref 0 and seen = ref 0 in
+      (try
+         for i = 0 to bucket_count - 1 do
+           seen := !seen + t.buckets.(i);
+           if !seen >= rank then begin
+             idx := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      max t.min_v (min t.max_v (bucket_value !idx))
+    end
+
+  let merge_into ~into t =
+    Array.iteri (fun i n -> into.buckets.(i) <- into.buckets.(i) + n) t.buckets;
+    if t.count > 0 then begin
+      if into.count = 0 then begin
+        into.min_v <- t.min_v;
+        into.max_v <- t.max_v
+      end
+      else begin
+        if t.min_v < into.min_v then into.min_v <- t.min_v;
+        if t.max_v > into.max_v then into.max_v <- t.max_v
+      end;
+      into.count <- into.count + t.count;
+      into.sum <- into.sum + t.sum
+    end
+
+  let to_json t =
+    Json.Obj
+      [
+        ("count", Json.Int t.count);
+        ("sum", Json.Int t.sum);
+        ("min", Json.Int t.min_v);
+        ("max", Json.Int t.max_v);
+        ("p50", Json.Int (quantile t 0.50));
+        ("p90", Json.Int (quantile t 0.90));
+        ("p99", Json.Int (quantile t 0.99));
+      ]
+end
+
 (* ---------- memory sink ---------- *)
 
 module Memory = struct
   type span_stat = { calls : int; total_us : int; max_us : int }
 
+  let default_max_events = 100_000
+
   type t = {
-    mutable log : event list; (* newest first *)
+    log : event Queue.t; (* oldest first, capped at [max_events] *)
+    max_events : int;
+    mutable dropped : int;
     counters : (string, int) Hashtbl.t;
     stats : (string, span_stat) Hashtbl.t;
+    hists : (string, Histogram.t) Hashtbl.t; (* Value recordings *)
+    span_hists : (string, Histogram.t) Hashtbl.t; (* span durations, µs *)
     mutable stack : (string * int) list; (* open spans, innermost first *)
     mutable max_depth : int;
   }
 
-  let create () =
+  let create ?(max_events = default_max_events) () =
     {
-      log = [];
+      log = Queue.create ();
+      max_events = max 0 max_events;
+      dropped = 0;
       counters = Hashtbl.create 32;
       stats = Hashtbl.create 32;
+      hists = Hashtbl.create 16;
+      span_hists = Hashtbl.create 16;
       stack = [];
       max_depth = 0;
     }
 
+  let hist_in tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some h -> h
+    | None ->
+        let h = Histogram.create () in
+        Hashtbl.add tbl name h;
+        h
+
   let record t ev =
-    t.log <- ev :: t.log;
+    (* The raw log is bounded (oldest events drop out); every aggregate
+       below stays exact because it is updated incrementally here, never
+       recomputed from the log. *)
+    Queue.push ev t.log;
+    if Queue.length t.log > t.max_events then begin
+      ignore (Queue.pop t.log);
+      t.dropped <- t.dropped + 1
+    end;
     match ev with
     | Count { name; delta; _ } ->
         let current = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
         Hashtbl.replace t.counters name (current + delta)
+    | Value { name; value; _ } -> Histogram.add (hist_in t.hists name) value
     | Span_begin { name; ts; _ } ->
         t.stack <- (name, ts) :: t.stack;
         t.max_depth <- max t.max_depth (List.length t.stack)
@@ -92,6 +272,7 @@ module Memory = struct
         | (open_name, began) :: rest when open_name = name ->
             t.stack <- rest;
             let d = ts - began in
+            Histogram.add (hist_in t.span_hists name) d;
             let prev =
               Option.value
                 ~default:{ calls = 0; total_us = 0; max_us = 0 }
@@ -115,7 +296,13 @@ module Memory = struct
   let counters t = sorted_bindings t.counters
   let counter t name = Option.value ~default:0 (Hashtbl.find_opt t.counters name)
   let spans t = sorted_bindings t.stats
-  let events t = List.rev t.log
+  let histograms t = sorted_bindings t.hists
+  let histogram t name = Hashtbl.find_opt t.hists name
+  let span_histogram t name = Hashtbl.find_opt t.span_hists name
+  let events t = List.of_seq (Queue.to_seq t.log)
+  let stored_events t = Queue.length t.log
+  let dropped_events t = t.dropped
+  let max_events t = t.max_events
   let max_depth t = t.max_depth
   let open_spans t = List.rev_map fst t.stack
 
@@ -125,8 +312,33 @@ module Memory = struct
   let span_rows t =
     List.map
       (fun (name, { calls; total_us; max_us }) ->
-        [ name; string_of_int calls; string_of_int total_us; string_of_int max_us ])
+        let p q =
+          match span_histogram t name with
+          | Some h -> string_of_int (Histogram.quantile h q)
+          | None -> "0"
+        in
+        [
+          name;
+          string_of_int calls;
+          string_of_int total_us;
+          string_of_int max_us;
+          p 0.50;
+          p 0.99;
+        ])
       (spans t)
+
+  let histogram_rows t =
+    List.map
+      (fun (name, h) ->
+        [
+          name;
+          string_of_int (Histogram.count h);
+          string_of_int (Histogram.quantile h 0.50);
+          string_of_int (Histogram.quantile h 0.90);
+          string_of_int (Histogram.quantile h 0.99);
+          string_of_int (Histogram.max_value h);
+        ])
+      (histograms t)
 
   let to_json t =
     Json.Obj
@@ -137,14 +349,24 @@ module Memory = struct
           Json.Obj
             (List.map
                (fun (k, { calls; total_us; max_us }) ->
+                 let quant q =
+                   match span_histogram t k with
+                   | Some h -> Histogram.quantile h q
+                   | None -> 0
+                 in
                  ( k,
                    Json.Obj
                      [
                        ("calls", Json.Int calls);
                        ("total_us", Json.Int total_us);
                        ("max_us", Json.Int max_us);
+                       ("p50_us", Json.Int (quant 0.50));
+                       ("p99_us", Json.Int (quant 0.99));
                      ] ))
                (spans t)) );
+        ( "histograms",
+          Json.Obj (List.map (fun (k, h) -> (k, Histogram.to_json h)) (histograms t))
+        );
       ]
 
   let chrome_trace ?(process_name = "msts") t =
@@ -195,12 +417,95 @@ module Memory = struct
              ]
             @ common ts
             @ [ ("args", Json.Obj [ ("value", Json.Int total) ]) ])
+      | Value { name; value; ts } ->
+          (* raw samples become their own counter track, so distributions
+             are visible on the timeline *)
+          Json.Obj
+            ([
+               ("name", Json.String name);
+               ("cat", Json.String "msts");
+               ("ph", Json.String "C");
+             ]
+            @ common ts
+            @ [ ("args", Json.Obj [ ("value", Json.Int value) ]) ])
+    in
+    let metadata =
+      [ ("process_name", Json.String process_name) ]
+      @ if t.dropped > 0 then [ ("dropped_events", Json.Int t.dropped) ] else []
     in
     Json.Obj
       [
         ("traceEvents", Json.List (List.map trace_event (events t)));
         ("displayTimeUnit", Json.String "ms");
-        ( "metadata",
-          Json.Obj [ ("process_name", Json.String process_name) ] );
+        ("metadata", Json.Obj metadata);
       ]
+end
+
+(* ---------- streaming JSONL sink ---------- *)
+
+module Streaming = struct
+  type t = {
+    oc : out_channel;
+    buf : Buffer.t;
+    flush_every : int;
+    mutable buffered : int;
+    mutable high_water : int;
+    mutable written : int;
+  }
+
+  let create ?(flush_every = 4096) oc =
+    if flush_every < 1 then invalid_arg "Obs.Streaming.create: flush_every must be >= 1";
+    { oc; buf = Buffer.create 4096; flush_every; buffered = 0; high_water = 0; written = 0 }
+
+  let flush t =
+    if t.buffered > 0 then begin
+      Buffer.output_buffer t.oc t.buf;
+      Buffer.clear t.buf;
+      t.written <- t.written + t.buffered;
+      t.buffered <- 0
+    end;
+    Out_channel.flush t.oc
+
+  let record t ev =
+    Buffer.add_string t.buf (Json.to_string (event_to_json ev));
+    Buffer.add_char t.buf '\n';
+    t.buffered <- t.buffered + 1;
+    if t.buffered > t.high_water then t.high_water <- t.buffered;
+    if t.buffered >= t.flush_every then flush t
+
+  let sink t = record t
+  let events_seen t = t.written + t.buffered
+  let events_written t = t.written
+  let max_buffered t = t.high_water
+end
+
+(* ---------- ring-buffer sink ---------- *)
+
+module Ring = struct
+  type t = { slots : event option array; mutable seen : int }
+
+  let create ?(capacity = 1024) () =
+    if capacity < 1 then invalid_arg "Obs.Ring.create: capacity must be >= 1";
+    { slots = Array.make capacity None; seen = 0 }
+
+  let record t ev =
+    t.slots.(t.seen mod Array.length t.slots) <- Some ev;
+    t.seen <- t.seen + 1
+
+  let sink t = record t
+  let capacity t = Array.length t.slots
+  let seen t = t.seen
+  let dropped t = max 0 (t.seen - Array.length t.slots)
+
+  let events t =
+    let cap = Array.length t.slots in
+    let n = min t.seen cap in
+    List.init n (fun i ->
+        match t.slots.((t.seen - n + i) mod cap) with
+        | Some ev -> ev
+        | None -> assert false)
+
+  let to_jsonl t =
+    String.concat ""
+      (List.map (fun ev -> Json.to_string (event_to_json ev) ^ "\n") (events t))
 end

@@ -1,12 +1,12 @@
-(** Zero-dependency observability: hierarchical spans, named counters and
-    pluggable sinks.
+(** Zero-dependency observability: hierarchical spans, named counters,
+    value recordings (histograms) and pluggable sinks.
 
     The library's hot paths (chain placement, fork allocation, the event
-    engine, the network executors, the replanner) call {!span} and
-    {!count} unconditionally.  With no sink installed — the default, the
-    "null sink" — both are a single mutable-field read and a branch: no
-    clock is read, nothing allocates, and no behaviour changes (the
-    instrumentation only observes; the test suite asserts outputs are
+    engine, the network executors, the replanner) call {!span}, {!count}
+    and {!record} unconditionally.  With no sink installed — the default,
+    the "null sink" — all three are a single mutable-field read and a
+    branch: no clock is read, nothing allocates, and no behaviour changes
+    (the instrumentation only observes; the test suite asserts outputs are
     identical with and without a sink).
 
     With a sink installed every event carries a timestamp from a
@@ -20,15 +20,24 @@
     statistics and emit totals from the coordinating domain (see the
     [pool.*] counters).
 
+    Four stock sinks cover the common deployments: {!Memory} (aggregating,
+    bounded raw log) for profiling and tests, {!Streaming} (bounded-buffer
+    JSONL) for week-long runs that must not grow the heap, {!Ring} (last-N
+    events) for post-mortem dumps after a fault, and the null sink for
+    production-default zero cost.
+
     Naming convention: [<subsystem>.<metric>], lowercase, dot-separated —
-    e.g. [chain.candidate_scans], [engine.events], [netsim.transfers].
+    e.g. [chain.candidate_scans], [engine.events], [netsim.transfer_us].
     See docs/OBSERVABILITY.md for the full catalogue. *)
 
 type event =
   | Span_begin of { name : string; ts : int; args : (string * string) list }
   | Span_end of { name : string; ts : int }
   | Count of { name : string; delta : int; ts : int }
-      (** timestamps in microseconds *)
+  | Value of { name : string; value : int; ts : int }
+      (** timestamps in microseconds; [Value] carries one histogram
+          sample (a duration, a queue wait, a gap — any non-negative
+          magnitude) *)
 
 type sink = event -> unit
 
@@ -45,6 +54,10 @@ val enabled : unit -> bool
 
 val with_sink : sink -> (unit -> 'a) -> 'a
 (** Install a sink, run, restore the previous sink (also on exceptions). *)
+
+val tee : sink list -> sink
+(** Fan one event stream out to several sinks (e.g. a {!Streaming} file
+    plus a {!Ring} for post-mortems), in list order. *)
 
 (** {2 Clock} *)
 
@@ -65,14 +78,69 @@ val count : ?n:int -> string -> unit
 (** Add [n] (default 1) to a named counter.  Free when no sink is
     installed. *)
 
-(** {2 Sinks} *)
+val record : string -> int -> unit
+(** [record name v] emits one histogram sample for [name] (negative values
+    are clamped to 0 by the aggregating sinks).  Free when no sink is
+    installed. *)
 
-(** Aggregating in-memory sink: counter totals, per-span statistics and the
-    raw event log (for exporters and tests). *)
-module Memory : sig
+val event_to_json : event -> Json.t
+(** One event as a compact JSON object ([{"ev": "B"|"E"|"C"|"V", "name",
+    "ts", ...}]) — the line format of the {!Streaming} sink and
+    {!Ring.to_jsonl}. *)
+
+(** {2 Histograms} *)
+
+(** Log-bucketed (HDR-style) histogram of non-negative integers: constant
+    memory (one small int array) however many samples it absorbs.  Values
+    below 16 are exact; larger values land in one of 16 sub-buckets per
+    power of two, so quantiles carry < 1/16 relative error.  Quantiles
+    report the bucket's deterministic lower bound, clamped to the observed
+    [min]/[max]. *)
+module Histogram : sig
   type t
 
   val create : unit -> t
+  val add : t -> int -> unit
+  (** Absorb one sample ([max 0 v]). *)
+
+  val count : t -> int
+  val sum : t -> int
+  val min_value : t -> int
+  (** 0 when empty. *)
+
+  val max_value : t -> int
+  (** Exact largest sample (0 when empty). *)
+
+  val mean : t -> float
+
+  val quantile : t -> float -> int
+  (** [quantile t q] for [q] in [\[0,1\]] (clamped); 0 when empty. *)
+
+  val merge_into : into:t -> t -> unit
+  (** Add every bucket of the second histogram into [into] — how
+      per-domain histograms combine on a coordinator. *)
+
+  val to_json : t -> Json.t
+  (** [{"count", "sum", "min", "max", "p50", "p90", "p99"}]. *)
+end
+
+(** {2 Sinks} *)
+
+(** Aggregating in-memory sink: counter totals, per-span statistics,
+    histograms and a {e bounded} raw event log (for exporters and tests).
+    Aggregates are exact regardless of the log cap: they are updated
+    incrementally as events arrive, never recomputed from the log. *)
+module Memory : sig
+  type t
+
+  val default_max_events : int
+  (** 100_000 — the default raw-log cap. *)
+
+  val create : ?max_events:int -> unit -> t
+  (** [max_events] caps the stored raw events (oldest dropped first);
+      counter totals, span statistics and histograms stay exact past the
+      cap. *)
+
   val sink : t -> sink
 
   val counters : t -> (string * int) list
@@ -90,8 +158,24 @@ module Memory : sig
   val spans : t -> (string * span_stat) list
   (** Completed-span statistics, sorted by name. *)
 
+  val histograms : t -> (string * Histogram.t) list
+  (** Histograms of {!record}ed values, sorted by name. *)
+
+  val histogram : t -> string -> Histogram.t option
+  (** One recorded-value histogram. *)
+
+  val span_histogram : t -> string -> Histogram.t option
+  (** Duration histogram (µs) of one span's completed calls. *)
+
   val events : t -> event list
-  (** The raw log, in emission order. *)
+  (** The bounded raw log, in emission order (newest
+      [min stored (max_events)] events). *)
+
+  val stored_events : t -> int
+  val dropped_events : t -> int
+  (** Events evicted from the raw log by the cap (aggregates unaffected). *)
+
+  val max_events : t -> int
 
   val max_depth : t -> int
   (** Deepest span nesting observed. *)
@@ -105,14 +189,77 @@ module Memory : sig
       renderers (columns: counter, total). *)
 
   val span_rows : t -> string list list
-  (** Span statistics as [[name; calls; total_us; max_us]] rows. *)
+  (** Span statistics as [[name; calls; total_us; max_us; p50_us; p99_us]]
+      rows. *)
+
+  val histogram_rows : t -> string list list
+  (** Recorded-value histograms as [[name; count; p50; p90; p99; max]]
+      rows. *)
 
   val to_json : t -> Json.t
-  (** [{"counters": {...}, "spans": {name: {calls, total_us, max_us}}}]. *)
+  (** [{"counters": {...},
+        "spans": {name: {calls, total_us, max_us, p50_us, p99_us}},
+        "histograms": {name: {count, sum, min, max, p50, p90, p99}}}]. *)
 
   val chrome_trace : ?process_name:string -> t -> Json.t
   (** The event log as a Chrome [trace_event] document (the JSON-object
       format with a ["traceEvents"] array of [B]/[E] duration events and
       [C] counter samples), loadable in [about:tracing] and Perfetto.
-      Counter samples carry running totals. *)
+      Counter samples carry running totals; value recordings become their
+      own sample tracks.  When the raw log overflowed its cap the metadata
+      carries ["dropped_events"]. *)
+end
+
+(** Constant-memory streaming sink: events are serialised to one JSON line
+    each (see {!event_to_json}) into a bounded buffer that is flushed to
+    the output channel every [flush_every] events — a week-long [Netsim]
+    run traces in O(flush_every) memory.  The caller owns the channel;
+    call {!flush} before closing it. *)
+module Streaming : sig
+  type t
+
+  val create : ?flush_every:int -> out_channel -> t
+  (** Default [flush_every] 4096 events.
+      @raise Invalid_argument if [flush_every < 1]. *)
+
+  val sink : t -> sink
+
+  val flush : t -> unit
+  (** Drain the buffer to the channel and flush the channel. *)
+
+  val events_seen : t -> int
+  (** Total events accepted (written + still buffered). *)
+
+  val events_written : t -> int
+  (** Events already drained to the channel. *)
+
+  val max_buffered : t -> int
+  (** High-water mark of the internal buffer — the memory bound; never
+      exceeds [flush_every]. *)
+end
+
+(** Last-N ring-buffer sink for post-mortem dumps: constant memory, keeps
+    the newest [capacity] events.  Pair it (via {!tee}) with a real sink,
+    or run it alone in production and dump on failure. *)
+module Ring : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 1024.
+      @raise Invalid_argument if [capacity < 1]. *)
+
+  val sink : t -> sink
+  val capacity : t -> int
+
+  val seen : t -> int
+  (** Total events accepted over the sink's lifetime. *)
+
+  val dropped : t -> int
+  (** Events overwritten ([max 0 (seen - capacity)]). *)
+
+  val events : t -> event list
+  (** Retained events, oldest first. *)
+
+  val to_jsonl : t -> string
+  (** Retained events as JSON lines (the {!Streaming} format). *)
 end

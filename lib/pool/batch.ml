@@ -134,4 +134,7 @@ let run ?pool ?jobs ?cache:shared ~solve requests =
   Obs.count ~n:stats.cache_misses "pool.solves";
   Obs.count ~n:stats.queue_wait_us "pool.queue_wait_us";
   Obs.count ~n:stats.busy_us "pool.busy_us";
+  (* per-solve distributions behind the summed counters above *)
+  Array.iter (fun w -> Obs.record "pool.queue_wait_us" w) wait_us;
+  Array.iter (fun b -> Obs.record "pool.busy_us" b) busy_us;
   (outcomes, stats)

@@ -36,6 +36,7 @@ let step t =
   match Msts_util.Heap.pop t.queue with
   | None -> false
   | Some ev ->
+      Msts_obs.Obs.record "engine.event_gap_us" (ev.time - t.clock);
       t.clock <- ev.time;
       t.processed <- t.processed + 1;
       Msts_obs.Obs.count "engine.events";

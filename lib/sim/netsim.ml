@@ -54,6 +54,7 @@ let rec forward net record ~task ~at ~on_complete =
     let next = at + 1 in
     let c = Chain.latency chain next in
     Obs.count "netsim.transfers";
+    Obs.record "netsim.transfer_us" c;
     Resource.request net.links.(leg - 1).(next - 1) ~duration:c ~tag:task
       ~on_start:(fun start ->
         record.comms.(next - 1) <- start;
@@ -67,6 +68,7 @@ let emit net record ~task ~on_complete =
   let chain = Spider.leg_chain net.spider leg in
   let c1 = Chain.latency chain 1 in
   Obs.count "netsim.transfers";
+  Obs.record "netsim.transfer_us" c1;
   Resource.request net.port ~duration:c1 ~tag:task ~on_start:(fun start ->
       record.comms.(0) <- start;
       Engine.schedule_at net.engine (start + c1) (fun () ->
@@ -239,6 +241,7 @@ let replay_routing ?(buffer = max_int) ?on plan =
       let c = Chain.latency chain next in
       Credit.acquire (credit { Spider.leg; depth = next }) (fun () ->
           Obs.count "netsim.transfers";
+          Obs.record "netsim.transfer_us" c;
           Resource.request net.links.(leg - 1).(next - 1) ~duration:c ~tag:task
             ~on_start:(fun start ->
               record.comms.(next - 1) <- start;
@@ -256,6 +259,7 @@ let replay_routing ?(buffer = max_int) ?on plan =
       let c1 = Chain.latency chain 1 in
       Credit.acquire (credit { Spider.leg; depth = 1 }) (fun () ->
           Obs.count "netsim.transfers";
+          Obs.record "netsim.transfer_us" c1;
           Resource.request net.port ~duration:c1 ~tag:(idx + 1)
             ~on_start:(fun start ->
               record.comms.(0) <- start;
@@ -487,8 +491,12 @@ module Faulty = struct
                 o_gen = t.gen;
                 duration =
                   (fun () ->
-                    Chain.latency (leg_chain leg) next
-                    * Fault.link_factor state { Spider.leg; depth = next });
+                    let d =
+                      Chain.latency (leg_chain leg) next
+                      * Fault.link_factor state { Spider.leg; depth = next }
+                    in
+                    Obs.record "netsim.transfer_us" d;
+                    d);
                 started =
                   (fun s ->
                     t.st <- In_transit next;
@@ -516,8 +524,13 @@ module Faulty = struct
           o_gen = t.gen;
           duration =
             (fun () ->
-              Chain.latency (leg_chain t.dest.Spider.leg) 1
-              * Fault.link_factor state { Spider.leg = t.dest.Spider.leg; depth = 1 });
+              let d =
+                Chain.latency (leg_chain t.dest.Spider.leg) 1
+                * Fault.link_factor state
+                    { Spider.leg = t.dest.Spider.leg; depth = 1 }
+              in
+              Obs.record "netsim.transfer_us" d;
+              d);
           started =
             (fun s ->
               t.st <- Emitting;

@@ -1,0 +1,157 @@
+module Spider = Msts_platform.Spider
+module Chain = Msts_platform.Chain
+module Schedule = Msts_schedule.Schedule
+module Spider_schedule = Msts_schedule.Spider_schedule
+module Intervals = Msts_schedule.Intervals
+module Plan = Msts_schedule.Plan
+module Json = Msts_obs.Json
+
+type resource = { busy : int; fraction : float }
+
+type processor = {
+  tasks : int;
+  compute : int;
+  starved : int;
+  idle : int;
+  fraction : float;
+}
+
+type node = { address : Spider.address; link : resource; proc : processor }
+
+type t = {
+  tasks : int;
+  makespan : int;
+  master_port : resource;
+  nodes : node list; (* address order: leg-major, shallow first *)
+}
+
+let busy_total intervals =
+  List.fold_left
+    (fun acc { Intervals.duration; _ } -> acc + duration)
+    0 intervals
+
+let fraction_of ~makespan busy =
+  if makespan <= 0 then 0.0 else float_of_int busy /. float_of_int makespan
+
+(* Compute/starved/idle partition of [0, makespan) for one processor.
+   The intervals are disjoint (one task at a time); in start order every
+   gap before an execution is time the processor sat waiting for input
+   ("starved"), and the tail after its last completion is plain idleness.
+   The three parts sum to the makespan exactly, by construction. *)
+let proc_usage ~makespan intervals =
+  let sorted =
+    List.sort
+      (fun (a : int Intervals.interval) b -> compare a.start b.start)
+      intervals
+  in
+  let compute = busy_total sorted in
+  let cursor, starved =
+    List.fold_left
+      (fun (cursor, starved) { Intervals.start; duration; _ } ->
+        (start + duration, starved + max 0 (start - cursor)))
+      (0, 0) sorted
+  in
+  {
+    tasks = List.length sorted;
+    compute;
+    starved;
+    idle = max 0 (makespan - cursor);
+    fraction = fraction_of ~makespan compute;
+  }
+
+let of_spider_schedule sched =
+  let spider = Spider_schedule.spider sched in
+  let makespan = Spider_schedule.makespan sched in
+  let port_busy = busy_total (Spider_schedule.master_port_intervals sched) in
+  let nodes =
+    List.map
+      (fun ({ Spider.leg; depth } as address) ->
+        let link_busy =
+          busy_total (Spider_schedule.leg_link_intervals sched ~leg ~link:depth)
+        in
+        {
+          address;
+          link = { busy = link_busy; fraction = fraction_of ~makespan link_busy };
+          proc =
+            proc_usage ~makespan
+              (Spider_schedule.leg_proc_intervals sched ~leg ~depth);
+        })
+      (Spider.addresses spider)
+  in
+  {
+    tasks = Spider_schedule.task_count sched;
+    makespan;
+    master_port = { busy = port_busy; fraction = fraction_of ~makespan port_busy };
+    nodes;
+  }
+
+let of_plan = function
+  | Plan.Spider sched -> of_spider_schedule sched
+  | Plan.Chain sched -> of_spider_schedule (Spider_schedule.of_chain_schedule sched)
+
+let of_execution (report : Netsim.execution_report) =
+  of_spider_schedule report.Netsim.realized
+
+let pct x = 100.0 *. x
+
+let summary t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "tasks: %d, makespan: %d\n" t.tasks t.makespan;
+  Printf.bprintf buf "master port: busy %d/%d (%5.1f%%)\n" t.master_port.busy
+    t.makespan (pct t.master_port.fraction);
+  let current_leg = ref 0 in
+  List.iter
+    (fun { address = { Spider.leg; depth }; link; proc } ->
+      if leg <> !current_leg then begin
+        current_leg := leg;
+        Printf.bprintf buf "leg %d:\n" leg
+      end;
+      Printf.bprintf buf
+        "  depth %-2d  link busy %-4d (%5.1f%%)  compute %-4d (%5.1f%%)  \
+         starved %-4d idle %-4d  tasks %d\n"
+        depth link.busy (pct link.fraction) proc.compute (pct proc.fraction)
+        proc.starved proc.idle proc.tasks)
+    t.nodes;
+  Buffer.contents buf
+
+let json_pct x = Json.Float (Float.round (1000.0 *. x) /. 10.0)
+
+let to_json t =
+  let legs =
+    List.sort_uniq compare
+      (List.map (fun n -> n.address.Spider.leg) t.nodes)
+  in
+  let leg_json l =
+    let nodes =
+      List.filter_map
+        (fun { address = { Spider.leg; depth }; link; proc } ->
+          if leg <> l then None
+          else
+            Some
+              (Json.Obj
+                 [
+                   ("depth", Json.Int depth);
+                   ("link_busy", Json.Int link.busy);
+                   ("link_busy_pct", json_pct link.fraction);
+                   ("tasks", Json.Int proc.tasks);
+                   ("compute", Json.Int proc.compute);
+                   ("starved", Json.Int proc.starved);
+                   ("idle", Json.Int proc.idle);
+                   ("cpu_busy_pct", json_pct proc.fraction);
+                 ]))
+        t.nodes
+    in
+    Json.Obj [ ("leg", Json.Int l); ("nodes", Json.List nodes) ]
+  in
+  Json.Obj
+    [
+      ("tasks", Json.Int t.tasks);
+      ("makespan", Json.Int t.makespan);
+      ( "master_port",
+        Json.Obj
+          [
+            ("busy", Json.Int t.master_port.busy);
+            ("busy_pct", json_pct t.master_port.fraction);
+          ] );
+      ("legs", Json.List (List.map leg_json legs));
+    ]

@@ -1,0 +1,113 @@
+Per-resource utilization reports and trace diffing.
+
+A two-slave chain small enough to verify by hand: task 1 travels
+master->P1 on [0,1], P1->P2 on [1,2] and computes on [2,4]; task 2
+occupies the master port on [1,2] and P1 computes it on [2,4].  Every
+processor's compute + starved + idle sums to the makespan.
+
+  $ cat > two.txt <<'PLATFORM'
+  > chain
+  > 1 2
+  > 1 2
+  > PLATFORM
+  $ ../../bin/msts.exe report -p two.txt -n 2
+  source: realized execution
+  tasks: 2, makespan: 4
+  master port: busy 2/4 ( 50.0%)
+  leg 1:
+    depth 1   link busy 2    ( 50.0%)  compute 2    ( 50.0%)  starved 2    idle 0     tasks 1
+    depth 2   link busy 1    ( 25.0%)  compute 2    ( 50.0%)  starved 2    idle 0     tasks 1
+  $ ../../bin/msts.exe report -p two.txt -n 2 --planned --format=json
+  {
+    "source": "planned schedule",
+    "tasks": 2,
+    "makespan": 4,
+    "master_port": {
+      "busy": 2,
+      "busy_pct": 50.0
+    },
+    "legs": [
+      {
+        "leg": 1,
+        "nodes": [
+          {
+            "depth": 1,
+            "link_busy": 2,
+            "link_busy_pct": 50.0,
+            "tasks": 1,
+            "compute": 2,
+            "starved": 2,
+            "idle": 0,
+            "cpu_busy_pct": 50.0
+          },
+          {
+            "depth": 2,
+            "link_busy": 1,
+            "link_busy_pct": 25.0,
+            "tasks": 1,
+            "compute": 2,
+            "starved": 2,
+            "idle": 0,
+            "cpu_busy_pct": 50.0
+          }
+        ]
+      }
+    ]
+  }
+
+Diffing a profile against itself finds nothing and exits 0 (the CI
+self-check):
+
+  $ ../../bin/msts.exe generate --kind spider --size 3 --seed 5 -o spider.txt
+  $ ../../bin/msts.exe profile -p spider.txt -n 6 --workload execute --format=json > base.json
+  $ ../../bin/msts.exe profile -p spider.txt -n 6 --workload execute --format=json > again.json
+  $ ../../bin/msts.exe trace diff base.json again.json
+  trace diff: base.json -> again.json (threshold 10.0%)
+  no differences
+  regressions: 0
+
+An injected slowdown (every link and processor 3x slower) shifts the
+simulated-time histograms and the realized makespan; the diff flags the
+regressions and exits 1:
+
+  $ awk 'NF==2 {print $1*3, $2*3; next} {print}' spider.txt > slow.txt
+  $ ../../bin/msts.exe profile -p slow.txt -n 6 --workload execute --format=json > cand.json
+  $ ../../bin/msts.exe trace diff base.json cand.json
+  trace diff: base.json -> cand.json (threshold 10.0%)
+  == changes ==
+  +-----------+-------------------------+--------+----------+-----------+-----------+
+  | section   | name                    | metric | baseline | candidate | delta     |
+  +===========+=========================+========+==========+===========+===========+
+  | summary   | planned_makespan        | value  | 20       | 60        | +200.0% ! |
+  | summary   | realized_makespan       | value  | 20       | 60        | +200.0% ! |
+  | counter   | chain.candidate_scans   | total  | 132      | 159       | +20.5% !  |
+  | counter   | chain.hull_updates      | total  | 43       | 52        | +20.9% !  |
+  | counter   | chain.tasks_placed      | total  | 40       | 48        | +20.0% !  |
+  | counter   | fork.insert_probes      | total  | 34       | 42        | +23.5% !  |
+  | counter   | fork.nodes_accepted     | total  | 28       | 33        | +17.9% !  |
+  | counter   | fork.nodes_considered   | total  | 40       | 48        | +20.0% !  |
+  | counter   | spider.search_probes    | total  | 5        | 6         | +20.0% !  |
+  | counter   | spider.virtual_nodes    | total  | 40       | 48        | +20.0% !  |
+  | span      | chain.deadline.schedule | calls  | 18       | 21        | +16.7% !  |
+  | span      | fork.allocate           | calls  | 6        | 7         | +16.7% !  |
+  | span      | spider.leg_schedules    | calls  | 6        | 7         | +16.7% !  |
+  | span      | spider.schedule         | calls  | 6        | 7         | +16.7% !  |
+  | histogram | engine.event_gap_us     | p99    | 3        | 9         | +200.0% ! |
+  | histogram | engine.event_gap_us     | max    | 3        | 9         | +200.0% ! |
+  +-----------+-------------------------+--------+----------+-----------+-----------+
+  regressions: 16
+  [1]
+
+A loose threshold demotes the same shifts to mere changes (exit 0), and
+JSON output carries the verdicts machine-readably:
+
+  $ ../../bin/msts.exe trace diff base.json cand.json --threshold 500 | tail -1
+  regressions: 0
+  $ ../../bin/msts.exe trace diff base.json base.json --format=json
+  {
+    "baseline": "base.json",
+    "candidate": "base.json",
+    "threshold_pct": 10.0,
+    "changes": [],
+    "regressions": 0
+  }

@@ -181,4 +181,62 @@ let () =
           got
       done);
 
+  section "streaming sink: 200k events, constant memory";
+  (* The acceptance bar for the JSONL sink: a >=1e5-event run must stay
+     within its flush window (no unbounded buffering) and write one
+     parseable line per event. *)
+  let stream_path = Filename.temp_file "msts_stress_stream" ".jsonl" in
+  let oc = open_out stream_path in
+  let st = Msts.Obs.Streaming.create ~flush_every:1024 oc in
+  Msts.Obs.with_sink (Msts.Obs.Streaming.sink st) (fun () ->
+      for i = 1 to 100_000 do
+        Msts.Obs.record "stress.value" (i land 1023);
+        Msts.Obs.count "stress.count"
+      done);
+  Msts.Obs.Streaming.flush st;
+  close_out oc;
+  if Msts.Obs.Streaming.events_seen st <> 200_000 then
+    fail "streaming: saw %d events, expected 200000"
+      (Msts.Obs.Streaming.events_seen st);
+  if Msts.Obs.Streaming.events_written st <> 200_000 then
+    fail "streaming: wrote %d events, expected 200000"
+      (Msts.Obs.Streaming.events_written st);
+  if Msts.Obs.Streaming.max_buffered st > 1024 then
+    fail "streaming: buffer high-water %d exceeds flush_every 1024"
+      (Msts.Obs.Streaming.max_buffered st);
+  let lines = ref 0 in
+  In_channel.with_open_text stream_path (fun ic ->
+      try
+        while true do
+          let line = Option.get (In_channel.input_line ic) in
+          incr lines;
+          (* spot-check the JSONL shape without parsing 200k documents *)
+          if !lines mod 37_777 = 1 then
+            match Msts.Json.parse line with
+            | Ok _ -> ()
+            | Error msg -> fail "streaming: line %d unparseable: %s" !lines msg
+        done
+      with Invalid_argument _ -> ());
+  if !lines <> 200_000 then
+    fail "streaming: %d lines on disk, expected 200000" !lines;
+  Sys.remove stream_path;
+
+  section "histogram quantiles vs sorted oracle (200 sample sets)";
+  for i = 1 to 200 do
+    let n = Msts.Prng.int_in rng 1 2000 in
+    let values = Array.init n (fun _ -> Msts.Prng.int_in rng 0 1_000_000) in
+    let h = Msts.Obs.Histogram.create () in
+    Array.iter (Msts.Obs.Histogram.add h) values;
+    let sorted = Array.copy values in
+    Array.sort compare sorted;
+    List.iter
+      (fun q ->
+        let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+        let exact = sorted.(rank - 1) in
+        let approx = Msts.Obs.Histogram.quantile h q in
+        if not (approx <= exact && exact - approx <= exact / 16) then
+          fail "histogram set %d q=%.2f: exact=%d approx=%d" i q exact approx)
+      [ 0.5; 0.9; 0.99; 1.0 ]
+  done;
+
   print_endline "stress campaign: all checks passed"

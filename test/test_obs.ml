@@ -167,6 +167,353 @@ let chrome_trace_wellformed () =
           Alcotest.(check (list int)) "running totals" [ 2; 3 ] totals
       | _ -> Alcotest.fail "traceEvents missing or not a list")
 
+(* ---------- histograms ---------- *)
+
+let hist_exact_small () =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.add h) [ 3; 1; 4; 1; 5; 9; 2; 6 ];
+  Alcotest.(check int) "count" 8 (Obs.Histogram.count h);
+  Alcotest.(check int) "sum" 31 (Obs.Histogram.sum h);
+  Alcotest.(check int) "min" 1 (Obs.Histogram.min_value h);
+  Alcotest.(check int) "max" 9 (Obs.Histogram.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" (31.0 /. 8.0) (Obs.Histogram.mean h);
+  (* sorted: 1 1 2 3 4 5 6 9 — values below 16 are exact *)
+  Alcotest.(check int) "p0 = min" 1 (Obs.Histogram.quantile h 0.0);
+  Alcotest.(check int) "p50" 3 (Obs.Histogram.quantile h 0.5);
+  Alcotest.(check int) "p90" 9 (Obs.Histogram.quantile h 0.9);
+  Alcotest.(check int) "p100 = max" 9 (Obs.Histogram.quantile h 1.0);
+  Obs.Histogram.add h (-5);
+  Alcotest.(check int) "negative clamps to 0" 0 (Obs.Histogram.min_value h);
+  let empty = Obs.Histogram.create () in
+  Alcotest.(check int) "empty count" 0 (Obs.Histogram.count empty);
+  Alcotest.(check int) "empty quantile" 0 (Obs.Histogram.quantile empty 0.5)
+
+let hist_merge () =
+  let a = Obs.Histogram.create () and b = Obs.Histogram.create () in
+  for v = 1 to 10 do
+    Obs.Histogram.add a v
+  done;
+  for v = 100 to 110 do
+    Obs.Histogram.add b v
+  done;
+  Obs.Histogram.merge_into ~into:a b;
+  Alcotest.(check int) "count" 21 (Obs.Histogram.count a);
+  Alcotest.(check int) "sum" (55 + 1155) (Obs.Histogram.sum a);
+  Alcotest.(check int) "min" 1 (Obs.Histogram.min_value a);
+  Alcotest.(check int) "max" 110 (Obs.Histogram.max_value a);
+  (* rank 11 of 21 is the first of b's samples; 100 is a bucket lower
+     bound, so it reports exactly *)
+  Alcotest.(check int) "p50 across the merge" 100 (Obs.Histogram.quantile a 0.5)
+
+(* Against a naive sorted-array oracle: the log-bucketed quantile never
+   overshoots and undershoots by at most 1/16 of the exact value. *)
+let hist_quantile_error_bound =
+  QCheck.Test.make ~name:"histogram quantile within 1/16 of exact" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_bound 100_000))
+    (fun values ->
+      let h = Obs.Histogram.create () in
+      List.iter (Obs.Histogram.add h) values;
+      let sorted = Array.of_list (List.sort compare values) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun q ->
+          let rank =
+            max 1 (min n (int_of_float (ceil (q *. float_of_int n))))
+          in
+          let exact = sorted.(rank - 1) in
+          let approx = Obs.Histogram.quantile h q in
+          approx <= exact && exact - approx <= exact / 16)
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 1.0 ])
+
+let record_feeds_histograms () =
+  let mem =
+    with_ticking_clock (fun () ->
+        List.iter (fun v -> Obs.record "lat" v) [ 1; 2; 3; 100 ])
+  in
+  (match Obs.Memory.histogram mem "lat" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "count" 4 (Obs.Histogram.count h);
+      Alcotest.(check int) "max" 100 (Obs.Histogram.max_value h));
+  Alcotest.(check (list (list string)))
+    "table rows"
+    [ [ "lat"; "4"; "2"; "100"; "100"; "100" ] ]
+    (Obs.Memory.histogram_rows mem);
+  Alcotest.(check bool) "absent name" true
+    (Obs.Memory.histogram mem "zzz" = None)
+
+let span_duration_histograms () =
+  (* ticking clock: every event advances 10us, so each call lasts 10us *)
+  let mem =
+    with_ticking_clock (fun () ->
+        for _ = 1 to 3 do
+          Obs.span "work" (fun () -> ())
+        done)
+  in
+  match Obs.Memory.span_histogram mem "work" with
+  | None -> Alcotest.fail "span histogram missing"
+  | Some h ->
+      Alcotest.(check int) "calls" 3 (Obs.Histogram.count h);
+      Alcotest.(check int) "p100" 10 (Obs.Histogram.quantile h 1.0)
+
+(* ---------- bounded raw log ---------- *)
+
+let memory_cap_bounds_log () =
+  let mem = Obs.Memory.create ~max_events:8 () in
+  Obs.with_sink (Obs.Memory.sink mem) (fun () ->
+      for _ = 1 to 100 do
+        Obs.count "n"
+      done;
+      Obs.record "v" 5);
+  Alcotest.(check int) "cap recorded" 8 (Obs.Memory.max_events mem);
+  Alcotest.(check int) "log bounded" 8 (Obs.Memory.stored_events mem);
+  Alcotest.(check int) "dropped" 93 (Obs.Memory.dropped_events mem);
+  Alcotest.(check int) "log holds the cap" 8 (List.length (Obs.Memory.events mem));
+  (* aggregates are exact past the cap *)
+  Alcotest.(check int) "counter exact" 100 (Obs.Memory.counter mem "n");
+  (match Obs.Memory.histogram mem "v" with
+  | Some h -> Alcotest.(check int) "histogram exact" 1 (Obs.Histogram.count h)
+  | None -> Alcotest.fail "histogram missing");
+  (* the newest events are the ones retained *)
+  match List.rev (Obs.Memory.events mem) with
+  | Obs.Value { name = "v"; value = 5; _ } :: _ -> ()
+  | _ -> Alcotest.fail "newest event not retained"
+
+(* ---------- streaming sink ---------- *)
+
+let streaming_sink_bounded () =
+  let path = Filename.temp_file "msts_stream" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  let st = Obs.Streaming.create ~flush_every:8 oc in
+  Obs.with_sink (Obs.Streaming.sink st) (fun () ->
+      for i = 1 to 50 do
+        Obs.record "v" i
+      done;
+      Obs.count "c";
+      Obs.span "s" ~args:[ ("k", "x") ] (fun () -> ()));
+  Obs.Streaming.flush st;
+  close_out oc;
+  Alcotest.(check int) "events seen" 53 (Obs.Streaming.events_seen st);
+  Alcotest.(check int) "all written after flush" 53
+    (Obs.Streaming.events_written st);
+  Alcotest.(check bool) "buffer high-water bounded by flush_every" true
+    (Obs.Streaming.max_buffered st <= 8);
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "one JSON line per event" 53 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Error msg -> Alcotest.failf "bad JSONL line %s: %s" line msg
+      | Ok json -> (
+          match Json.member "ev" json with
+          | Some (Json.String ("B" | "E" | "C" | "V")) -> ()
+          | _ -> Alcotest.failf "line lacks an event tag: %s" line))
+    lines
+
+let streaming_rejects_bad_flush_every () =
+  let oc = open_out Filename.null in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  match Obs.Streaming.create ~flush_every:0 oc with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "flush_every 0 accepted"
+
+(* ---------- ring sink ---------- *)
+
+let ring_keeps_last_n () =
+  let r = Obs.Ring.create ~capacity:4 () in
+  Obs.with_sink (Obs.Ring.sink r) (fun () ->
+      for i = 1 to 10 do
+        Obs.record "v" i
+      done);
+  Alcotest.(check int) "capacity" 4 (Obs.Ring.capacity r);
+  Alcotest.(check int) "seen" 10 (Obs.Ring.seen r);
+  Alcotest.(check int) "dropped" 6 (Obs.Ring.dropped r);
+  let values =
+    List.map
+      (function Obs.Value { value; _ } -> value | _ -> -1)
+      (Obs.Ring.events r)
+  in
+  Alcotest.(check (list int)) "newest 4, oldest first" [ 7; 8; 9; 10 ] values;
+  let lines =
+    Obs.Ring.to_jsonl r |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check int) "jsonl lines" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "bad ring line %s: %s" line msg)
+    lines
+
+let tee_fans_out () =
+  let mem = Obs.Memory.create () in
+  let r = Obs.Ring.create ~capacity:2 () in
+  Obs.with_sink (Obs.tee [ Obs.Memory.sink mem; Obs.Ring.sink r ]) (fun () ->
+      Obs.count "a";
+      Obs.count "a";
+      Obs.count "b");
+  Alcotest.(check int) "memory saw the counts" 2 (Obs.Memory.counter mem "a");
+  Alcotest.(check int) "ring saw every event" 3 (Obs.Ring.seen r);
+  Alcotest.(check int) "ring kept the last two" 2
+    (List.length (Obs.Ring.events r))
+
+(* ---------- Chrome trace of a real workload ---------- *)
+
+(* Parse the exported trace and verify the structural invariants viewers
+   rely on: B/E balanced per name (LIFO), timestamps non-decreasing. *)
+let chrome_trace_execution_valid () =
+  let mem = Obs.Memory.create () in
+  Obs.with_sink (Obs.Memory.sink mem) (fun () ->
+      let spider =
+        Msts.Spider.of_legs [ figure2_chain; Msts.Chain.of_pairs [ (1, 2) ] ]
+      in
+      let problem =
+        Msts.Solve.problem ~tasks:6 (Msts.Platform_format.Spider_platform spider)
+      in
+      match Msts.Solve.solve problem with
+      | Error msg -> Alcotest.fail msg
+      | Ok plan -> ignore (Msts.Netsim.execute plan));
+  let text = Json.to_string ~pretty:true (Obs.Memory.chrome_trace mem) in
+  match Json.parse text with
+  | Error msg -> Alcotest.failf "trace does not re-parse: %s" msg
+  | Ok json -> (
+      match Json.member "traceEvents" json with
+      | Some (Json.List events) ->
+          Alcotest.(check bool) "non-empty" true (List.length events > 0);
+          let stacks : (string, int) Hashtbl.t = Hashtbl.create 16 in
+          let last_ts = ref min_int in
+          let opened = ref 0 in
+          List.iter
+            (fun ev ->
+              let name =
+                match Json.member "name" ev with
+                | Some (Json.String s) -> s
+                | _ -> Alcotest.fail "event without a name"
+              in
+              (match Json.member "ts" ev with
+              | Some (Json.Int ts) ->
+                  if ts < !last_ts then
+                    Alcotest.failf "timestamps decrease at %s" name;
+                  last_ts := ts
+              | _ -> ());
+              match Json.member "ph" ev with
+              | Some (Json.String "B") ->
+                  incr opened;
+                  Hashtbl.replace stacks name
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt stacks name))
+              | Some (Json.String "E") ->
+                  let depth =
+                    Option.value ~default:0 (Hashtbl.find_opt stacks name)
+                  in
+                  if depth <= 0 then Alcotest.failf "E without B for %s" name;
+                  Hashtbl.replace stacks name (depth - 1)
+              | Some (Json.String "C") | None -> ()
+              | Some other ->
+                  Alcotest.failf "unexpected phase %s" (Json.to_string other))
+            events;
+          Alcotest.(check bool) "spans were exported" true (!opened > 0);
+          Hashtbl.iter
+            (fun name depth ->
+              if depth <> 0 then Alcotest.failf "unbalanced span %s" name)
+            stacks
+      | _ -> Alcotest.fail "traceEvents missing")
+
+(* ---------- metric-name drift guard ---------- *)
+
+(* A corpus touching every instrumented subsystem: chain and spider
+   solves, the deadline variant, event-driven execution, the pull
+   baseline, faults with replanning, and a pooled batch. *)
+let corpus () =
+  let chain_platform = Msts.Platform_format.Chain_platform figure2_chain in
+  let spider =
+    Msts.Spider.of_legs [ figure2_chain; Msts.Chain.of_pairs [ (1, 2) ] ]
+  in
+  let spider_platform = Msts.Platform_format.Spider_platform spider in
+  let solve problem =
+    match Msts.Solve.solve problem with
+    | Ok plan -> plan
+    | Error msg -> Alcotest.fail msg
+  in
+  ignore (Msts.Netsim.execute (solve (Msts.Solve.problem ~tasks:5 chain_platform)));
+  ignore (Msts.Netsim.execute (solve (Msts.Solve.problem ~tasks:6 spider_platform)));
+  ignore (solve (Msts.Solve.problem ~deadline:30 chain_platform));
+  ignore (Msts.Netsim.pull_policy spider ~tasks:4);
+  let plan = Msts.Spider_algorithm.schedule_tasks spider 5 in
+  let horizon = Msts.Spider_schedule.makespan plan in
+  let trace = Msts.Fault.random (Msts.Prng.create 3) spider ~events:3 ~horizon in
+  ignore (Msts.Replan.replay ~trace plan);
+  ignore (Msts.Netsim.replay_under_faults ~trace plan);
+  ignore
+    (Msts.Batch.run ~jobs:1 ~solve:Msts.Solve.solve
+       [|
+         Msts.Solve.problem ~tasks:4 chain_platform;
+         Msts.Solve.problem ~tasks:4 chain_platform;
+       |])
+
+(* Backticked lowercase dotted tokens of docs/OBSERVABILITY.md (the test
+   rule copies the file next to the runner). *)
+let documented_names () =
+  let text =
+    In_channel.with_open_text "../docs/OBSERVABILITY.md" In_channel.input_all
+  in
+  let is_name s =
+    s <> ""
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '_' || c = '.')
+         s
+  in
+  String.split_on_char '`' text
+  |> List.filteri (fun i _ -> i land 1 = 1)
+  |> List.filter is_name |> List.sort_uniq compare
+
+let emitted_names () =
+  let mem = Obs.Memory.create () in
+  Obs.with_sink (Obs.Memory.sink mem) corpus;
+  List.map fst (Obs.Memory.counters mem)
+  @ List.map fst (Obs.Memory.spans mem)
+  @ List.map fst (Obs.Memory.histograms mem)
+  |> List.sort_uniq compare
+
+(* Every name the corpus emits must appear in docs/OBSERVABILITY.md, and a
+   curated core set must both be emitted and be documented — so neither
+   the code nor the catalogue can drift silently. *)
+let metric_names_documented () =
+  let documented = documented_names () in
+  let emitted = emitted_names () in
+  Alcotest.(check (list string))
+    "emitted but undocumented names" []
+    (List.filter (fun n -> not (List.mem n documented)) emitted);
+  let core =
+    [
+      "solve";
+      "chain.candidate_scans";
+      "chain.tasks_placed";
+      "engine.events";
+      "engine.event_gap_us";
+      "netsim.execute";
+      "netsim.executions";
+      "netsim.transfers";
+      "netsim.transfer_us";
+      "spider.search_probes";
+      "pool.requests";
+      "pool.queue_wait_us";
+    ]
+  in
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " emitted by the corpus") true
+        (List.mem name emitted);
+      Alcotest.(check bool) (name ^ " documented") true
+        (List.mem name documented))
+    core
+
 (* ---------- the shared JSON encoder ---------- *)
 
 let json_roundtrip () =
@@ -219,10 +566,29 @@ let suites =
           null_sink_identical_outputs;
         case "with_sink restores on exceptions" with_sink_restores;
       ] );
+    ( "obs.histograms",
+      [
+        case "small values are exact" hist_exact_small;
+        case "merge combines buckets and extremes" hist_merge;
+        to_alcotest hist_quantile_error_bound;
+        case "record feeds memory histograms" record_feeds_histograms;
+        case "span durations feed histograms" span_duration_histograms;
+      ] );
+    ( "obs.bounded",
+      [
+        case "raw log capped, aggregates exact" memory_cap_bounds_log;
+        case "streaming sink bounded buffer + JSONL" streaming_sink_bounded;
+        case "streaming rejects flush_every < 1" streaming_rejects_bad_flush_every;
+        case "ring keeps the newest N" ring_keeps_last_n;
+        case "tee fans out to several sinks" tee_fans_out;
+      ] );
     ( "obs.export",
       [
         case "chrome trace is well-formed" chrome_trace_wellformed;
+        case "chrome trace of an execution validates" chrome_trace_execution_valid;
         case "json roundtrip" json_roundtrip;
         case "json rejects garbage" json_rejects_garbage;
       ] );
+    ( "obs.drift",
+      [ case "metric names match docs/OBSERVABILITY.md" metric_names_documented ] );
   ]
