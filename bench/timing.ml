@@ -298,8 +298,160 @@ let implementation_comparison () =
   ;
   print_endline "   speed penalty over the paper's transcription)"
 
+(* Fast vs reference kernel: head-to-head at fixed (n,p), allocation
+   counts, and the p-scaling ratio check backing the complexity claim —
+   the fast kernel doubles per doubling of p (linear), the reference
+   quadruples (quadratic).  Results go to BENCH_kernel.json (written here;
+   the harness adds the usual counter/latency profile next to it). *)
+let kernel_comparison () =
+  let n = 400 and p0 = 16 in
+  let chain0 = bench_chain ~p:p0 in
+  let solve kernel chain () =
+    ignore (Msts.Chain_algorithm.makespan ~kernel chain n)
+  in
+  let head_tests =
+    Test.make_grouped ~name:"kernel"
+      [
+        Test.make ~name:"fast" (Staged.stage (solve Msts.Chain_kernel.Fast chain0));
+        Test.make ~name:"reference"
+          (Staged.stage (solve Msts.Chain_kernel.Reference chain0));
+      ]
+  in
+  let head = run_tests head_tests in
+  let fast_ns = estimate head "kernel/fast" in
+  let reference_ns = estimate head "kernel/reference" in
+  let head_table =
+    Msts.Table.create
+      ~title:(Printf.sprintf "kernel head-to-head (n=%d, p=%d)" n p0)
+      ~columns:[ "kernel"; "ns/run"; "r^2" ]
+  in
+  List.iter
+    (fun name ->
+      let key = "kernel/" ^ name in
+      Msts.Table.add_row head_table
+        [
+          name;
+          Printf.sprintf "%.0f" (estimate head key);
+          Printf.sprintf "%.4f" (r2 head key);
+        ])
+    [ "fast"; "reference" ];
+  Msts.Table.print head_table;
+  let bytes_per_solve kernel =
+    let iters = 20 in
+    let before = Gc.allocated_bytes () in
+    for _ = 1 to iters do
+      solve kernel chain0 ()
+    done;
+    (Gc.allocated_bytes () -. before) /. float_of_int iters
+  in
+  let fast_bytes = bytes_per_solve Msts.Chain_kernel.Fast in
+  let reference_bytes = bytes_per_solve Msts.Chain_kernel.Reference in
+  Printf.printf
+    "  allocations per makespan solve: fast %.0f B, reference %.0f B (%.0fx)\n"
+    fast_bytes reference_bytes
+    (reference_bytes /. fast_bytes);
+  let sizes = [ 4; 8; 16; 32 ] in
+  let scale_tests =
+    Test.make_grouped ~name:"kernel-p"
+      (List.concat_map
+         (fun p ->
+           let chain = bench_chain ~p in
+           [
+             Test.make
+               ~name:(Printf.sprintf "fast,p=%d" p)
+               (Staged.stage (solve Msts.Chain_kernel.Fast chain));
+             Test.make
+               ~name:(Printf.sprintf "reference,p=%d" p)
+               (Staged.stage (solve Msts.Chain_kernel.Reference chain));
+           ])
+         sizes)
+  in
+  let scale = run_tests scale_tests in
+  let estimates kernel =
+    List.map
+      (fun p -> estimate scale (Printf.sprintf "kernel-p/%s,p=%d" kernel p))
+      sizes
+  in
+  let fast_curve = estimates "fast" and reference_curve = estimates "reference" in
+  (* Geometric mean of the per-doubling growth, i.e. (last/first)^(1/k):
+     2.00 is ideal linear, 4.00 ideal quadratic. *)
+  let avg_ratio curve =
+    let first = List.hd curve and last = List.nth curve (List.length curve - 1) in
+    Float.pow (last /. first) (1.0 /. float_of_int (List.length curve - 1))
+  in
+  let fast_ratio = avg_ratio fast_curve
+  and reference_ratio = avg_ratio reference_curve in
+  let scale_table =
+    Msts.Table.create
+      ~title:
+        (Printf.sprintf
+           "kernel p-scaling (n=%d; per-doubling growth: linear predicts 2.00, \
+            quadratic 4.00)"
+           n)
+      ~columns:[ "p"; "fast ns/run"; "reference ns/run" ]
+  in
+  List.iteri
+    (fun i p ->
+      Msts.Table.add_row scale_table
+        [
+          string_of_int p;
+          Printf.sprintf "%.0f" (List.nth fast_curve i);
+          Printf.sprintf "%.0f" (List.nth reference_curve i);
+        ])
+    sizes;
+  Msts.Table.print scale_table;
+  Printf.printf
+    "  avg per-doubling growth: fast %.2fx, reference %.2fx (ideal 2.00 vs 4.00)\n"
+    fast_ratio reference_ratio;
+  let json =
+    Msts.Json.Obj
+      [
+        ("experiment", Msts.Json.String "kernel");
+        ( "head_to_head",
+          Msts.Json.Obj
+            [
+              ("n", Msts.Json.Int n);
+              ("p", Msts.Json.Int p0);
+              ("fast_ns", Msts.Json.Float fast_ns);
+              ("reference_ns", Msts.Json.Float reference_ns);
+              ("speedup", Msts.Json.Float (reference_ns /. fast_ns));
+            ] );
+        ( "allocations_per_solve_bytes",
+          Msts.Json.Obj
+            [
+              ("fast", Msts.Json.Float fast_bytes);
+              ("reference", Msts.Json.Float reference_bytes);
+              ("ratio", Msts.Json.Float (reference_bytes /. fast_bytes));
+            ] );
+        ( "p_scaling",
+          Msts.Json.Obj
+            [
+              ("n", Msts.Json.Int n);
+              ("sizes", Msts.Json.List (List.map (fun p -> Msts.Json.Int p) sizes));
+              ("fast_ns", Msts.Json.List (List.map (fun e -> Msts.Json.Float e) fast_curve));
+              ( "reference_ns",
+                Msts.Json.List (List.map (fun e -> Msts.Json.Float e) reference_curve) );
+              ("fast_avg_doubling_ratio", Msts.Json.Float fast_ratio);
+              ("reference_avg_doubling_ratio", Msts.Json.Float reference_ratio);
+              ("ideal_linear", Msts.Json.Float 2.0);
+              ("ideal_quadratic", Msts.Json.Float 4.0);
+            ] );
+      ]
+  in
+  Out_channel.with_open_text "BENCH_kernel.json" (fun oc ->
+      Out_channel.output_string oc (Msts.Json.to_string ~pretty:true json);
+      Out_channel.output_char oc '\n');
+  print_endline "  BENCH_kernel.json written";
+  (* The acceptance gates: sub-quadratic p-scaling, >= 5x fewer
+     allocations.  Wall-clock speedup is reported but not asserted (CI
+     machines are noisy); the scaling exponent is the robust signal. *)
+  assert (fast_ratio < reference_ratio);
+  assert (reference_bytes >= 5.0 *. fast_bytes)
+
 let all : (string * string * (unit -> unit)) list =
   [
+    ("kernel-scaling", "fast vs reference kernel: head-to-head, allocations, p-scaling",
+     kernel_comparison);
     ("bench-chain-n", "E10a: runtime linear in n", scaling_in_n);
     ("bench-chain-p", "E10b: runtime quadratic in p", scaling_in_p);
     ("bench-spider", "E8: spider deadline pass scaling", spider_scaling);

@@ -57,6 +57,29 @@ let format_arg =
     & opt (enum [ ("text", Text); ("json", Json) ]) Text
     & info [ "format" ] ~docv:"FMT" ~doc)
 
+(* Evaluates to () after setting the process-wide kernel, so commands can
+   splice it in front of their own arguments. *)
+let kernel_setter =
+  let doc =
+    "Backward-construction kernel: $(b,fast) (single O(p) sweep per task, \
+     the default) or $(b,reference) (the paper-literal candidate scan; \
+     byte-identical plans, kept as the escape hatch and executable \
+     specification)."
+  in
+  let kernel_conv =
+    let parse s =
+      match Msts.Solve.kernel_of_string s with
+      | Some k -> Ok k
+      | None ->
+          Error (`Msg (Printf.sprintf "unknown kernel %S (expected fast or reference)" s))
+    in
+    Arg.conv
+      (parse, fun ppf k -> Format.pp_print_string ppf (Msts.Solve.kernel_to_string k))
+  in
+  Term.(
+    const Msts.Solve.set_kernel
+    $ Arg.(value & opt kernel_conv Msts.Solve.Fast & info [ "kernel" ] ~docv:"KERNEL" ~doc))
+
 let emit output text =
   match output with
   | None -> print_string text
@@ -193,7 +216,7 @@ let schedule_cmd =
     let doc = "Write a per-task CSV table to $(docv)." in
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
   in
-  let run path n fmt gantt svg plan_out csv width =
+  let run () path n fmt gantt svg plan_out csv width =
     let platform = read_platform path in
     let plan = solve_or_die (Msts.Solve.problem ~tasks:n platform) in
     (match fmt with
@@ -209,8 +232,8 @@ let schedule_cmd =
   let doc = "Compute the optimal schedule for N tasks." in
   Cmd.v (Cmd.info "schedule" ~doc)
     Term.(
-      const run $ platform_arg $ tasks_arg $ format_arg $ gantt $ svg $ plan_out
-      $ csv $ width_arg)
+      const run $ kernel_setter $ platform_arg $ tasks_arg $ format_arg $ gantt
+      $ svg $ plan_out $ csv $ width_arg)
 
 (* ---------- deadline ---------- *)
 
@@ -219,7 +242,7 @@ let deadline_cmd =
     let doc = "Time limit." in
     Arg.(required & opt (some int) None & info [ "d"; "deadline" ] ~docv:"T" ~doc)
   in
-  let run path deadline fmt =
+  let run () path deadline fmt =
     let platform = read_platform path in
     let plan = solve_or_die (Msts.Solve.problem ~deadline platform) in
     match fmt with
@@ -232,7 +255,7 @@ let deadline_cmd =
   in
   let doc = "Maximise the number of tasks completed within a deadline." in
   Cmd.v (Cmd.info "deadline" ~doc)
-    Term.(const run $ platform_arg $ deadline $ format_arg)
+    Term.(const run $ kernel_setter $ platform_arg $ deadline $ format_arg)
 
 (* ---------- validate ---------- *)
 
@@ -518,7 +541,7 @@ let metrics_cmd =
         ("legs", List legs)
       ]
   in
-  let run path n fmt =
+  let run () path n fmt =
     let platform = read_platform path in
     let plan = solve_or_die (Msts.Solve.problem ~tasks:n platform) in
     match (fmt, plan) with
@@ -530,7 +553,7 @@ let metrics_cmd =
   in
   let doc = "Waiting, buffering and utilisation report for the optimal schedule." in
   Cmd.v (Cmd.info "metrics" ~doc)
-    Term.(const run $ platform_arg $ tasks_arg $ format_arg)
+    Term.(const run $ kernel_setter $ platform_arg $ tasks_arg $ format_arg)
 
 (* ---------- faults ---------- *)
 
@@ -752,7 +775,7 @@ let batch_cmd =
     done;
     out
   in
-  let run manifest count seed jobs cache_size fmt =
+  let run () manifest count seed jobs cache_size fmt =
     if cache_size < 1 then begin
       Printf.eprintf "error: --cache-size must be >= 1\n";
       exit 2
@@ -848,8 +871,8 @@ let batch_cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc)
     Term.(
-      const run $ manifest_arg $ count_arg $ seed_arg $ jobs_arg $ cache_arg
-      $ format_arg)
+      const run $ kernel_setter $ manifest_arg $ count_arg $ seed_arg $ jobs_arg
+      $ cache_arg $ format_arg)
 
 (* ---------- profile ---------- *)
 
@@ -887,7 +910,7 @@ let profile_cmd =
     let doc = "Fault events for the faults workload." in
     Arg.(value & opt int 4 & info [ "events" ] ~docv:"E" ~doc)
   in
-  let run path n deadline workload trace_out seed events fmt =
+  let run () path n deadline workload trace_out seed events fmt =
     let platform = read_platform path in
     let mem = Msts.Obs.Memory.create () in
     let problem =
@@ -1028,8 +1051,8 @@ let profile_cmd =
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
-      const run $ platform_arg $ tasks_arg $ deadline_arg $ workload_arg
-      $ trace_out_arg $ seed_arg $ events_arg $ format_arg)
+      const run $ kernel_setter $ platform_arg $ tasks_arg $ deadline_arg
+      $ workload_arg $ trace_out_arg $ seed_arg $ events_arg $ format_arg)
 
 (* ---------- report ---------- *)
 
@@ -1046,7 +1069,7 @@ let report_cmd =
     let doc = "Report the planned schedule instead of the realized execution." in
     Arg.(value & flag & info [ "planned" ] ~doc)
   in
-  let run path n deadline planned fmt =
+  let run () path n deadline planned fmt =
     let platform = read_platform path in
     let problem =
       match deadline with
@@ -1079,8 +1102,8 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc)
     Term.(
-      const run $ platform_arg $ tasks_arg $ deadline_arg $ planned_arg
-      $ format_arg)
+      const run $ kernel_setter $ platform_arg $ tasks_arg $ deadline_arg
+      $ planned_arg $ format_arg)
 
 (* ---------- trace diff ---------- *)
 

@@ -1,143 +1,5 @@
-module Chain = Msts_platform.Chain
-module Spider = Msts_platform.Spider
-
-let best_single_completion chain =
-  let p = Chain.length chain in
-  let best = ref max_int in
-  for k = 1 to p do
-    best := min !best (Chain.path_latency chain k + Chain.work chain k)
-  done;
-  !best
-
-let port_bound chain n =
-  if n < 0 then invalid_arg "Bounds.port_bound: negative n";
-  if n = 0 then 0
-  else ((n - 1) * Chain.latency chain 1) + best_single_completion chain
-
-let capacity_at chain m =
-  let p = Chain.length chain in
-  let total = ref 0 in
-  for k = 1 to p do
-    let window = m - Chain.path_latency chain k in
-    if window > 0 then total := !total + (window / Chain.work chain k)
-  done;
-  !total
-
-let capacity_bound chain n =
-  if n < 0 then invalid_arg "Bounds.capacity_bound: negative n";
-  if n = 0 then 0
-  else begin
-    let hi = Chain.master_only_makespan chain n in
-    match
-      Msts_util.Intx.binary_search_least ~lo:0 ~hi (fun m ->
-          capacity_at chain m >= n)
-    with
-    | Some m -> m
-    | None -> hi
-  end
-
-let fluid_load chain m =
-  let p = Chain.length chain in
-  let rec g j =
-    if j > p then 0.0
-    else
-      min
-        (m /. float_of_int (Chain.latency chain j))
-        ((m /. float_of_int (Chain.work chain j)) +. g (j + 1))
-  in
-  g 1
-
-let fluid_bound chain n =
-  if n < 0 then invalid_arg "Bounds.fluid_bound: negative n";
-  if n = 0 then 0.0
-  else begin
-    let target = float_of_int n in
-    let lo = ref 0.0 and hi = ref (float_of_int (Chain.master_only_makespan chain n)) in
-    for _ = 1 to 60 do
-      let mid = 0.5 *. (!lo +. !hi) in
-      if fluid_load chain mid >= target then hi := mid else lo := mid
-    done;
-    !hi
-  end
-
-let combined_bound chain n =
-  let fluid = int_of_float (ceil (fluid_bound chain n -. 1e-9)) in
-  max (port_bound chain n) (max (capacity_bound chain n) fluid)
-
-let spider_port_bound spider n =
-  if n < 0 then invalid_arg "Bounds.spider_port_bound: negative n";
-  if n = 0 then 0
-  else begin
-    let min_c1 = ref max_int and best_completion = ref max_int in
-    for l = 1 to Spider.legs spider do
-      let chain = Spider.leg_chain spider l in
-      min_c1 := min !min_c1 (Chain.latency chain 1);
-      best_completion := min !best_completion (best_single_completion chain)
-    done;
-    ((n - 1) * !min_c1) + !best_completion
-  end
-
-let spider_capacity_at spider m =
-  let total = ref 0 in
-  for l = 1 to Spider.legs spider do
-    total := !total + capacity_at (Spider.leg_chain spider l) m
-  done;
-  !total
-
-let spider_capacity_bound spider n =
-  if n < 0 then invalid_arg "Bounds.spider_capacity_bound: negative n";
-  if n = 0 then 0
-  else begin
-    let hi =
-      Chain.master_only_makespan (Spider.leg_chain spider 1) n
-    in
-    match
-      Msts_util.Intx.binary_search_least ~lo:0 ~hi (fun m ->
-          spider_capacity_at spider m >= n)
-    with
-    | Some m -> m
-    | None -> hi
-  end
-
-(* max load deliverable through the master's port within horizon [m]:
-   fractional knapsack by ascending first-hop cost, each leg capped by its
-   own fluid capacity *)
-let spider_fluid_load spider m =
-  let legs =
-    List.map
-      (fun l ->
-        let chain = Spider.leg_chain spider l in
-        (float_of_int (Chain.latency chain 1), fluid_load chain m))
-      (List.init (Spider.legs spider) (fun i -> i + 1))
-  in
-  let sorted = List.sort (fun (ca, _) (cb, _) -> compare ca cb) legs in
-  let total, _ =
-    List.fold_left
-      (fun (total, port_left) (c1, cap) ->
-        let load = min cap (port_left /. c1) in
-        (total +. load, port_left -. (load *. c1)))
-      (0.0, m) sorted
-  in
-  total
-
-let spider_fluid_bound spider n =
-  if n < 0 then invalid_arg "Bounds.spider_fluid_bound: negative n";
-  if n = 0 then 0.0
-  else begin
-    let target = float_of_int n in
-    let lo = ref 0.0
-    and hi =
-      ref
-        (float_of_int
-           (Chain.master_only_makespan (Spider.leg_chain spider 1) n))
-    in
-    for _ = 1 to 60 do
-      let mid = 0.5 *. (!lo +. !hi) in
-      if spider_fluid_load spider mid >= target then hi := mid else lo := mid
-    done;
-    !hi
-  end
-
-let spider_combined_bound spider n =
-  let fluid = int_of_float (ceil (spider_fluid_bound spider n -. 1e-9)) in
-  max (spider_port_bound spider n) (max (spider_capacity_bound spider n) fluid)
+(* The implementation lives in [Msts_schedule.Bounds] so the chain and
+   spider schedulers can warm-start their binary searches with it without
+   depending on this library; re-exported here because the bounds are
+   conceptually baselines and callers address them as [Msts.Bounds]. *)
+include Msts_schedule.Bounds

@@ -62,7 +62,25 @@ let place_with ~select chain st ~task =
 
 let place = place_with ~select
 
+(* Placement without the step record: same state mutation and counters as
+   [place_with], but no [state_before] deep copy and no retained candidate
+   array — for callers with no observer installed. *)
+let place_light ~select chain st =
+  let all_candidates = candidates chain st in
+  let proc = select all_candidates + 1 in
+  let vector = all_candidates.(proc - 1) in
+  let start = st.occupancy.(proc - 1) - Chain.work chain proc in
+  st.occupancy.(proc - 1) <- start;
+  for j = 1 to proc do
+    st.hull.(j - 1) <- vector.(j - 1)
+  done;
+  Obs.count "chain.tasks_placed";
+  Obs.count ~n:proc "chain.hull_updates";
+  (proc, vector, start)
+
 let horizon = Chain.master_only_makespan
+
+let resolve_kernel = function Some k -> k | None -> Kernel.default ()
 
 let schedule_core ~select ?on_step chain n =
   if n < 0 then invalid_arg "Algorithm.schedule: negative task count";
@@ -71,23 +89,49 @@ let schedule_core ~select ?on_step chain n =
   let entries =
     Array.init n (fun _ -> { Schedule.proc = 1; start = 0; comms = [| 0 |] })
   in
+  (match on_step with
+  | Some f ->
+      for task = n downto 1 do
+        let step = place_with ~select chain st ~task in
+        f step;
+        entries.(task - 1) <-
+          {
+            Schedule.proc = step.chosen_proc;
+            start = step.start;
+            comms = step.chosen_vector;
+          }
+      done
+  | None ->
+      for task = n downto 1 do
+        let proc, vector, start = place_light ~select chain st in
+        entries.(task - 1) <- { Schedule.proc; start; comms = vector }
+      done);
+  Schedule.normalise (Schedule.make chain entries)
+
+let fast_schedule chain n =
+  if n < 0 then invalid_arg "Algorithm.schedule: negative task count";
+  Obs.span "chain.schedule" ~args:[ ("n", string_of_int n) ] @@ fun () ->
+  let st = initial_state chain ~horizon:(horizon chain n) in
+  let sc = Kernel.scratch () in
+  let entries =
+    Array.init n (fun _ -> { Schedule.proc = 1; start = 0; comms = [| 0 |] })
+  in
   for task = n downto 1 do
-    let step = place_with ~select chain st ~task in
-    (match on_step with Some f -> f step | None -> ());
-    entries.(task - 1) <-
-      {
-        Schedule.proc = step.chosen_proc;
-        start = step.start;
-        comms = step.chosen_vector;
-      }
+    let proc = Kernel.sweep chain ~hull:st.hull ~occupancy:st.occupancy sc in
+    let comms = Kernel.chosen_vector sc ~proc in
+    let start = Kernel.commit chain ~hull:st.hull ~occupancy:st.occupancy sc ~proc in
+    entries.(task - 1) <- { Schedule.proc; start; comms }
   done;
   Schedule.normalise (Schedule.make chain entries)
 
-let schedule ?on_step chain n = schedule_core ~select ?on_step chain n
+let schedule ?kernel ?on_step chain n =
+  match (on_step, resolve_kernel kernel) with
+  | None, Kernel.Fast -> fast_schedule chain n
+  | Some _, _ | None, Kernel.Reference -> schedule_core ~select ?on_step chain n
 
 let schedule_with_selector ~select chain n = schedule_core ~select chain n
 
-let makespan chain n =
+let makespan ?kernel chain n =
   if n = 0 then 0
   else begin
     Obs.span "chain.makespan" ~args:[ ("n", string_of_int n) ] @@ fun () ->
@@ -95,9 +139,20 @@ let makespan chain n =
        finishes exactly at the horizon. *)
     let st = initial_state chain ~horizon:(horizon chain n) in
     let first_emission = ref 0 in
-    for task = n downto 1 do
-      let step = place chain st ~task in
-      if task = 1 then first_emission := step.chosen_vector.(0)
-    done;
+    (match resolve_kernel kernel with
+    | Kernel.Fast ->
+        let sc = Kernel.scratch () in
+        for task = n downto 1 do
+          let proc = Kernel.sweep chain ~hull:st.hull ~occupancy:st.occupancy sc in
+          let (_ : int) =
+            Kernel.commit chain ~hull:st.hull ~occupancy:st.occupancy sc ~proc
+          in
+          if task = 1 then first_emission := Kernel.first_emission sc
+        done
+    | Kernel.Reference ->
+        for task = n downto 1 do
+          let _, vector, _ = place_light ~select chain st in
+          if task = 1 then first_emission := vector.(0)
+        done);
     horizon chain n - !first_emission
   end

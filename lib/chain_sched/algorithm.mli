@@ -53,14 +53,21 @@ val place :
 val horizon : Msts_platform.Chain.t -> int -> int
 (** T∞ = [c₁ + (n−1)·max(w₁,c₁) + w₁] for [n] tasks (0 when [n = 0]). *)
 
-val schedule : ?on_step:(step -> unit) -> Msts_platform.Chain.t -> int -> Msts_schedule.Schedule.t
+val schedule :
+  ?kernel:Kernel.t ->
+  ?on_step:(step -> unit) ->
+  Msts_platform.Chain.t -> int -> Msts_schedule.Schedule.t
 (** [schedule chain n] is the paper's algorithm: optimal schedule for [n]
     tasks, normalised to start at time 0.  [on_step] observes each
-    placement (in construction order, task [n] first).
+    placement (in construction order, task [n] first); installing it
+    forces the reference kernel, which is the only one that materialises
+    full {!step} records.  [kernel] defaults to {!Kernel.default}; both
+    kernels produce identical schedules.
     @raise Invalid_argument if [n < 0]. *)
 
-val makespan : Msts_platform.Chain.t -> int -> int
-(** Makespan of {!schedule} without materialising the trace. *)
+val makespan : ?kernel:Kernel.t -> Msts_platform.Chain.t -> int -> int
+(** Makespan of {!schedule} without materialising the trace (and, on the
+    fast kernel, without allocating any per-task vectors at all). *)
 
 val schedule_with_selector :
   select:(Msts_schedule.Comm_vector.t array -> int) ->

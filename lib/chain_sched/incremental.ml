@@ -2,45 +2,74 @@ module Schedule = Msts_schedule.Schedule
 
 type t = {
   chain : Msts_platform.Chain.t;
+  kernel : Kernel.t;
+  sc : Kernel.scratch;
   st : Algorithm.state;
   mutable entries : Schedule.entry list; (* emission order: earliest first *)
   mutable placed : int;
   mutable full : bool;
 }
 
-let create chain ~horizon =
+let create ?kernel chain ~horizon =
   if horizon < 0 then invalid_arg "Incremental.create: negative horizon";
   {
     chain;
+    kernel = (match kernel with Some k -> k | None -> Kernel.default ());
+    sc = Kernel.scratch ();
     st = Algorithm.initial_state chain ~horizon;
     entries = [];
     placed = 0;
     full = false;
   }
 
+let record t entry =
+  t.entries <- entry :: t.entries;
+  t.placed <- t.placed + 1;
+  true
+
+let add_task_reference t =
+  (* Probe with the would-be greatest candidate before committing. *)
+  let cands = Algorithm.candidates t.chain t.st in
+  let best = Algorithm.select cands in
+  if cands.(best).(0) < 0 then begin
+    t.full <- true;
+    false
+  end
+  else begin
+    let step = Algorithm.place t.chain t.st ~task:(t.placed + 1) in
+    record t
+      {
+        Schedule.proc = step.Algorithm.chosen_proc;
+        start = step.Algorithm.start;
+        comms = step.Algorithm.chosen_vector;
+      }
+  end
+
+let add_task_fast t =
+  (* One sweep both probes and decides; commit only if the task fits. *)
+  let proc =
+    Kernel.sweep t.chain ~hull:t.st.Algorithm.hull
+      ~occupancy:t.st.Algorithm.occupancy t.sc
+  in
+  if Kernel.first_emission t.sc < 0 then begin
+    t.full <- true;
+    false
+  end
+  else begin
+    let comms = Kernel.chosen_vector t.sc ~proc in
+    let start =
+      Kernel.commit t.chain ~hull:t.st.Algorithm.hull
+        ~occupancy:t.st.Algorithm.occupancy t.sc ~proc
+    in
+    record t { Schedule.proc; start; comms }
+  end
+
 let add_task t =
   if t.full then false
-  else begin
-    (* Probe with the would-be greatest candidate before committing. *)
-    let cands = Algorithm.candidates t.chain t.st in
-    let best = Algorithm.select cands in
-    if cands.(best).(0) < 0 then begin
-      t.full <- true;
-      false
-    end
-    else begin
-      let step = Algorithm.place t.chain t.st ~task:(t.placed + 1) in
-      t.entries <-
-        {
-          Schedule.proc = step.Algorithm.chosen_proc;
-          start = step.Algorithm.start;
-          comms = step.Algorithm.chosen_vector;
-        }
-        :: t.entries;
-      t.placed <- t.placed + 1;
-      true
-    end
-  end
+  else
+    match t.kernel with
+    | Kernel.Reference -> add_task_reference t
+    | Kernel.Fast -> add_task_fast t
 
 let placed t = t.placed
 

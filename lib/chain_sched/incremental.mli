@@ -11,14 +11,18 @@
 
 type t
 
-val create : Msts_platform.Chain.t -> horizon:int -> t
-(** Fresh construction ending at [horizon].
+val create : ?kernel:Kernel.t -> Msts_platform.Chain.t -> horizon:int -> t
+(** Fresh construction ending at [horizon]; [kernel] (default
+    {!Kernel.default}) picks the placement kernel for the whole lifetime
+    of this construction.
     @raise Invalid_argument on a negative horizon. *)
 
 val add_task : t -> bool
 (** Place one more task (earlier than everything placed so far).  Returns
     [false] — and places nothing — when the task's first emission would
-    fall before time 0, i.e. the horizon is full. *)
+    fall before time 0, i.e. the horizon is full.  On the fast kernel a
+    single O(p) sweep both probes and places; the reference kernel probes
+    with a full candidate scan before committing. *)
 
 val placed : t -> int
 (** Number of tasks placed so far. *)

@@ -1,0 +1,56 @@
+(** Kernel selection for the backward chain construction.
+
+    The reference kernel materialises all [p] candidate vectors (total
+    size O(p²)) on every placement and compares them with
+    {!Msts_schedule.Comm_vector.precedes} — the paper's O(n·p²) cost,
+    kept as the executable specification.  The fast kernel exploits the
+    suffix-min structure of the candidates: they all share the
+    propagation [v_j = min(v_{j+1}, h_j) − c_j], whose maps are monotone,
+    so the Definition 3 winner can be decided with one scalar comparison
+    per processor during a single O(p) backward sweep over a reusable
+    scratch buffer — no per-task allocation beyond the chosen vector
+    itself.  Both kernels produce byte-identical schedules (enforced by
+    the differential test suite).
+
+    The selected kernel is a process-wide atomic so batch-solver domains
+    and the CLI share one switch; call sites can override it per call
+    with their [?kernel] argument. *)
+
+type t = Fast | Reference
+
+val to_string : t -> string
+val of_string : string -> t option
+
+val default : unit -> t
+(** Process-wide default, [Fast] unless {!set_default} was called. *)
+
+val set_default : t -> unit
+
+type scratch
+(** Reusable buffer for the fast sweep; grows to the largest [p] seen. *)
+
+val scratch : unit -> scratch
+
+val sweep :
+  Msts_platform.Chain.t ->
+  hull:int array -> occupancy:int array -> scratch -> int
+(** One fused candidates+select pass: returns the winning processor
+    (1-based, the same index {!Algorithm.select} would pick) and leaves
+    the winner's communication vector in the scratch buffer, readable
+    through {!first_emission} and {!chosen_vector}.  Does not mutate the
+    state arrays.  O(p) time, zero allocation after warm-up. *)
+
+val first_emission : scratch -> int
+(** The winner's link-1 emission date (coordinate 1 of its vector) after
+    a {!sweep}; negative when the next task no longer fits the horizon. *)
+
+val chosen_vector : scratch -> proc:int -> Msts_schedule.Comm_vector.t
+(** Copy of the winner's communication vector (length [proc]) after a
+    {!sweep} returning [proc].  The only allocation on the fast path. *)
+
+val commit :
+  Msts_platform.Chain.t ->
+  hull:int array -> occupancy:int array -> scratch -> proc:int -> int
+(** Apply the placement the last {!sweep} decided: update occupancy and
+    hull in place exactly as {!Algorithm.place} would, bump the same
+    counters, and return the task's start time. *)

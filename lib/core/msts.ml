@@ -57,6 +57,7 @@ module Plan = Msts_schedule.Plan
 
 (* The paper's algorithms *)
 module Chain_algorithm = Msts_chain.Algorithm
+module Chain_kernel = Msts_chain.Kernel
 module Chain_deadline = Msts_chain.Deadline
 module Chain_incremental = Msts_chain.Incremental
 module Chain_pseudocode = Msts_chain.Pseudocode

@@ -27,6 +27,15 @@ let range lo hi =
   let rec loop i acc = if i < lo then acc else loop (i - 1) (i :: acc) in
   loop hi []
 
+let count_leq a x =
+  (* least index holding a value > x, found by bisection *)
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    if a.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
 let binary_search_least ~lo ~hi p =
   if lo > hi then None
   else if not (p hi) then None

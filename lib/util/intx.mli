@@ -24,6 +24,11 @@ val range : int -> int -> int list
 (** [range lo hi] is [\[lo; lo+1; ...; hi\]]; empty if [hi < lo].  Mirrors
     the paper's interval notation ⟦lo;hi⟧. *)
 
+val count_leq : int array -> int -> int
+(** [count_leq a x] is the number of elements [<= x] in the sorted
+    (non-decreasing) array [a], by bisection in O(log |a|).  Used to read
+    task counts off cached margin staircases. *)
+
 val binary_search_least : lo:int -> hi:int -> (int -> bool) -> int option
 (** [binary_search_least ~lo ~hi p] is the least [x] in [\[lo,hi\]] with
     [p x], assuming [p] is monotone (false … false true … true); [None] if

@@ -16,14 +16,16 @@ Profiling a pure solve: the summary and counter totals are deterministic
   makespan: 20
   tasks: 6
   $ sed -n '/== counters ==/,/== spans ==/p' out.txt | grep -E '\| (chain|fork|spider)\.'
-  | chain.candidate_scans | 132   |
-  | chain.hull_updates    | 43    |
-  | chain.tasks_placed    | 40    |
-  | fork.insert_probes    | 34    |
-  | fork.nodes_accepted   | 28    |
-  | fork.nodes_considered | 40    |
-  | spider.search_probes  | 5     |
-  | spider.virtual_nodes  | 40    |
+  | chain.candidate_scans        | 32    |
+  | chain.hull_updates           | 20    |
+  | chain.kernel.fast_placements | 18    |
+  | chain.tasks_placed           | 18    |
+  | fork.insert_probes           | 27    |
+  | fork.nodes_accepted          | 22    |
+  | fork.nodes_considered        | 33    |
+  | spider.leg_reuses            | 9     |
+  | spider.search_probes         | 3     |
+  | spider.virtual_nodes         | 33    |
 
 The spans table follows (timings vary run to run, so only names are checked):
 
@@ -34,7 +36,7 @@ The spans table follows (timings vary run to run, so only names are checked):
   spider.min_makespan
   spider.schedule
   $ grep '^trace:' out.txt
-  trace: trace.json (343 events, valid chrome trace)
+  trace: trace.json (169 events, valid chrome trace)
 
 The emitted trace is a valid Chrome trace_event document (the profile
 command re-parses the written file itself; double-check the shape):
@@ -42,9 +44,9 @@ command re-parses the written file itself; double-check the shape):
   $ grep -c '"traceEvents"' trace.json
   1
   $ grep -o '"ph": "[BEC]"' trace.json | sort | uniq -c | sed 's/^ *//'
-  38 "ph": "B"
-  267 "ph": "C"
-  38 "ph": "E"
+  11 "ph": "B"
+  147 "ph": "C"
+  11 "ph": "E"
 
 Every read-only subcommand speaks JSON through the same encoder:
 
@@ -130,9 +132,9 @@ The execute workload drives the plan through the event-driven simulator:
   realized_makespan: 20
   tasks: 6
   $ sed -n '/== counters ==/,/== spans ==/p' big.txt | grep -E '\| (engine|netsim)\.'
-  | engine.events         | 24    |
-  | netsim.executions     | 6     |
-  | netsim.resource_waits | 5     |
+  | engine.events                | 24    |
+  | netsim.executions            | 6     |
+  | netsim.resource_waits        | 5     |
 
 Solving errors surface through the facade with exit code 2:
 

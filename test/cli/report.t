@@ -75,27 +75,22 @@ regressions and exits 1:
   $ ../../bin/msts.exe trace diff base.json cand.json
   trace diff: base.json -> cand.json (threshold 10.0%)
   == changes ==
-  +-----------+-------------------------+--------+----------+-----------+-----------+
-  | section   | name                    | metric | baseline | candidate | delta     |
-  +===========+=========================+========+==========+===========+===========+
-  | summary   | planned_makespan        | value  | 20       | 60        | +200.0% ! |
-  | summary   | realized_makespan       | value  | 20       | 60        | +200.0% ! |
-  | counter   | chain.candidate_scans   | total  | 132      | 159       | +20.5% !  |
-  | counter   | chain.hull_updates      | total  | 43       | 52        | +20.9% !  |
-  | counter   | chain.tasks_placed      | total  | 40       | 48        | +20.0% !  |
-  | counter   | fork.insert_probes      | total  | 34       | 42        | +23.5% !  |
-  | counter   | fork.nodes_accepted     | total  | 28       | 33        | +17.9% !  |
-  | counter   | fork.nodes_considered   | total  | 40       | 48        | +20.0% !  |
-  | counter   | spider.search_probes    | total  | 5        | 6         | +20.0% !  |
-  | counter   | spider.virtual_nodes    | total  | 40       | 48        | +20.0% !  |
-  | span      | chain.deadline.schedule | calls  | 18       | 21        | +16.7% !  |
-  | span      | fork.allocate           | calls  | 6        | 7         | +16.7% !  |
-  | span      | spider.leg_schedules    | calls  | 6        | 7         | +16.7% !  |
-  | span      | spider.schedule         | calls  | 6        | 7         | +16.7% !  |
-  | histogram | engine.event_gap_us     | p99    | 3        | 9         | +200.0% ! |
-  | histogram | engine.event_gap_us     | max    | 3        | 9         | +200.0% ! |
-  +-----------+-------------------------+--------+----------+-----------+-----------+
-  regressions: 16
+  +-----------+-----------------------+--------+----------+-----------+-----------+
+  | section   | name                  | metric | baseline | candidate | delta     |
+  +===========+=======================+========+==========+===========+===========+
+  | summary   | planned_makespan      | value  | 20       | 60        | +200.0% ! |
+  | summary   | realized_makespan     | value  | 20       | 60        | +200.0% ! |
+  | counter   | fork.insert_probes    | total  | 27       | 35        | +29.6% !  |
+  | counter   | fork.nodes_accepted   | total  | 22       | 27        | +22.7% !  |
+  | counter   | fork.nodes_considered | total  | 33       | 41        | +24.2% !  |
+  | counter   | spider.leg_reuses     | total  | 9        | 12        | +33.3% !  |
+  | counter   | spider.search_probes  | total  | 3        | 4         | +33.3% !  |
+  | counter   | spider.virtual_nodes  | total  | 33       | 41        | +24.2% !  |
+  | span      | fork.allocate         | calls  | 4        | 5         | +25.0% !  |
+  | histogram | engine.event_gap_us   | p99    | 3        | 9         | +200.0% ! |
+  | histogram | engine.event_gap_us   | max    | 3        | 9         | +200.0% ! |
+  +-----------+-----------------------+--------+----------+-----------+-----------+
+  regressions: 11
   [1]
 
 A loose threshold demotes the same shifts to mere changes (exit 0), and

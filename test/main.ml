@@ -13,6 +13,7 @@ let () =
          Test_sim.suites;
          Test_metrics.suites;
          Test_incremental.suites;
+         Test_kernel.suites;
          Test_fuzz.suites;
          Test_analysis.suites;
          Test_properties.suites;

@@ -1,0 +1,207 @@
+(* Differential and search tests for the fast chain kernel (O(n·p) fused
+   sweep) against the reference kernel (the paper-literal O(n·p²)
+   candidate scan).  The two must produce byte-identical plans on every
+   instance; the warm-started binary searches must return the same
+   answers as full-range searches with strictly fewer probes. *)
+
+open Helpers
+module Kernel = Msts.Chain_kernel
+module Obs = Msts.Obs
+
+let with_kernel k f =
+  let prev = Kernel.default () in
+  Kernel.set_default k;
+  Fun.protect ~finally:(fun () -> Kernel.set_default prev) f
+
+let chain_plan kernel chain n =
+  Msts.Plan.Chain (Msts.Chain_algorithm.schedule ~kernel chain n)
+
+(* ---------- differential: fast vs reference ---------- *)
+
+let schedules_identical =
+  to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"schedule: fast = reference (chains)"
+       (chain_with_n_arb ~max_p:6 ~max_n:12 ())
+       (fun (chain, n) ->
+         Msts.Plan.equal (chain_plan Kernel.Fast chain n)
+           (chain_plan Kernel.Reference chain n)))
+
+let makespans_identical =
+  to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"makespan: fast = reference = schedule"
+       (chain_with_n_arb ~max_p:6 ~max_n:12 ())
+       (fun (chain, n) ->
+         let fast = Msts.Chain_algorithm.makespan ~kernel:Kernel.Fast chain n in
+         fast = Msts.Chain_algorithm.makespan ~kernel:Kernel.Reference chain n
+         && fast
+            = Msts.Schedule.makespan
+                (Msts.Chain_algorithm.schedule ~kernel:Kernel.Fast chain n)))
+
+let deadline_schedules_identical =
+  to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"deadline schedule: fast = reference at several deadlines"
+       (chain_with_n_arb ~max_p:5 ~max_n:8 ())
+       (fun (chain, n) ->
+         let opt = Msts.Chain_algorithm.makespan chain n in
+         List.for_all
+           (fun deadline ->
+             Msts.Plan.equal
+               (Msts.Plan.Chain
+                  (Msts.Chain_deadline.schedule ~kernel:Kernel.Fast chain ~deadline))
+               (Msts.Plan.Chain
+                  (Msts.Chain_deadline.schedule ~kernel:Kernel.Reference chain
+                     ~deadline)))
+           [ opt; opt / 2; (2 * opt) + 3 ]))
+
+let incremental_identical =
+  to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"incremental fill: fast = reference"
+       (chain_with_n_arb ~max_p:5 ~max_n:8 ())
+       (fun (chain, n) ->
+         let horizon = Msts.Chain_algorithm.horizon chain n in
+         let run kernel =
+           let t = Msts.Chain_incremental.create ~kernel chain ~horizon in
+           let placed = Msts.Chain_incremental.fill t () in
+           (placed, Msts.Chain_incremental.schedule t,
+            Msts.Chain_incremental.earliest_emission t)
+         in
+         let pf, sf, ef = run Kernel.Fast in
+         let pr, sr, er = run Kernel.Reference in
+         pf = pr && ef = er && Msts.Plan.equal (Msts.Plan.Chain sf) (Msts.Plan.Chain sr)))
+
+let spider_plans_identical =
+  to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"spider: fast = reference plans"
+       (spider_with_n_arb ~max_legs:3 ~max_depth:2 ~max_n:6 ())
+       (fun (spider, n) ->
+         let run k = with_kernel k (fun () -> Msts.Spider_algorithm.schedule_tasks spider n) in
+         Msts.Plan.equal
+           (Msts.Plan.Spider (run Kernel.Fast))
+           (Msts.Plan.Spider (run Kernel.Reference))))
+
+let spider_makespans_identical =
+  to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"spider: fast = reference min_makespan"
+       (spider_with_n_arb ~max_legs:3 ~max_depth:2 ~max_n:6 ())
+       (fun (spider, n) ->
+         with_kernel Kernel.Fast (fun () -> Msts.Spider_algorithm.min_makespan spider n)
+         = with_kernel Kernel.Reference (fun () ->
+               Msts.Spider_algorithm.min_makespan spider n)))
+
+(* Times are typed positive in the paper (T : [1;n] -> N+), and Chain.make
+   enforces it — c = 0 links or w = 0 slaves are outside the model.  The
+   degenerate corner is therefore the minimal legal platform. *)
+let degenerate_rejected () =
+  Alcotest.check_raises "c = 0 is outside the model"
+    (Invalid_argument "Chain.make: non-positive latency") (fun () ->
+      ignore (Msts.Chain.of_pairs [ (0, 1) ]));
+  Alcotest.check_raises "w = 0 is outside the model"
+    (Invalid_argument "Chain.make: non-positive work time") (fun () ->
+      ignore (Msts.Chain.of_pairs [ (1, 0) ]))
+
+let minimal_platform () =
+  let unit_chain = Msts.Chain.of_pairs [ (1, 1) ] in
+  List.iter
+    (fun (chain, n) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%d n=%d identical" (Msts.Chain.length chain) n)
+        true
+        (Msts.Plan.equal (chain_plan Kernel.Fast chain n)
+           (chain_plan Kernel.Reference chain n));
+      Alcotest.(check int)
+        (Printf.sprintf "p=%d n=%d makespan" (Msts.Chain.length chain) n)
+        (Msts.Chain_algorithm.makespan ~kernel:Kernel.Reference chain n)
+        (Msts.Chain_algorithm.makespan ~kernel:Kernel.Fast chain n))
+    [
+      (unit_chain, 0);
+      (unit_chain, 1);
+      (unit_chain, 5);
+      (figure2_chain, 0);
+      (figure2_chain, 1);
+      (Msts.Chain.of_pairs [ (7, 2) ], 4);
+    ]
+
+(* ---------- warm-started searches ---------- *)
+
+let counter_total mem name =
+  List.fold_left
+    (fun acc -> function
+      | [ n; total ] when n = name -> acc + int_of_string total
+      | _ -> acc)
+    0
+    (Obs.Memory.counter_rows mem)
+
+(* Probe count of the old cold search (lo = 0), measured independently so
+   the test does not depend on implementation details of the search. *)
+let naive_probes ~lo ~hi p =
+  let probes = ref 0 in
+  let result =
+    Msts.Intx.binary_search_least ~lo ~hi (fun x ->
+        incr probes;
+        p x)
+  in
+  (result, !probes)
+
+let chain_search_probes_drop () =
+  let n = 40 in
+  let hi = Msts.Chain.master_only_makespan figure2_chain n in
+  let naive_result, naive =
+    naive_probes ~lo:0 ~hi (fun d ->
+        Msts.Chain_deadline.max_tasks figure2_chain ~deadline:d >= n)
+  in
+  let mem = Obs.Memory.create () in
+  let warm_result =
+    Obs.with_sink (Obs.Memory.sink mem) (fun () ->
+        Msts.Chain_deadline.min_makespan_via_deadline figure2_chain n)
+  in
+  let warm = counter_total mem "chain.deadline.search_probes" in
+  Alcotest.(check (option int)) "same makespan" (Some warm_result) naive_result;
+  Alcotest.(check int)
+    "agrees with the direct algorithm"
+    (Msts.Chain_algorithm.makespan figure2_chain n)
+    warm_result;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer probes (%d warm < %d naive)" warm naive)
+    true (warm < naive)
+
+let spider_search_probes_drop () =
+  let spider = Msts.Spider.of_legs [ figure2_chain; Msts.Chain.of_pairs [ (1, 2) ] ] in
+  let n = 12 in
+  let hi = Msts.Spider_algorithm.makespan_upper_bound spider n in
+  let naive_result, naive =
+    naive_probes ~lo:0 ~hi (fun d ->
+        Msts.Spider_algorithm.max_tasks ~budget:n spider ~deadline:d >= n)
+  in
+  let mem = Obs.Memory.create () in
+  let warm_result =
+    Obs.with_sink (Obs.Memory.sink mem) (fun () ->
+        Msts.Spider_algorithm.min_makespan spider n)
+  in
+  let warm = counter_total mem "spider.search_probes" in
+  Alcotest.(check (option int)) "same makespan" (Some warm_result) naive_result;
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer probes (%d warm < %d naive)" warm naive)
+    true (warm < naive);
+  Alcotest.(check bool) "legs are replayed from the cache" true
+    (counter_total mem "spider.leg_reuses" > 0)
+
+let suites =
+  [
+    ( "kernel.differential",
+      [
+        schedules_identical;
+        makespans_identical;
+        deadline_schedules_identical;
+        incremental_identical;
+        spider_plans_identical;
+        spider_makespans_identical;
+        case "degenerate c=0/w=0 are outside the model" degenerate_rejected;
+        case "minimal legal platforms" minimal_platform;
+      ] );
+    ( "kernel.search",
+      [
+        case "chain deadline search probes drop (Fig. 2)" chain_search_probes_drop;
+        case "spider search probes drop (Fig. 2 spider)" spider_search_probes_drop;
+      ] );
+  ]
