@@ -14,7 +14,8 @@
    updates, simulator events — across revisions, not just wall time. *)
 
 let registry =
-  Experiments.all @ Ablations.all @ Faults.all @ Batch_bench.all @ Timing.all
+  Experiments.all @ Ablations.all @ Faults.all @ Fuzz.all @ Batch_bench.all
+  @ Timing.all
 
 let counters_path name = Printf.sprintf "BENCH_%s.json" name
 

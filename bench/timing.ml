@@ -178,7 +178,7 @@ let component_costs () =
         Test.make ~name:"ASAP timing"
           (Staged.stage (fun () -> ignore (Msts.Asap.chain_makespan chain seq)));
         Test.make ~name:"event-driven execution"
-          (Staged.stage (fun () -> ignore (Msts.Netsim.execute_plan spider_plan)));
+          (Staged.stage (fun () -> ignore (Msts.Netsim.execute (Msts.Plan.Spider spider_plan))));
         Test.make ~name:"deadline pass"
           (Staged.stage (fun () ->
                ignore

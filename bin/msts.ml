@@ -300,6 +300,120 @@ let validate_cmd =
   let doc = "Check a schedule against Definition 1 (exit 1 if infeasible)." in
   Cmd.v (Cmd.info "validate" ~doc) Term.(const run $ platform_arg $ plan)
 
+(* ---------- check ---------- *)
+
+let check_cmd =
+  let trace_flag =
+    let doc =
+      "Also run the plan through the simulator under the trace recorder — \
+       the eager execution and a seeded fault replay — and audit the \
+       recorded events, not just the planned ones."
+    in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let seed_arg =
+    let doc = "PRNG seed for the fault replay recorded under $(b,--trace)." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let events_arg =
+    let doc = "Fault events injected into the recorded fault replay." in
+    Arg.(value & opt int 3 & info [ "events" ] ~docv:"E" ~doc)
+  in
+  let run () path n do_trace seed events fmt =
+    let platform = read_platform path in
+    let plan = solve_or_die (Msts.Solve.problem ~tasks:n platform) in
+    let oracle = Msts.Plan.check ~require_nonnegative:true plan in
+    let audit name tr = (name, tr, Msts.Trace.check ~require_nonnegative:true tr) in
+    let record f =
+      let r = Msts.Trace.Recorder.create () in
+      ignore (Msts.Trace.with_recorder r f);
+      Msts.Trace.recorded r
+    in
+    let sections =
+      audit "planned trace" (Msts.Trace.of_plan plan)
+      ::
+      (if not do_trace then []
+       else begin
+         if events < 0 then (
+           Printf.eprintf "error: --events must be >= 0\n";
+           exit 2);
+         let execution =
+           audit "recorded execution" (record (fun () -> Msts.Netsim.execute plan))
+         in
+         let spider = as_spider platform in
+         let splan = Msts.Spider_algorithm.schedule_tasks spider n in
+         let horizon = Msts.Spider_schedule.makespan splan in
+         let ftrace =
+           Msts.Fault.random (Msts.Prng.create seed) spider ~events ~horizon
+         in
+         let faulted =
+           audit
+             (Printf.sprintf "recorded fault replay (seed %d, %d events)" seed
+                events)
+             (record (fun () ->
+                  Msts.Netsim.replay_under_faults ~max_events:1_000_000
+                    ~trace:ftrace splan))
+         in
+         [ execution; faulted ]
+       end)
+    in
+    let ok = oracle = [] && List.for_all (fun (_, _, v) -> v = []) sections in
+    (match fmt with
+    | Text ->
+        Printf.printf "plan: %d tasks, makespan %d\n"
+          (Msts.Plan.task_count plan) (Msts.Plan.makespan plan);
+        (match oracle with
+        | [] -> print_endline "feasibility oracle: ok"
+        | problems ->
+            Printf.printf "feasibility oracle: %d violation(s)\n"
+              (List.length problems);
+            List.iter (fun p -> Printf.printf "  %s\n" p) problems);
+        List.iter
+          (fun (name, tr, viols) ->
+            match viols with
+            | [] ->
+                Printf.printf "%s: %d events — all invariants hold\n" name
+                  (Msts.Trace.length tr)
+            | _ ->
+                Printf.printf "%s: %d events\n%s\n" name (Msts.Trace.length tr)
+                  (Msts.Trace.report tr viols))
+          sections
+    | Json ->
+        let section_json (name, tr, viols) =
+          Msts.Json.Obj
+            ([
+               ("name", Msts.Json.String name);
+               ("events", Msts.Json.Int (Msts.Trace.length tr));
+               ("violations", Msts.Json.Int (List.length viols));
+             ]
+            @
+            if viols = [] then []
+            else [ ("report", Msts.Json.String (Msts.Trace.report tr viols)) ])
+        in
+        emit_json
+          (Msts.Json.Obj
+             [
+               ("tasks", Msts.Json.Int (Msts.Plan.task_count plan));
+               ("makespan", Msts.Json.Int (Msts.Plan.makespan plan));
+               ("ok", Msts.Json.Bool ok);
+               ( "oracle_violations",
+                 Msts.Json.List (List.map (fun s -> Msts.Json.String s) oracle) );
+               ("sections", Msts.Json.List (List.map section_json sections));
+             ]));
+    if not ok then exit 1
+  in
+  let doc =
+    "Audit a solved plan with the trace invariant checker \
+     (docs/VERIFICATION.md): the planned trace always, plus ($(b,--trace)) \
+     the recorded eager execution and a seeded fault replay.  The \
+     feasibility oracle runs alongside as a cross-check.  Exits 1 on any \
+     violation."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ kernel_setter $ platform_arg $ tasks_arg $ trace_flag
+      $ seed_arg $ events_arg $ format_arg)
+
 (* ---------- explain ---------- *)
 
 let explain_cmd =
@@ -1290,6 +1404,7 @@ let main_cmd =
       schedule_cmd;
       deadline_cmd;
       validate_cmd;
+      check_cmd;
       explain_cmd;
       bounds_cmd;
       throughput_cmd;

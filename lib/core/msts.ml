@@ -95,6 +95,10 @@ module Netsim = Msts_sim.Netsim
 module Fault = Msts_sim.Fault
 module Replan = Msts_sim.Replan
 
+(* Typed execution traces, their segment algebra and the compositional
+   invariant checker over them (docs/VERIFICATION.md). *)
+module Trace = Msts_trace.Trace
+
 (* Observability: spans, counters, histograms, sinks, Chrome traces; Json
    doubles as the shared encoder behind every [--format=json] CLI output.
    Report folds an executed schedule into per-resource utilization. *)

@@ -43,6 +43,23 @@ let step t =
       ev.action ();
       true
 
-let run t = while step t do () done
+let run ?max_events t =
+  match max_events with
+  | None -> while step t do () done
+  | Some budget ->
+      if budget < 1 then invalid_arg "Msts.Engine.run: max_events must be >= 1";
+      let remaining = ref budget in
+      let running = ref true in
+      while !running do
+        if !remaining = 0 && not (Msts_util.Heap.is_empty t.queue) then
+          failwith
+            (Printf.sprintf
+               "Msts.Engine.run: event budget (%d) exhausted at simulated time \
+                %d with %d events still queued — is a callback scheduling \
+                events forever?"
+               budget t.clock
+               (Msts_util.Heap.length t.queue));
+        if step t then decr remaining else running := false
+      done
 
 let events_processed t = t.processed

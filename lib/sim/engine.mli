@@ -19,8 +19,14 @@ val schedule_at : t -> int -> (unit -> unit) -> unit
 val schedule_after : t -> int -> (unit -> unit) -> unit
 (** Relative variant. @raise Invalid_argument on a negative delay. *)
 
-val run : t -> unit
-(** Execute events until the queue is empty. *)
+val run : ?max_events:int -> t -> unit
+(** Execute events until the queue is empty.  [max_events] (default: no
+    bound) is a progress guard for adversarial workloads — fuzzing, fault
+    interleavings — where a buggy callback could schedule events forever:
+    once the budget is spent with events still queued, the run fails with
+    a diagnostic naming the simulated time and queue depth instead of
+    hanging.  @raise Invalid_argument if [max_events < 1]; @raise Failure
+    when the budget is exhausted. *)
 
 val step : t -> bool
 (** Execute the single next event; [false] when the queue was empty. *)

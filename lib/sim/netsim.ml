@@ -4,6 +4,7 @@ module Schedule = Msts_schedule.Schedule
 module Spider_schedule = Msts_schedule.Spider_schedule
 module Plan = Msts_schedule.Plan
 module Obs = Msts_obs.Obs
+module Trace = Msts_trace.Trace
 
 type record = {
   mutable address : Spider.address;
@@ -44,11 +45,14 @@ let rec forward net record ~task ~at ~on_complete =
   let chain = Spider.leg_chain net.spider leg in
   if at = depth then begin
     Obs.count "netsim.executions";
-    Resource.request net.procs.(leg - 1).(depth - 1)
-      ~duration:(Chain.work chain depth) ~tag:task ~on_start:(fun start ->
+    let w = Chain.work chain depth in
+    Resource.request net.procs.(leg - 1).(depth - 1) ~duration:w ~tag:task
+      ~on_start:(fun start ->
         record.start <- start;
-        Engine.schedule_at net.engine (start + Chain.work chain depth)
-          on_complete)
+        Trace.emit ~time:start ~task (Start (Compute { leg; depth }));
+        Engine.schedule_at net.engine (start + w) (fun () ->
+            Trace.emit ~time:(start + w) ~task (Finish (Compute { leg; depth }));
+            on_complete ()))
   end
   else begin
     let next = at + 1 in
@@ -58,7 +62,10 @@ let rec forward net record ~task ~at ~on_complete =
     Resource.request net.links.(leg - 1).(next - 1) ~duration:c ~tag:task
       ~on_start:(fun start ->
         record.comms.(next - 1) <- start;
+        Trace.emit ~time:start ~task (Start (Transfer { leg; hop = next }));
         Engine.schedule_at net.engine (start + c) (fun () ->
+            Trace.emit ~time:(start + c) ~task
+              (Finish (Transfer { leg; hop = next }));
             forward net record ~task ~at:next ~on_complete))
   end
 
@@ -71,7 +78,9 @@ let emit net record ~task ~on_complete =
   Obs.record "netsim.transfer_us" c1;
   Resource.request net.port ~duration:c1 ~tag:task ~on_start:(fun start ->
       record.comms.(0) <- start;
+      Trace.emit ~time:start ~task (Start (Transfer { leg; hop = 1 }));
       Engine.schedule_at net.engine (start + c1) (fun () ->
+          Trace.emit ~time:(start + c1) ~task (Finish (Transfer { leg; hop = 1 }));
           forward net record ~task ~at:1 ~on_complete))
 
 let fresh_record address =
@@ -120,7 +129,7 @@ let execute_spider plan =
   | [] -> ()
   | problems ->
       invalid_arg
-        ("Netsim.execute_plan: infeasible plan: " ^ String.concat "; " problems));
+        ("Msts.Netsim.execute: infeasible plan: " ^ String.concat "; " problems));
   Obs.span "netsim.execute"
     ~args:[ ("tasks", string_of_int (Spider_schedule.task_count plan)) ]
   @@ fun () ->
@@ -136,10 +145,14 @@ let execute_spider plan =
       let planned_emission = Msts_schedule.Comm_vector.first_emission e.comms in
       (* Release at the planned time: the port is known free then (the plan
          is feasible), so the reservation starts exactly at that date. *)
+      let task = idx + 1 in
+      let hop1 = Trace.Transfer { leg = e.address.Spider.leg; hop = 1 } in
       Engine.schedule_at net.engine planned_emission (fun () ->
           record.comms.(0) <- planned_emission;
+          Trace.emit ~time:planned_emission ~task (Start hop1);
           Engine.schedule_at net.engine (planned_emission + c1) (fun () ->
-              forward net record ~task:(idx + 1) ~at:1 ~on_complete:(fun () -> ()))))
+              Trace.emit ~time:(planned_emission + c1) ~task (Finish hop1);
+              forward net record ~task ~at:1 ~on_complete:(fun () -> ()))))
     entries;
   Engine.run net.engine;
   let realized = to_schedule spider records in
@@ -160,10 +173,6 @@ let execute_spider plan =
 let execute = function
   | Plan.Spider plan -> execute_spider plan
   | Plan.Chain plan -> execute_spider (Spider_schedule.of_chain_schedule plan)
-
-(* Deprecated spellings, kept as thin wrappers for one release. *)
-let execute_plan plan = execute (Plan.Spider plan)
-let execute_chain_plan plan = execute (Plan.Chain plan)
 
 (* ---------- finite buffers ---------- *)
 
@@ -199,7 +208,7 @@ let same_shape a b =
        (List.init (Spider.legs a) (fun i -> i + 1))
 
 let replay_routing ?(buffer = max_int) ?on plan =
-  if buffer < 1 then invalid_arg "Netsim.replay_routing: buffer must be >= 1";
+  if buffer < 1 then invalid_arg "Msts.Netsim.replay_routing: buffer must be >= 1";
   Obs.span "netsim.replay_routing"
     ~args:[ ("tasks", string_of_int (Spider_schedule.task_count plan)) ]
   @@ fun () ->
@@ -208,7 +217,7 @@ let replay_routing ?(buffer = max_int) ?on plan =
     | None -> Spider_schedule.spider plan
     | Some other ->
         if not (same_shape other (Spider_schedule.spider plan)) then
-          invalid_arg "Netsim.replay_routing: platform shape mismatch";
+          invalid_arg "Msts.Netsim.replay_routing: platform shape mismatch";
         other
   in
   let net = build spider in
@@ -230,9 +239,16 @@ let replay_routing ?(buffer = max_int) ?on plan =
     let chain = Spider.leg_chain net.spider leg in
     if at = depth then begin
       Obs.count "netsim.executions";
-      Resource.request net.procs.(leg - 1).(depth - 1)
-        ~duration:(Chain.work chain depth) ~tag:task ~on_start:(fun start ->
+      let w = Chain.work chain depth in
+      Resource.request net.procs.(leg - 1).(depth - 1) ~duration:w ~tag:task
+        ~on_start:(fun start ->
           record.start <- start;
+          if Trace.recording () then begin
+            Trace.emit ~time:start ~task (Start (Compute { leg; depth }));
+            Engine.schedule_at net.engine (start + w) (fun () ->
+                Trace.emit ~time:(start + w) ~task
+                  (Finish (Compute { leg; depth })))
+          end;
           (* execution begins: the buffer slot at the destination frees *)
           Credit.release (credit { Spider.leg; depth = at }))
     end
@@ -245,7 +261,10 @@ let replay_routing ?(buffer = max_int) ?on plan =
           Resource.request net.links.(leg - 1).(next - 1) ~duration:c ~tag:task
             ~on_start:(fun start ->
               record.comms.(next - 1) <- start;
+              Trace.emit ~time:start ~task (Start (Transfer { leg; hop = next }));
               Engine.schedule_at net.engine (start + c) (fun () ->
+                  Trace.emit ~time:(start + c) ~task
+                    (Finish (Transfer { leg; hop = next }));
                   (* outgoing transfer done: the relay's slot frees *)
                   Credit.release (credit { Spider.leg; depth = at });
                   forward_bounded record ~task ~at:next)))
@@ -263,7 +282,11 @@ let replay_routing ?(buffer = max_int) ?on plan =
           Resource.request net.port ~duration:c1 ~tag:(idx + 1)
             ~on_start:(fun start ->
               record.comms.(0) <- start;
+              Trace.emit ~time:start ~task:(idx + 1)
+                (Start (Transfer { leg; hop = 1 }));
               Engine.schedule_at net.engine (start + c1) (fun () ->
+                  Trace.emit ~time:(start + c1) ~task:(idx + 1)
+                    (Finish (Transfer { leg; hop = 1 }));
                   forward_bounded record ~task:(idx + 1) ~at:1))))
     records;
   Engine.run net.engine;
@@ -283,12 +306,15 @@ let replay_routing ?(buffer = max_int) ?on plan =
   }
 
 let execute_plan_bounded ~buffer plan =
-  if buffer < 1 then invalid_arg "Netsim.execute_plan_bounded: buffer must be >= 1";
+  if buffer < 1 then
+    invalid_arg "Msts.Netsim.execute_plan_bounded: buffer must be >= 1";
   replay_routing ~buffer plan
 
 let degrade ?(latency_factor = 1) spider ~address ~work_factor =
-  if work_factor < 1 then invalid_arg "Netsim.degrade: work_factor must be >= 1";
-  if latency_factor < 1 then invalid_arg "Netsim.degrade: latency_factor must be >= 1";
+  if work_factor < 1 then
+    invalid_arg "Msts.Netsim.degrade: work_factor must be >= 1";
+  if latency_factor < 1 then
+    invalid_arg "Msts.Netsim.degrade: latency_factor must be >= 1";
   Spider.scale ~latency_factor ~work_factor spider address
 
 (* ---------- mid-run fault injection ---------- *)
@@ -332,6 +358,7 @@ module Faulty = struct
   type op = {
     owner : task;
     o_gen : int;
+    what : Trace.op; (* identity for the trace recorder, fixed at request *)
     duration : unit -> int; (* evaluated at grant time, so accumulated
                                slowdown factors apply *)
     started : int -> unit;
@@ -402,15 +429,20 @@ module Faulty = struct
     | Some op ->
         r.busy <- None;
         r.epoch <- r.epoch + 1;
-        Some op.owner
+        Some op
 
   type mode = Plan of Spider.address array | Pull of int
 
-  let run spider mode trace decide =
+  let run ?max_events spider mode trace decide =
+    let fn =
+      match mode with
+      | Plan _ -> "Msts.Netsim.replay_under_faults"
+      | Pull _ -> "Msts.Netsim.pull_under_faults"
+    in
     (match Fault.validate spider trace with
     | [] -> ()
     | problems ->
-        invalid_arg ("Netsim: bad fault trace: " ^ String.concat "; " problems));
+        invalid_arg (fn ^ ": bad fault trace: " ^ String.concat "; " problems));
     Obs.span "netsim.faulty_run"
       ~args:
         [
@@ -420,6 +452,8 @@ module Faulty = struct
     @@ fun () ->
     let trace = Fault.normalize trace in
     let engine = Engine.create () in
+    (* trace recorder shorthand: events dated at the engine's current time *)
+    let memit id kind = Trace.emit ~time:(Engine.now engine) ~task:id kind in
     let state = Fault.init spider in
     let legs = Spider.legs spider in
     let port = fres_create engine in
@@ -464,10 +498,12 @@ module Faulty = struct
           let { Spider.leg; depth } = t.dest in
           if k = depth then (
             Obs.count "netsim.executions";
+            let what = Trace.Compute { leg; depth = k } in
             fres_request procs.(leg - 1).(k - 1)
               {
                 owner = t;
                 o_gen = t.gen;
+                what;
                 duration =
                   (fun () ->
                     Chain.work (leg_chain leg) k
@@ -475,20 +511,24 @@ module Faulty = struct
                 started =
                   (fun s ->
                     t.st <- Executing k;
-                    t.exec_start <- s);
+                    t.exec_start <- s;
+                    Trace.emit ~time:s ~task:t.id (Start what));
                 finished =
                   (fun () ->
                     t.st <- Finished k;
                     t.finish <- Engine.now engine;
+                    memit t.id (Finish what);
                     task_finished t k);
               })
           else begin
             let next = k + 1 in
             Obs.count "netsim.transfers";
+            let what = Trace.Transfer { leg; hop = next } in
             fres_request links.(leg - 1).(next - 1)
               {
                 owner = t;
                 o_gen = t.gen;
+                what;
                 duration =
                   (fun () ->
                     let d =
@@ -500,10 +540,12 @@ module Faulty = struct
                 started =
                   (fun s ->
                     t.st <- In_transit next;
-                    t.comms_rev <- s :: t.comms_rev);
+                    t.comms_rev <- s :: t.comms_rev;
+                    Trace.emit ~time:s ~task:t.id (Start what));
                 finished =
                   (fun () ->
                     t.st <- At_node next;
+                    memit t.id (Finish what);
                     proceed t);
               }
           end
@@ -518,10 +560,12 @@ module Faulty = struct
     and emit t =
       emitting := true;
       Obs.count "netsim.transfers";
+      let what = Trace.Transfer { leg = t.dest.Spider.leg; hop = 1 } in
       fres_request port
         {
           owner = t;
           o_gen = t.gen;
+          what;
           duration =
             (fun () ->
               let d =
@@ -534,11 +578,13 @@ module Faulty = struct
           started =
             (fun s ->
               t.st <- Emitting;
-              t.comms_rev <- [ s ]);
+              t.comms_rev <- [ s ];
+              Trace.emit ~time:s ~task:t.id (Start what));
           finished =
             (fun () ->
               emitting := false;
               t.st <- At_node 1;
+              memit t.id (Finish what);
               proceed t;
               try_emit ());
         }
@@ -606,7 +652,8 @@ module Faulty = struct
         let rec find l =
           if l > legs then
             invalid_arg
-              "Netsim: fault trace leaves no processor alive while tasks remain"
+              (fn
+             ^ ": fault trace leaves no processor alive while tasks remain")
           else if Fault.alive_depth state ~leg:l >= 1 then l
           else find (l + 1)
         in
@@ -617,6 +664,7 @@ module Faulty = struct
       t.gen <- t.gen + 1;
       t.st <- At_master;
       t.comms_rev <- [];
+      memit t.id Trace.Return;
       incr returned;
       pending := !pending @ [ t.id ];
       match mode with Plan _ -> master_fallback t | Pull _ -> ()
@@ -666,20 +714,23 @@ module Faulty = struct
       | Executing k ->
           if t.dest.Spider.leg = leg && k > survive then return_to_master t
     in
+    let abort_op r =
+      match fres_abort r with
+      | Some op ->
+          incr aborted;
+          memit op.owner.id (Trace.Abort op.what);
+          Some op
+      | None -> None
+    in
     let crash_sweep ~leg ~survive ~old_alive =
       for k = survive + 1 to old_alive do
-        (match fres_abort links.(leg - 1).(k - 1) with
-        | Some _ -> incr aborted
-        | None -> ());
-        match fres_abort procs.(leg - 1).(k - 1) with
-        | Some _ -> incr aborted
-        | None -> ()
+        ignore (abort_op links.(leg - 1).(k - 1));
+        ignore (abort_op procs.(leg - 1).(k - 1))
       done;
       (if survive = 0 then
          match port.busy with
          | Some op when op.owner.dest.Spider.leg = leg ->
-             ignore (fres_abort port);
-             incr aborted;
+             ignore (abort_op port);
              emitting := false
          | _ -> ());
       Array.iter (sweep_task ~leg ~survive) tasks
@@ -707,12 +758,13 @@ module Faulty = struct
       let ids = List.map fst lst in
       if List.sort compare ids <> List.sort compare !pending then
         invalid_arg
-          "Netsim.replay_under_faults: Redirect must cover exactly the \
+          "Msts.Netsim.replay_under_faults: Redirect must cover exactly the \
            master-resident tasks";
       List.iter
         (fun (id, addr) ->
           if not (Fault.is_alive state addr) then
-            invalid_arg "Netsim.replay_under_faults: Redirect to a dead processor";
+            invalid_arg
+              "Msts.Netsim.replay_under_faults: Redirect to a dead processor";
           (task id).dest <- addr)
         lst;
       pending := ids
@@ -738,10 +790,9 @@ module Faulty = struct
           if depth = 1 then (
             match port.busy with
             | Some op when op.owner.dest.Spider.leg = leg -> (
-                match fres_abort port with
+                match abort_op port with
                 | None -> ()
-                | Some t ->
-                    incr aborted;
+                | Some { owner = t; _ } ->
                     incr retries;
                     emitting := false;
                     t.gen <- t.gen + 1;
@@ -756,10 +807,9 @@ module Faulty = struct
                     | Pull _ -> Queue.push t.dest requests))
             | _ -> ())
           else (
-            match fres_abort links.(leg - 1).(depth - 1) with
+            match abort_op links.(leg - 1).(depth - 1) with
             | None -> ()
-            | Some t ->
-                incr aborted;
+            | Some { owner = t; _ } ->
                 incr retries;
                 t.gen <- t.gen + 1;
                 t.st <- At_node (depth - 1);
@@ -794,15 +844,16 @@ module Faulty = struct
     | Pull _ ->
         List.iter (fun addr -> Queue.push addr requests) (Spider.addresses spider));
     try_emit ();
-    Engine.run engine;
+    Engine.run ?max_events engine;
     Array.iter
       (fun t ->
         match t.st with
         | Finished _ -> ()
         | _ ->
             invalid_arg
-              "Netsim: unserved tasks remain after the run (did the trace kill \
-               every processor?)")
+              (fn
+             ^ ": unserved tasks remain after the run (did the trace kill \
+                every processor?)"))
       tasks;
     if !aborted > 0 then Obs.count ~n:!aborted "netsim.aborted_ops";
     if !returned > 0 then Obs.count ~n:!returned "netsim.returned_tasks";
@@ -827,23 +878,24 @@ module Faulty = struct
     }
 end
 
-let replay_under_faults ?(trace = []) ?(decide = fun (_ : Fault.snapshot) -> Fault.Keep)
-    plan =
+let replay_under_faults ?max_events ?(trace = [])
+    ?(decide = fun (_ : Fault.snapshot) -> Fault.Keep) plan =
   let spider = Spider_schedule.spider plan in
   let dests =
     Array.map
       (fun (e : Spider_schedule.entry) -> e.address)
       (Spider_schedule.entries plan)
   in
-  Faulty.run spider (Faulty.Plan dests) trace decide
+  Faulty.run ?max_events spider (Faulty.Plan dests) trace decide
 
-let pull_under_faults ?(trace = []) spider ~tasks =
-  if tasks < 0 then invalid_arg "Netsim.pull_under_faults: negative task count";
-  Faulty.run spider (Faulty.Pull tasks) trace (fun _ -> Fault.Keep)
+let pull_under_faults ?max_events ?(trace = []) spider ~tasks =
+  if tasks < 0 then
+    invalid_arg "Msts.Netsim.pull_under_faults: negative task count";
+  Faulty.run ?max_events spider (Faulty.Pull tasks) trace (fun _ -> Fault.Keep)
 
 let pull_policy ?(buffer = 1) spider ~tasks =
-  if buffer < 1 then invalid_arg "Netsim.pull_policy: buffer must be >= 1";
-  if tasks < 0 then invalid_arg "Netsim.pull_policy: negative task count";
+  if buffer < 1 then invalid_arg "Msts.Netsim.pull_policy: buffer must be >= 1";
+  if tasks < 0 then invalid_arg "Msts.Netsim.pull_policy: negative task count";
   Obs.span "netsim.pull" ~args:[ ("tasks", string_of_int tasks) ] @@ fun () ->
   let net = build spider in
   let emitted = ref 0 in

@@ -9,13 +9,18 @@
       destination sequence.  Must coincide exactly with the analytic ASAP
       timing of {!Msts_baseline.Asap} — the test suite uses this as a
       cross-validation of both.
-    - {!execute_plan}: release each task at the {e planned} emission time of
+    - {!execute}: release each task at the {e planned} emission time of
       a schedule and let the rest flow eagerly.  For a feasible plan the
       realised completion of every task is never later than planned — this
       validates schedules by actually executing them.
     - {!pull_policy}: an online, demand-driven master (the SETI@home-style
       baseline): idle processors request work, the master serves requests
-      first-come-first-served.  No global knowledge, no optimality. *)
+      first-come-first-served.  No global knowledge, no optimality.
+
+    Every executor is instrumented for {!Msts_trace.Trace}: run it inside
+    {!Msts_trace.Trace.with_recorder} and each grant, completion, abort and
+    task return becomes a typed trace event, ready for the segment-algebra
+    invariant checker.  Without a recorder the hooks are no-ops. *)
 
 val run_sequence_spider :
   Msts_platform.Spider.t -> Msts_platform.Spider.address array ->
@@ -38,14 +43,6 @@ val execute : Msts_schedule.Plan.t -> execution_report
     promoted to one-leg spiders, spider plans run as-is.  The plan must be
     feasible with non-negative dates (checked; @raise Invalid_argument
     otherwise). *)
-
-val execute_plan : Msts_schedule.Spider_schedule.t -> execution_report
-(** Thin wrapper over {!execute}.
-    @deprecated use [execute (Plan.Spider plan)]; kept for one release. *)
-
-val execute_chain_plan : Msts_schedule.Schedule.t -> execution_report
-(** Thin wrapper over {!execute}.
-    @deprecated use [execute (Plan.Chain plan)]; kept for one release. *)
 
 val pull_policy :
   ?buffer:int -> Msts_platform.Spider.t -> tasks:int -> Msts_schedule.Spider_schedule.t
@@ -115,6 +112,7 @@ type fault_report = {
 }
 
 val replay_under_faults :
+  ?max_events:int ->
   ?trace:Fault.trace ->
   ?decide:(Fault.snapshot -> Fault.decision) ->
   Msts_schedule.Spider_schedule.t -> fault_report
@@ -124,12 +122,15 @@ val replay_under_faults :
     {!Replan.replay} plugs the online replanner in here.  Without a
     redirect the master is blind: when a destination dies, the task is
     retargeted to the deepest survivor of the same leg, or to the first
-    surviving leg when the whole leg is gone.
+    surviving leg when the whole leg is gone.  [max_events] bounds the
+    engine ({!Engine.run}): the fuzz harness uses it to turn a livelock
+    into a failure.
     @raise Invalid_argument if the trace does not validate against the
     plan's platform, if a redirect names a dead processor or the wrong task
     set, or if every processor crashes while tasks remain. *)
 
 val pull_under_faults :
+  ?max_events:int ->
   ?trace:Fault.trace -> Msts_platform.Spider.t -> tasks:int -> fault_report
 (** The demand-driven baseline under the same fault model: requests from
     dead processors are discarded, returned tasks are re-served to the next

@@ -1,0 +1,193 @@
+(** Typed execution traces and their segment algebra.
+
+    A trace is the event log of one execution: every transfer and every
+    computation contributes a [Start]/[Finish] pair on a named resource
+    (the master's port, one link, one processor), fault handling adds
+    [Abort] (an in-flight operation cut short) and [Return] (a task handed
+    back to the master after a crash).  Traces come from two sources:
+
+    - {e recorded}: install a {!Recorder} with {!with_recorder} and run any
+      [Netsim] executor — eager, bounded, pull, or the fault-injection
+      paths — inside the callback; the simulator emits events as they are
+      granted, completed and aborted.
+    - {e planned}: {!of_spider_schedule} / {!of_plan} expand a schedule's
+      dates into the trace it promises — the bridge that lets the same
+      invariant checker audit plans and executions alike.
+
+    Over traces sits a small segment algebra ({!split}, {!concat},
+    {!project}) in the style of trace-based separation proofs: the model's
+    safety properties are phrased as {e segment-local} state machines
+    ({!Check}) that thread an explicit state across segment boundaries, so
+    checking a whole trace, checking its split halves in sequence, and
+    checking a projection onto one resource or task all agree.  The
+    invariant catalogue (one-port exclusivity, per-resource exclusivity,
+    store-and-forward ordering, task serialization) restates the four
+    properties of the paper's Definition 1 — on planned traces the verdict
+    coincides with [Feasibility.check], which the test suite enforces
+    differentially; see [docs/VERIFICATION.md]. *)
+
+(** {1 Events} *)
+
+type op =
+  | Transfer of { leg : int; hop : int }
+      (** the transfer into node [hop] of [leg]; [hop = 1] goes through the
+          master's port *)
+  | Compute of { leg : int; depth : int }  (** execution on one processor *)
+
+type resource =
+  | Port  (** the master's single outgoing port (every hop-1 transfer) *)
+  | Link of { leg : int; hop : int }  (** link into node [hop], [hop >= 2] *)
+  | Cpu of { leg : int; depth : int }
+
+val resource_of_op : op -> resource
+(** Hop-1 transfers map to {!Port}: the master's port {e is} the first link
+    of every leg, so its exclusivity subsumes theirs. *)
+
+type kind =
+  | Start of op
+  | Finish of op
+  | Abort of op  (** cut short by a drop or crash; no progress made *)
+  | Return  (** the task is back at the master and restarts from scratch *)
+
+type event = { time : int; seq : int; task : int; kind : kind }
+(** [seq] breaks ties between same-instant events; recorders assign it in
+    emission order, {!of_events} preserves it. *)
+
+val op_to_string : op -> string
+val resource_to_string : resource -> string
+val event_to_string : event -> string
+
+(** {1 Segments} *)
+
+type t
+(** A trace segment: events in canonical order — by time, then
+    finishes-before-starts (busy intervals are half-open, so an operation
+    ending at [t] precedes one starting at [t]), then [seq]. *)
+
+val of_events : event list -> t
+val events : t -> event list
+val length : t -> int
+
+val time_span : t -> (int * int) option
+(** First and last event times; [None] on the empty segment. *)
+
+val empty : t
+
+val concat : t -> t -> t
+(** Splice two segments, first then second.
+    @raise Invalid_argument if the first extends past the start of the
+    second (segments may share their boundary instant). *)
+
+val split : t -> at:int -> t * t
+(** Cut at a time boundary: events strictly before [at], events at or
+    after.  [concat (fst (split t ~at)) (snd (split t ~at))] is [t]. *)
+
+type selector =
+  | On_resource of resource
+  | On_task of int
+  | On_leg of int  (** every transfer and computation on one leg *)
+
+val project : t -> selector -> t
+(** The sub-segment a selector sees, order preserved.  Checking a
+    projection with {!Check.unknown} is how violations are localized:
+    exclusivity lives in [On_resource] projections, store-and-forward in
+    [On_task] ones. *)
+
+val to_string : t -> string
+(** One event per line. *)
+
+(** {1 Recording} *)
+
+module Recorder : sig
+  type t
+
+  val create : unit -> t
+  val event_count : t -> int
+end
+
+val with_recorder : Recorder.t -> (unit -> 'a) -> 'a
+(** Route every {!emit} in the callback (simulator instrumentation) into
+    the recorder.  Like the [Obs] sink the hook is domain-local; nesting
+    restores the previous recorder on exit. *)
+
+val recording : unit -> bool
+(** Whether a recorder is installed on this domain — lets instrumentation
+    skip work (e.g. scheduling a completion callback) when nobody
+    listens. *)
+
+val emit : time:int -> task:int -> kind -> unit
+(** Append one event to the installed recorder; a no-op without one.
+    Counts [trace.events]. *)
+
+val recorded : Recorder.t -> t
+(** The trace recorded so far, in canonical order. *)
+
+(** {1 Planned traces} *)
+
+val of_spider_schedule : Msts_schedule.Spider_schedule.t -> t
+(** The trace a schedule promises: each task's emissions at its
+    communication dates, each execution at its start date, durations from
+    the platform.  Feasible schedule ⟺ clean trace ({!check}). *)
+
+val of_chain_schedule : Msts_schedule.Schedule.t -> t
+
+val of_plan : Msts_schedule.Plan.t -> t
+
+(** {1 Invariants} *)
+
+type violation = {
+  invariant : string;
+      (** which rule broke: ["one-port"], ["link-exclusive"],
+          ["cpu-exclusive"] , ["store-and-forward"], ["task-serial"],
+          ["pairing"] or ["negative-date"] *)
+  message : string;  (** human-readable, names tasks, resource and times *)
+  witness : event list;  (** the offending events, in trace order *)
+}
+
+val explain : violation -> string
+
+module Check : sig
+  type state
+  (** The threaded precondition of a segment: per-resource open operations
+      and per-task progress (hops received, operation in flight). *)
+
+  val strict : unit -> state
+  (** The initial state of a complete execution: all resources free, every
+      task at the master.  Unmatched finishes are violations. *)
+
+  val unknown : unit -> state
+  (** The agnostic precondition for a segment cut out of a larger trace:
+      first contact with a resource or task {e infers} its state instead of
+      constraining it, so only contradictions within the segment are
+      flagged. *)
+
+  val segment : state -> t -> violation list
+  (** Run the invariant machines over one segment, mutating [state] so the
+      next segment continues where this one stopped —
+      [segment st (concat a b) = segment st a @ segment st b].  Counts
+      [trace.segments_checked]. *)
+end
+
+val check : ?require_nonnegative:bool -> t -> violation list
+(** Whole-trace audit from {!Check.strict}: one-port exclusivity at the
+    master, per-link and per-processor exclusivity, store-and-forward
+    ordering, task serialization, start/finish pairing — Definition 1
+    restated on events.  [require_nonnegative] (default [false]) also
+    flags events dated before time 0.  Runs under the [trace.check] span;
+    counts [trace.violations] when any are found.  [[]] = safe. *)
+
+val check_segment : t -> violation list
+(** {!Check.segment} from {!Check.unknown} — audit a segment in
+    isolation. *)
+
+val localize : t -> violation -> t
+(** The minimal sub-segment exhibiting a violation: project onto the
+    violated resource (exclusivity) or task (ordering), then cut down to
+    the window spanned by the witness events.  For any violation found by
+    {!check}, re-checking the localized segment with {!check_segment}
+    reproduces it whenever the witness carries the establishing event
+    (exclusivity and serialization violations always do). *)
+
+val report : t -> violation list -> string
+(** Human-readable audit report: each violation with its localized
+    segment; ["all invariants hold"] on []. *)

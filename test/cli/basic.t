@@ -48,6 +48,16 @@ A corrupted plan is rejected with a diagnostic and exit code 1:
   task 1 starts before it is fully received
   [1]
 
+The trace invariant checker audits the planned trace and, with --trace,
+the recorded execution plus a seeded fault replay (docs/VERIFICATION.md):
+
+  $ ../../bin/msts.exe check -p fig2.txt -n 5 --trace
+  plan: 5 tasks, makespan 14
+  feasibility oracle: ok
+  planned trace: 22 events — all invariants hold
+  recorded execution: 22 events — all invariants hold
+  recorded fault replay (seed 0, 3 events): 20 events — all invariants hold
+
 Deadline variant (T_lim = 14 fits exactly the 5 tasks of the figure):
 
   $ ../../bin/msts.exe deadline -p fig2.txt -d 14 | head -2

@@ -27,6 +27,7 @@ let () =
          Test_parsers_fuzz.suites;
          Test_tree.suites;
          Test_obs.suites;
+         Test_trace.suites;
          Test_report.suites;
          Test_solve.suites;
          Test_batch.suites;

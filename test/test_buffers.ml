@@ -109,7 +109,7 @@ let rejects_bad_buffer () =
       (Msts.Chain_algorithm.schedule figure2_chain 2)
   in
   Alcotest.check_raises "buffer 0"
-    (Invalid_argument "Netsim.execute_plan_bounded: buffer must be >= 1") (fun () ->
+    (Invalid_argument "Msts.Netsim.execute_plan_bounded: buffer must be >= 1") (fun () ->
       ignore (Msts.Netsim.execute_plan_bounded ~buffer:0 plan))
 
 let suites =

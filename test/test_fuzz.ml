@@ -140,7 +140,7 @@ let executed_plans_always_feasible =
          let mutated = Msts.Schedule.make chain (apply_mutation base mutation) in
          (* only feasible non-negative mutants can be executed *)
          QCheck.assume (Msts.Feasibility.is_feasible ~require_nonnegative:true mutated);
-         let report = Msts.Netsim.execute_chain_plan mutated in
+         let report = Msts.Netsim.execute (Msts.Plan.Chain mutated) in
          Msts.Spider_schedule.is_feasible ~require_nonnegative:true
            report.Msts.Netsim.realized
          && report.Msts.Netsim.realized_makespan <= report.Msts.Netsim.planned_makespan))

@@ -32,7 +32,7 @@ let full_chain_pipeline () =
     (List.map Msts.Feasibility.violation_to_string
        (Msts.Feasibility.check ~require_nonnegative:true sched'));
   (* and by actual execution *)
-  let report = Msts.Netsim.execute_chain_plan sched' in
+  let report = Msts.Netsim.execute (Msts.Plan.Chain sched') in
   Alcotest.(check bool) "execution meets the plan" true
     (report.Msts.Netsim.realized_makespan <= report.Msts.Netsim.planned_makespan)
 
@@ -46,7 +46,7 @@ let full_spider_pipeline () =
   Alcotest.(check int) "n tasks" n (Msts.Spider_schedule.task_count sched);
   Alcotest.(check (list string)) "feasible" []
     (Msts.Spider_schedule.check ~require_nonnegative:true sched);
-  let report = Msts.Netsim.execute_plan sched in
+  let report = Msts.Netsim.execute (Msts.Plan.Spider sched) in
   Alcotest.(check bool) "execution meets the plan" true
     (report.Msts.Netsim.realized_makespan <= report.Msts.Netsim.planned_makespan);
   (* the gantt and svg render without raising and mention the master *)

@@ -449,6 +449,21 @@ let corpus () =
   let trace = Msts.Fault.random (Msts.Prng.create 3) spider ~events:3 ~horizon in
   ignore (Msts.Replan.replay ~trace plan);
   ignore (Msts.Netsim.replay_under_faults ~trace plan);
+  (let r = Msts.Trace.Recorder.create () in
+   Msts.Trace.with_recorder r (fun () ->
+       ignore (Msts.Netsim.execute (Msts.Plan.Spider plan)));
+   ignore (Msts.Trace.check (Msts.Trace.recorded r));
+   (* a dirty planned trace, so trace.violations is exercised too *)
+   let dirty =
+     Msts.Trace.of_events
+       [
+         { Msts.Trace.time = 0; seq = 0; task = 1;
+           kind = Msts.Trace.Start (Msts.Trace.Transfer { leg = 1; hop = 1 }) };
+         { Msts.Trace.time = 0; seq = 1; task = 2;
+           kind = Msts.Trace.Start (Msts.Trace.Transfer { leg = 1; hop = 1 }) };
+       ]
+   in
+   ignore (Msts.Trace.check dirty));
   ignore
     (Msts.Batch.run ~jobs:1 ~solve:Msts.Solve.solve
        [|
@@ -506,6 +521,10 @@ let metric_names_documented () =
       "spider.search_probes";
       "pool.requests";
       "pool.queue_wait_us";
+      "trace.events";
+      "trace.segments_checked";
+      "trace.violations";
+      "trace.check";
     ]
   in
   List.iter

@@ -15,7 +15,7 @@ let degrade_shape () =
   Alcotest.(check int) "other leg untouched" 4
     (Msts.Spider.work hurt { Msts.Spider.leg = 2; depth = 1 });
   Alcotest.check_raises "factor 0"
-    (Invalid_argument "Netsim.degrade: work_factor must be >= 1") (fun () ->
+    (Invalid_argument "Msts.Netsim.degrade: work_factor must be >= 1") (fun () ->
       ignore
         (Msts.Netsim.degrade spider ~address:{ Msts.Spider.leg = 1; depth = 1 }
            ~work_factor:0))
@@ -83,7 +83,7 @@ let replay_shape_mismatch () =
   let plan = Msts.Spider_algorithm.schedule_tasks (Msts.Spider.of_chain figure2_chain) 2 in
   let other = Msts.Spider.of_legs [ figure2_chain; figure2_chain ] in
   Alcotest.check_raises "shape mismatch"
-    (Invalid_argument "Netsim.replay_routing: platform shape mismatch") (fun () ->
+    (Invalid_argument "Msts.Netsim.replay_routing: platform shape mismatch") (fun () ->
       ignore (Msts.Netsim.replay_routing ~on:other plan))
 
 let suites =

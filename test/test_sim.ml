@@ -178,7 +178,7 @@ let execute_plan_dominates =
        (chain_with_n_arb ~max_p:4 ~max_n:12 ())
        (fun (chain, n) ->
          let plan = Msts.Chain_algorithm.schedule chain n in
-         let report = Msts.Netsim.execute_chain_plan plan in
+         let report = Msts.Netsim.execute (Msts.Plan.Chain plan) in
          report.Msts.Netsim.realized_makespan <= report.Msts.Netsim.planned_makespan
          && Array.for_all (fun s -> s >= 0) report.Msts.Netsim.per_task_slack))
 
@@ -189,7 +189,7 @@ let execute_spider_plan_dominates =
        (spider_with_n_arb ~max_legs:3 ~max_depth:2 ~max_n:8 ())
        (fun (spider, n) ->
          let plan = Msts.Spider_algorithm.schedule_tasks spider n in
-         let report = Msts.Netsim.execute_plan plan in
+         let report = Msts.Netsim.execute (Msts.Plan.Spider plan) in
          report.Msts.Netsim.realized_makespan <= report.Msts.Netsim.planned_makespan))
 
 let execute_plan_realized_feasible =
@@ -198,7 +198,7 @@ let execute_plan_realized_feasible =
        (chain_with_n_arb ~max_p:4 ~max_n:10 ())
        (fun (chain, n) ->
          let plan = Msts.Chain_algorithm.schedule chain n in
-         let report = Msts.Netsim.execute_chain_plan plan in
+         let report = Msts.Netsim.execute (Msts.Plan.Chain plan) in
          check_spider_feasible report.Msts.Netsim.realized))
 
 let execute_plan_rejects_infeasible () =
@@ -208,7 +208,7 @@ let execute_plan_rejects_infeasible () =
          [| { Msts.Schedule.proc = 1; start = 1; comms = [| 0 |] } |])
   in
   Alcotest.(check bool) "raises" true
-    (match Msts.Netsim.execute_plan bogus with
+    (match Msts.Netsim.execute (Msts.Plan.Spider bogus) with
     | exception Invalid_argument _ -> true
     | _ -> false)
 
@@ -240,7 +240,7 @@ let pull_never_beats_optimal =
 let pull_rejects_bad_args () =
   let spider = Msts.Spider.of_chain figure2_chain in
   Alcotest.check_raises "buffer 0"
-    (Invalid_argument "Netsim.pull_policy: buffer must be >= 1") (fun () ->
+    (Invalid_argument "Msts.Netsim.pull_policy: buffer must be >= 1") (fun () ->
       ignore (Msts.Netsim.pull_policy ~buffer:0 spider ~tasks:1))
 
 let suites =

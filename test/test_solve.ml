@@ -120,20 +120,22 @@ let execute_accepts_both_shapes () =
     (Plan.makespan spider_plan)
     report.Msts.Netsim.realized_makespan
 
-let deprecated_wrappers_agree () =
-  let spider = spider_fixture () in
-  let sched = Msts.Spider_algorithm.schedule_tasks spider 5 in
-  let via_unified = Msts.Netsim.execute (Plan.Spider sched) in
-  let via_legacy = Msts.Netsim.execute_plan sched in
-  Alcotest.(check int) "execute_plan = execute (Spider _)"
-    via_unified.Msts.Netsim.realized_makespan
-    via_legacy.Msts.Netsim.realized_makespan;
+(* A chain plan and its explicit one-leg spider promotion are the same
+   execution — the guarantee the deprecated [execute_plan] wrappers leaned
+   on before their removal. *)
+let chain_promotion_executes_identically () =
   let chain_sched = Msts.Chain_algorithm.schedule figure2_chain 4 in
-  let via_unified = Msts.Netsim.execute (Plan.Chain chain_sched) in
-  let via_legacy = Msts.Netsim.execute_chain_plan chain_sched in
-  Alcotest.(check int) "execute_chain_plan = execute (Chain _)"
-    via_unified.Msts.Netsim.realized_makespan
-    via_legacy.Msts.Netsim.realized_makespan
+  let via_chain = Msts.Netsim.execute (Plan.Chain chain_sched) in
+  let via_spider =
+    Msts.Netsim.execute
+      (Plan.Spider (Msts.Spider_schedule.of_chain_schedule chain_sched))
+  in
+  Alcotest.(check int) "execute (Chain _) = execute (Spider (promote _))"
+    via_spider.Msts.Netsim.realized_makespan
+    via_chain.Msts.Netsim.realized_makespan;
+  Alcotest.(check bool) "same realised schedule" true
+    (Msts.Spider_schedule.equal via_chain.Msts.Netsim.realized
+       via_spider.Msts.Netsim.realized)
 
 let facade_matches_direct_stress =
   to_alcotest
@@ -165,6 +167,7 @@ let suites =
     ( "solve.execute",
       [
         case "unified executor accepts both shapes" execute_accepts_both_shapes;
-        case "deprecated wrappers agree" deprecated_wrappers_agree;
+        case "chain promotion executes identically"
+          chain_promotion_executes_identically;
       ] );
   ]
