@@ -1,0 +1,290 @@
+(* Load generator for `msts serve`.
+
+   Two stages, both driving a real daemon (forked child running
+   Msts_serve.Server.run on a throw-away Unix socket) through a single
+   pipelined connection with a bounded outstanding window:
+
+     serve-smoke    ~2k mixed requests with telemetry streaming on, then
+                    a SIGTERM with in-flight requests — asserts the drain
+                    contract (every written request answered, exit 0) and
+                    recovers the serve.queue_wait_us / serve.batch_size
+                    histograms from the telemetry JSONL.
+     serve-scaling  100k mixed requests, latency histogram from client-side
+                    timestamps, throughput gated per core (the CI host has
+                    one; raw speedup would be meaningless there).
+
+   Every request carries its index as the correlation id; responses are
+   paired by id, so the control-operation fast path (ping/stats answered
+   on receipt, overtaking queued solves) measures correctly.  Results
+   accumulate into BENCH_serve.json: p50/p99 latency, per-core
+   throughput, queue-wait histograms, and the drain audit. *)
+
+module Api = Msts.Api
+module Json = Msts.Json
+module Hist = Msts.Obs.Histogram
+
+let window = 32
+let drain_inflight = 100
+
+(* Conservative floor: pings and mostly-cached solves over a local socket
+   clear this by an order of magnitude even on a loaded 1-core runner. *)
+let per_core_floor_rps = 200.0
+
+let platforms =
+  lazy
+    (let profile = Msts.Generator.default_profile in
+     [|
+       Msts.Platform_format.Chain_platform
+         (Msts.Generator.chain (Msts.Prng.create 11) profile ~p:3);
+       Msts.Platform_format.Chain_platform
+         (Msts.Generator.chain (Msts.Prng.create 12) profile ~p:4);
+       Msts.Platform_format.Spider_platform
+         (Msts.Generator.spider (Msts.Prng.create 13) profile ~legs:3
+            ~max_depth:2);
+       Msts.Platform_format.Fork_platform
+         (Msts.Generator.fork (Msts.Prng.create 14) profile ~slaves:3);
+     |])
+
+(* The mixed script: mostly solves over a small platform/task rotation
+   (cache hits and misses both exercised), a sprinkle of control ops. *)
+let request i =
+  let platforms = Lazy.force platforms in
+  let platform = platforms.(i mod Array.length platforms) in
+  let op =
+    if i mod 101 = 0 then Api.Stats
+    else
+      match i mod 7 with
+      | 0 -> Api.Ping
+      | 1 | 2 | 3 ->
+          Api.Schedule (Msts.Solve.problem ~tasks:(4 + (i mod 8)) platform)
+      | 4 ->
+          Api.Deadline (Msts.Solve.problem ~deadline:(40 + (i mod 50)) platform)
+      | 5 -> Api.Metrics (Msts.Solve.problem ~tasks:(4 + (i mod 5)) platform)
+      | _ ->
+          Api.Schedule (Msts.Solve.problem ~tasks:(4 + ((i / 7) mod 8)) platform)
+  in
+  { Api.id = Some i; op }
+
+let sock_path stage = Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "msts-bench-%s-%d.sock" stage (Unix.getpid ()))
+
+let start_daemon ~stage ~telemetry =
+  let socket_path = sock_path stage in
+  if Sys.file_exists socket_path then Sys.remove socket_path;
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      let cfg =
+        {
+          (Msts_serve.Server.default_config ~socket_path) with
+          telemetry;
+          quiet = true;
+        }
+      in
+      (* _exit: skip the parent's at_exit machinery and buffered output *)
+      let code = try Msts_serve.Server.run cfg with _ -> 125 in
+      Unix._exit code
+  | pid ->
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while
+        (not (Sys.file_exists socket_path))
+        && Unix.gettimeofday () < deadline
+      do
+        ignore (Unix.select [] [] [] 0.02)
+      done;
+      if not (Sys.file_exists socket_path) then
+        failwith "serve bench: daemon did not come up";
+      (pid, socket_path)
+
+let connect_or_fail socket_path =
+  match Msts_serve.Client.connect socket_path with
+  | Ok t -> t
+  | Error msg -> failwith ("serve bench: " ^ msg)
+
+let response_id line =
+  match Api.response_of_line line with
+  | Ok { Api.id = Some i; result } -> (i, result)
+  | Ok { Api.id = None; _ } -> failwith "serve bench: response without id"
+  | Error e -> failwith ("serve bench: unreadable response: " ^ e.Api.message)
+
+(* Pipelined replay: keep at most [window] requests outstanding, pair
+   responses by id, return the latency histogram and wall time. *)
+let replay client ~total =
+  let send_at = Array.make total 0.0 in
+  let seen = Array.make total false in
+  let latency = Hist.create () in
+  let errors = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  let rec loop sent received =
+    if received < total then
+      if sent < total && sent - received < window then begin
+        send_at.(sent) <- Unix.gettimeofday ();
+        Msts_serve.Client.send_line client (Api.request_to_line (request sent));
+        loop (sent + 1) received
+      end
+      else begin
+        match Msts_serve.Client.recv_line client with
+        | None -> failwith "serve bench: server closed mid-replay"
+        | Some line ->
+            let i, result = response_id line in
+            if seen.(i) then failwith "serve bench: duplicate response id";
+            seen.(i) <- true;
+            (match result with Ok _ -> () | Error _ -> incr errors);
+            Hist.add latency
+              (int_of_float ((Unix.gettimeofday () -. send_at.(i)) *. 1e6));
+            loop sent (received + 1)
+      end
+  in
+  loop 0 0;
+  let wall = Unix.gettimeofday () -. t0 in
+  Array.iteri
+    (fun i ok -> if not ok then failwith (Printf.sprintf "serve bench: response %d dropped" i))
+    seen;
+  if !errors > 0 then
+    failwith (Printf.sprintf "serve bench: %d error responses" !errors);
+  (latency, wall)
+
+(* The drain contract: write [drain_inflight] frames, SIGTERM the daemon
+   with them still unanswered, and demand every one of them back plus a
+   clean EOF and exit 0. *)
+let sigterm_drain client pid ~offset =
+  for i = offset to offset + drain_inflight - 1 do
+    Msts_serve.Client.send_line client (Api.request_to_line (request i))
+  done;
+  Unix.kill pid Sys.sigterm;
+  let got = ref 0 in
+  (try
+     while !got < drain_inflight do
+       match Msts_serve.Client.recv_line client with
+       | None -> raise Exit
+       | Some line ->
+           let i, _ = response_id line in
+           if i >= offset && i < offset + drain_inflight then incr got
+     done
+   with Exit -> ());
+  if !got <> drain_inflight then
+    failwith
+      (Printf.sprintf "serve bench: SIGTERM dropped %d in-flight request(s)"
+         (drain_inflight - !got));
+  (match Msts_serve.Client.recv_line client with
+  | None -> ()
+  | Some _ -> failwith "serve bench: frames past the drain");
+  Msts_serve.Client.close client;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n ->
+      failwith (Printf.sprintf "serve bench: daemon exited %d" n)
+  | _ -> failwith "serve bench: daemon died on a signal"
+
+(* Recover the daemon-side histograms from the telemetry JSONL. *)
+let telemetry_histograms path =
+  let hists = Hashtbl.create 8 in
+  In_channel.with_open_text path (fun ic ->
+      let rec go () =
+        match In_channel.input_line ic with
+        | None -> ()
+        | Some line ->
+            (match Json.parse line with
+            | Ok json -> (
+                match
+                  (Json.member "ev" json, Json.member "name" json,
+                   Json.member "value" json)
+                with
+                | Some (Json.String "V"), Some (Json.String name),
+                  Some (Json.Int v) ->
+                    let h =
+                      match Hashtbl.find_opt hists name with
+                      | Some h -> h
+                      | None ->
+                          let h = Hist.create () in
+                          Hashtbl.add hists name h;
+                          h
+                    in
+                    Hist.add h v
+                | _ -> ())
+            | Error _ -> ());
+            go ()
+      in
+      go ());
+  hists
+
+(* Both stages accumulate here; the file is rewritten after each so a
+   solo run still produces a valid artefact. *)
+let sections : (string * Json.t) list ref = ref []
+
+let write_bench () =
+  let json = Json.Obj (("bench", Json.String "serve") :: List.rev !sections) in
+  Out_channel.with_open_text "BENCH_serve.json" (fun oc ->
+      Out_channel.output_string oc (Json.to_string ~pretty:true json);
+      Out_channel.output_char oc '\n')
+
+let stage_json ~total ~latency ~wall ~extra =
+  let throughput = float_of_int (total + drain_inflight) /. wall in
+  (* jobs=1 in the daemon: per-core == absolute on the CI host, and stays
+     honest if the default ever grows. *)
+  let per_core = throughput /. 1.0 in
+  if per_core < per_core_floor_rps then
+    failwith
+      (Printf.sprintf "serve bench: per-core throughput %.0f rps below floor %.0f"
+         per_core per_core_floor_rps);
+  Json.Obj
+    ([
+       ("requests", Json.Int total);
+       ("drain_inflight", Json.Int drain_inflight);
+       ("wall_s", Json.Float wall);
+       ("throughput_rps", Json.Float throughput);
+       ("per_core_throughput_rps", Json.Float per_core);
+       ("latency_us", Hist.to_json latency);
+       ("p50_us", Json.Int (Hist.quantile latency 0.5));
+       ("p99_us", Json.Int (Hist.quantile latency 0.99));
+       ("dropped_in_flight", Json.Int 0);
+     ]
+    @ extra)
+
+let run_stage ~stage ~total ~with_telemetry =
+  let telemetry =
+    if with_telemetry then
+      Some (Filename.temp_file "msts-serve-telemetry" ".jsonl")
+    else None
+  in
+  let pid, socket_path = start_daemon ~stage ~telemetry in
+  let finish () = if Sys.file_exists socket_path then Sys.remove socket_path in
+  Fun.protect ~finally:finish @@ fun () ->
+  let client = connect_or_fail socket_path in
+  let t0 = Unix.gettimeofday () in
+  let latency, _replay_wall = replay client ~total in
+  sigterm_drain client pid ~offset:total;
+  let wall = Unix.gettimeofday () -. t0 in
+  let extra =
+    match telemetry with
+    | None -> []
+    | Some path ->
+        let hists = telemetry_histograms path in
+        let take name =
+          match Hashtbl.find_opt hists name with
+          | Some h -> [ (name, Hist.to_json h) ]
+          | None -> failwith ("serve bench: telemetry lost " ^ name)
+        in
+        Sys.remove path;
+        take "serve.queue_wait_us" @ take "serve.batch_size"
+  in
+  sections := (stage, stage_json ~total ~latency ~wall ~extra) :: !sections;
+  write_bench ();
+  Printf.printf
+    "%s: %d requests + %d in-flight at SIGTERM, all answered; p50=%dus p99=%dus\n"
+    stage total drain_inflight (Hist.quantile latency 0.5)
+    (Hist.quantile latency 0.99)
+
+let smoke () = run_stage ~stage:"smoke" ~total:2_000 ~with_telemetry:true
+let scaling () = run_stage ~stage:"scaling" ~total:100_000 ~with_telemetry:false
+
+let all =
+  [
+    ( "serve-smoke",
+      "boot msts serve, replay a small mixed script, audit the SIGTERM drain",
+      smoke );
+    ( "serve-scaling",
+      "100k-request mixed replay against msts serve; per-core throughput gate",
+      scaling );
+  ]

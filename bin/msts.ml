@@ -23,13 +23,6 @@ let as_spider platform =
       Printf.eprintf "error: %s\n" msg;
       exit 2
 
-let solve_or_die problem =
-  match Msts.Solve.solve problem with
-  | Ok plan -> plan
-  | Error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      exit 2
-
 (* ---------- common arguments ---------- *)
 
 let platform_arg =
@@ -97,45 +90,19 @@ let print_table fmt table =
   | Text -> Msts.Table.print table
   | Json -> emit_json (json_of_table table)
 
-let json_of_plan ?(extra = []) plan =
-  let open Msts.Json in
-  let comms_json comms = List (Array.to_list (Array.map (fun c -> Int c) comms)) in
-  let entries =
-    match plan with
-    | Msts.Plan.Chain sched ->
-        Array.to_list (Msts.Schedule.entries sched)
-        |> List.mapi (fun idx (e : Msts.Schedule.entry) ->
-               Obj
-                 [
-                   ("task", Int (idx + 1));
-                   ("proc", Int e.proc);
-                   ("start", Int e.start);
-                   ("comms", comms_json e.comms);
-                 ])
-    | Msts.Plan.Spider sched ->
-        Array.to_list (Msts.Spider_schedule.entries sched)
-        |> List.mapi (fun idx (e : Msts.Spider_schedule.entry) ->
-               Obj
-                 [
-                   ("task", Int (idx + 1));
-                   ("leg", Int e.address.Msts.Spider.leg);
-                   ("depth", Int e.address.Msts.Spider.depth);
-                   ("start", Int e.start);
-                   ("comms", comms_json e.comms);
-                 ])
-  in
-  Obj
-    (extra
-    @ [
-        ( "kind",
-          String
-            (match plan with
-            | Msts.Plan.Chain _ -> "chain"
-            | Msts.Plan.Spider _ -> "spider") );
-        ("tasks", Int (Msts.Plan.task_count plan));
-        ("makespan", Int (Msts.Plan.makespan plan));
-        ("entries", List entries);
-      ])
+(* Every solving subcommand routes through the typed request API: build an
+   [Msts.Api.op], run it with {!Msts.Api.exec} over the direct (poolless)
+   solver, render text from the typed reply or JSON from the one shared
+   [Msts.Api.json_of_reply] — the same code path [msts serve] answers on. *)
+
+let die_api (e : Msts.Api.error) =
+  Printf.eprintf "error: %s\n" e.Msts.Api.message;
+  exit 2
+
+let exec_or_die ?cache_capacity ?(solver = Msts.Api.direct_solver) op =
+  match Msts.Api.exec ?cache_capacity ~solver op with
+  | Ok reply -> reply
+  | Error e -> die_api e
 
 (* ---------- generate ---------- *)
 
@@ -218,13 +185,18 @@ let schedule_cmd =
   in
   let run () path n fmt gantt svg plan_out csv width =
     let platform = read_platform path in
-    let plan = solve_or_die (Msts.Solve.problem ~tasks:n platform) in
+    let reply =
+      exec_or_die (Msts.Api.Schedule (Msts.Solve.problem ~tasks:n platform))
+    in
+    let plan =
+      match reply with Msts.Api.Solved { plan; _ } -> plan | _ -> assert false
+    in
     (match fmt with
     | Text ->
         Printf.printf "optimal makespan: %d\n%s\n" (Msts.Plan.makespan plan)
           (Msts.Plan.to_string plan);
         if gantt then print_endline (Msts.Plan.gantt ~width plan)
-    | Json -> emit_json (json_of_plan plan));
+    | Json -> emit_json (Msts.Api.json_of_reply reply));
     Option.iter (fun f -> Msts.Svg.save f (Msts.Plan.svg plan)) svg;
     Option.iter (fun f -> emit (Some f) (Msts.Plan.serialize plan)) plan_out;
     Option.iter (fun f -> emit (Some f) (Msts.Plan.to_csv plan ^ "\n")) csv
@@ -244,14 +216,18 @@ let deadline_cmd =
   in
   let run () path deadline fmt =
     let platform = read_platform path in
-    let plan = solve_or_die (Msts.Solve.problem ~deadline platform) in
+    let reply =
+      exec_or_die (Msts.Api.Deadline (Msts.Solve.problem ~deadline platform))
+    in
+    let plan =
+      match reply with Msts.Api.Solved { plan; _ } -> plan | _ -> assert false
+    in
     match fmt with
     | Text ->
         Printf.printf "tasks completed by %d: %d\n%s\n" deadline
           (Msts.Plan.task_count plan)
           (Msts.Plan.to_string plan)
-    | Json ->
-        emit_json (json_of_plan ~extra:[ ("deadline", Msts.Json.Int deadline) ] plan)
+    | Json -> emit_json (Msts.Api.json_of_reply reply)
   in
   let doc = "Maximise the number of tasks completed within a deadline." in
   Cmd.v (Cmd.info "deadline" ~doc)
@@ -321,43 +297,22 @@ let check_cmd =
   in
   let run () path n do_trace seed events fmt =
     let platform = read_platform path in
-    let plan = solve_or_die (Msts.Solve.problem ~tasks:n platform) in
-    let oracle = Msts.Plan.check ~require_nonnegative:true plan in
-    let audit name tr = (name, tr, Msts.Trace.check ~require_nonnegative:true tr) in
-    let record f =
-      let r = Msts.Trace.Recorder.create () in
-      ignore (Msts.Trace.with_recorder r f);
-      Msts.Trace.recorded r
+    let reply =
+      exec_or_die
+        (Msts.Api.Check
+           {
+             problem = Msts.Solve.problem ~tasks:n platform;
+             trace = do_trace;
+             seed;
+             events;
+           })
     in
-    let sections =
-      audit "planned trace" (Msts.Trace.of_plan plan)
-      ::
-      (if not do_trace then []
-       else begin
-         if events < 0 then (
-           Printf.eprintf "error: --events must be >= 0\n";
-           exit 2);
-         let execution =
-           audit "recorded execution" (record (fun () -> Msts.Netsim.execute plan))
-         in
-         let spider = as_spider platform in
-         let splan = Msts.Spider_algorithm.schedule_tasks spider n in
-         let horizon = Msts.Spider_schedule.makespan splan in
-         let ftrace =
-           Msts.Fault.random (Msts.Prng.create seed) spider ~events ~horizon
-         in
-         let faulted =
-           audit
-             (Printf.sprintf "recorded fault replay (seed %d, %d events)" seed
-                events)
-             (record (fun () ->
-                  Msts.Netsim.replay_under_faults ~max_events:1_000_000
-                    ~trace:ftrace splan))
-         in
-         [ execution; faulted ]
-       end)
+    let plan, oracle, sections, ok =
+      match reply with
+      | Msts.Api.Checked { plan; oracle; sections; ok } ->
+          (plan, oracle, sections, ok)
+      | _ -> assert false
     in
-    let ok = oracle = [] && List.for_all (fun (_, _, v) -> v = []) sections in
     (match fmt with
     | Text ->
         Printf.printf "plan: %d tasks, makespan %d\n"
@@ -369,37 +324,17 @@ let check_cmd =
               (List.length problems);
             List.iter (fun p -> Printf.printf "  %s\n" p) problems);
         List.iter
-          (fun (name, tr, viols) ->
-            match viols with
+          (fun { Msts.Api.label; trace; violations } ->
+            match violations with
             | [] ->
-                Printf.printf "%s: %d events — all invariants hold\n" name
-                  (Msts.Trace.length tr)
+                Printf.printf "%s: %d events — all invariants hold\n" label
+                  (Msts.Trace.length trace)
             | _ ->
-                Printf.printf "%s: %d events\n%s\n" name (Msts.Trace.length tr)
-                  (Msts.Trace.report tr viols))
+                Printf.printf "%s: %d events\n%s\n" label
+                  (Msts.Trace.length trace)
+                  (Msts.Trace.report trace violations))
           sections
-    | Json ->
-        let section_json (name, tr, viols) =
-          Msts.Json.Obj
-            ([
-               ("name", Msts.Json.String name);
-               ("events", Msts.Json.Int (Msts.Trace.length tr));
-               ("violations", Msts.Json.Int (List.length viols));
-             ]
-            @
-            if viols = [] then []
-            else [ ("report", Msts.Json.String (Msts.Trace.report tr viols)) ])
-        in
-        emit_json
-          (Msts.Json.Obj
-             [
-               ("tasks", Msts.Json.Int (Msts.Plan.task_count plan));
-               ("makespan", Msts.Json.Int (Msts.Plan.makespan plan));
-               ("ok", Msts.Json.Bool ok);
-               ( "oracle_violations",
-                 Msts.Json.List (List.map (fun s -> Msts.Json.String s) oracle) );
-               ("sections", Msts.Json.List (List.map section_json sections));
-             ]));
+    | Json -> emit_json (Msts.Api.json_of_reply reply));
     if not ok then exit 1
   in
   let doc =
@@ -583,87 +518,19 @@ let tree_cmd =
 (* ---------- metrics ---------- *)
 
 let metrics_cmd =
-  let pct x = Msts.Json.Float (Float.round (1000.0 *. x) /. 10.0) in
-  let chain_metrics_json sched =
-    let open Msts.Json in
-    let chain = Msts.Schedule.chain sched in
-    let procs =
-      List.map
-        (fun k ->
-          Obj
-            [
-              ("proc", Int k);
-              ("tasks", Int (List.length (Msts.Schedule.tasks_on sched k)));
-              ("link_busy_pct", pct (Msts.Metrics.link_utilisation sched k));
-              ("cpu_busy_pct", pct (Msts.Metrics.proc_utilisation sched k));
-              ("max_buffered", Int (Msts.Metrics.buffer_high_water sched k));
-            ])
-        (Msts.Intx.range 1 (Msts.Chain.length chain))
-    in
-    Obj
-      [
-        ("kind", String "chain");
-        ("tasks", Int (Msts.Schedule.task_count sched));
-        ("makespan", Int (Msts.Schedule.makespan sched));
-        ("total_waiting", Int (Msts.Metrics.total_waiting sched));
-        ("max_waiting", Int (Msts.Metrics.max_waiting sched));
-        ("processors", List procs)
-      ]
-  in
-  let spider_metrics_json sched =
-    let open Msts.Json in
-    let spider = Msts.Spider_schedule.spider sched in
-    let makespan = Msts.Spider_schedule.makespan sched in
-    let legs =
-      List.map
-        (fun l ->
-          let leg = Msts.Spider_schedule.leg_schedule sched l in
-          let nodes =
-            List.map
-              (fun k ->
-                Obj
-                  [
-                    ("depth", Int k);
-                    ("tasks", Int (List.length (Msts.Schedule.tasks_on leg k)));
-                    ( "link_busy_pct",
-                      pct
-                        (Msts.Intervals.utilisation
-                           (Msts.Schedule.link_intervals leg k) ~horizon:makespan) );
-                    ( "cpu_busy_pct",
-                      pct
-                        (Msts.Intervals.utilisation
-                           (Msts.Schedule.proc_intervals leg k) ~horizon:makespan) );
-                    ("max_buffered", Int (Msts.Metrics.buffer_high_water leg k));
-                  ])
-              (Msts.Intx.range 1
-                 (Msts.Chain.length (Msts.Spider.leg_chain spider l)))
-          in
-          Obj
-            [
-              ("leg", Int l);
-              ("tasks", Int (Msts.Schedule.task_count leg));
-              ("nodes", List nodes);
-            ])
-        (Msts.Intx.range 1 (Msts.Spider.legs spider))
-    in
-    Obj
-      [
-        ("kind", String "spider");
-        ("tasks", Int (Msts.Spider_schedule.task_count sched));
-        ("makespan", Int makespan);
-        ("master_port_busy_pct", pct (Msts.Metrics.spider_master_utilisation sched));
-        ("legs", List legs)
-      ]
-  in
   let run () path n fmt =
     let platform = read_platform path in
-    let plan = solve_or_die (Msts.Solve.problem ~tasks:n platform) in
+    let reply =
+      exec_or_die (Msts.Api.Metrics (Msts.Solve.problem ~tasks:n platform))
+    in
+    let plan =
+      match reply with Msts.Api.Measured plan -> plan | _ -> assert false
+    in
     match (fmt, plan) with
     | Text, Msts.Plan.Chain sched -> print_string (Msts.Metrics.summary sched)
     | Text, Msts.Plan.Spider sched ->
         print_string (Msts.Metrics.spider_summary sched)
-    | Json, Msts.Plan.Chain sched -> emit_json (chain_metrics_json sched)
-    | Json, Msts.Plan.Spider sched -> emit_json (spider_metrics_json sched)
+    | Json, _ -> emit_json (Msts.Api.json_of_reply reply)
   in
   let doc = "Waiting, buffering and utilisation report for the optimal schedule." in
   Cmd.v (Cmd.info "metrics" ~doc)
@@ -912,8 +779,16 @@ let batch_cmd =
     in
     let cache = Msts.Batch.cache ~capacity:cache_size in
     let jobs = if jobs <= 0 then None else Some jobs in
+    let solver requests =
+      Msts.Batch.run ?jobs ~cache ~solve:Msts.Solve.solve requests
+    in
+    let reply =
+      exec_or_die ~cache_capacity:cache_size ~solver (Msts.Api.Batch problems)
+    in
     let outcomes, stats =
-      Msts.Batch.run ?jobs ~cache ~solve:Msts.Solve.solve problems
+      match reply with
+      | Msts.Api.Batched { outcomes; stats; _ } -> (outcomes, stats)
+      | _ -> assert false
     in
     let kind_of i =
       match problems.(i).Msts.Solve.platform with
@@ -922,7 +797,11 @@ let batch_cmd =
       | Msts.Platform_format.Spider_platform _ -> "spider"
       | Msts.Platform_format.Tree_platform _ -> "tree"
     in
-    let failures = ref 0 in
+    let failures =
+      Array.fold_left
+        (fun acc -> function Ok _ -> acc | Error _ -> acc + 1)
+        0 outcomes
+    in
     (match fmt with
     | Text ->
         Printf.printf "batch: %d instances (cache capacity %d)\n"
@@ -934,7 +813,6 @@ let batch_cmd =
                 Printf.printf "  %d: kind=%s tasks=%d makespan=%d\n" (i + 1)
                   (kind_of i) (Msts.Plan.task_count plan) (Msts.Plan.makespan plan)
             | Error msg ->
-                incr failures;
                 Printf.printf "  %d: kind=%s error=%s\n" (i + 1) (kind_of i) msg)
           outcomes;
         (* The counter block `msts profile` would show, without running a
@@ -942,42 +820,8 @@ let batch_cmd =
         Printf.printf "pool.cache_hits: %d\n" stats.Msts.Batch.cache_hits;
         Printf.printf "pool.cache_misses: %d\n" stats.Msts.Batch.cache_misses;
         Printf.printf "pool.solves: %d\n" stats.Msts.Batch.cache_misses
-    | Json ->
-        let result i outcome =
-          let open Msts.Json in
-          match outcome with
-          | Ok plan ->
-              Obj
-                [
-                  ("instance", Int (i + 1));
-                  ("kind", String (kind_of i));
-                  ("tasks", Int (Msts.Plan.task_count plan));
-                  ("makespan", Int (Msts.Plan.makespan plan));
-                ]
-          | Error msg ->
-              incr failures;
-              Obj
-                [
-                  ("instance", Int (i + 1));
-                  ("kind", String (kind_of i));
-                  ("error", String msg);
-                ]
-        in
-        emit_json
-          (Msts.Json.Obj
-             [
-               ("instances", Msts.Json.Int stats.Msts.Batch.requests);
-               ( "cache",
-                 Msts.Json.Obj
-                   [
-                     ("capacity", Msts.Json.Int cache_size);
-                     ("hits", Msts.Json.Int stats.Msts.Batch.cache_hits);
-                     ("misses", Msts.Json.Int stats.Msts.Batch.cache_misses);
-                   ] );
-               ( "results",
-                 Msts.Json.List (Array.to_list (Array.mapi result outcomes)) );
-             ]));
-    if !failures > 0 then exit 1
+    | Json -> emit_json (Msts.Api.json_of_reply reply));
+    if failures > 0 then exit 1
   in
   let doc =
     "Solve many instances at once on a domain pool with an LRU solve cache.  \
@@ -1008,7 +852,15 @@ let profile_cmd =
     in
     Arg.(
       value
-      & opt (enum [ ("solve", `Solve); ("execute", `Execute); ("pull", `Pull); ("faults", `Faults) ]) `Execute
+      & opt
+          (enum
+             [
+               ("solve", Msts.Api.Solve_only);
+               ("execute", Msts.Api.Execute);
+               ("pull", Msts.Api.Pull);
+               ("faults", Msts.Api.Faults);
+             ])
+          Msts.Api.Execute
       & info [ "workload" ] ~docv:"KIND" ~doc)
   in
   let trace_out_arg =
@@ -1026,55 +878,14 @@ let profile_cmd =
   in
   let run () path n deadline workload trace_out seed events fmt =
     let platform = read_platform path in
-    let mem = Msts.Obs.Memory.create () in
-    let problem =
-      match deadline with
-      | Some d -> Msts.Solve.problem ~deadline:d platform
-      | None -> Msts.Solve.problem ~tasks:n platform
+    let reply =
+      exec_or_die
+        (Msts.Api.Profile { platform; tasks = n; deadline; workload; seed; events })
     in
-    let summary =
-      Msts.Obs.with_sink (Msts.Obs.Memory.sink mem) @@ fun () ->
-      match workload with
-      | `Solve ->
-          let plan = solve_or_die problem in
-          [
-            ("workload", Msts.Json.String "solve");
-            ("makespan", Msts.Json.Int (Msts.Plan.makespan plan));
-            ("tasks", Msts.Json.Int (Msts.Plan.task_count plan));
-          ]
-      | `Execute ->
-          let plan = solve_or_die problem in
-          let report = Msts.Netsim.execute plan in
-          [
-            ("workload", Msts.Json.String "execute");
-            ("planned_makespan", Msts.Json.Int report.Msts.Netsim.planned_makespan);
-            ("realized_makespan", Msts.Json.Int report.Msts.Netsim.realized_makespan);
-            ("tasks", Msts.Json.Int (Msts.Plan.task_count plan));
-          ]
-      | `Pull ->
-          let spider = as_spider platform in
-          let sched = Msts.Netsim.pull_policy spider ~tasks:n in
-          [
-            ("workload", Msts.Json.String "pull");
-            ("makespan", Msts.Json.Int (Msts.Spider_schedule.makespan sched));
-            ("tasks", Msts.Json.Int n);
-          ]
-      | `Faults ->
-          let spider = as_spider platform in
-          let plan = Msts.Spider_algorithm.schedule_tasks spider n in
-          let trace =
-            Msts.Fault.random (Msts.Prng.create seed) spider ~events
-              ~horizon:(Msts.Spider_schedule.makespan plan)
-          in
-          let outcome = Msts.Replan.replay ~trace plan in
-          [
-            ("workload", Msts.Json.String "faults");
-            ( "observed_makespan",
-              Msts.Json.Int
-                outcome.Msts.Replan.report.Msts.Netsim.observed_makespan );
-            ("replans_adopted", Msts.Json.Int outcome.Msts.Replan.replans);
-            ("tasks", Msts.Json.Int n);
-          ]
+    let summary, mem =
+      match reply with
+      | Msts.Api.Profiled { summary; mem } -> (summary, mem)
+      | _ -> assert false
     in
     let trace_info =
       Option.map
@@ -1136,8 +947,7 @@ let profile_cmd =
           (fun (file, events) ->
             Printf.printf "trace: %s (%d events, valid chrome trace)\n" file events)
           trace_info
-    | Json ->
-        let profile = Msts.Obs.Memory.to_json mem in
+    | Json -> (
         let trace_fields =
           match trace_info with
           | None -> []
@@ -1151,12 +961,9 @@ let profile_cmd =
                     ] );
               ]
         in
-        let fields =
-          match profile with
-          | Msts.Json.Obj fields -> fields
-          | other -> [ ("profile", other) ]
-        in
-        emit_json (Msts.Json.Obj (summary @ fields @ trace_fields))
+        match Msts.Api.json_of_reply reply with
+        | Msts.Json.Obj kvs -> emit_json (Msts.Json.Obj (kvs @ trace_fields))
+        | other -> emit_json other)
   in
   let doc =
     "Run a solve/simulate workload with the observability sink installed: \
@@ -1190,24 +997,17 @@ let report_cmd =
       | Some d -> Msts.Solve.problem ~deadline:d platform
       | None -> Msts.Solve.problem ~tasks:n platform
     in
-    let plan = solve_or_die problem in
+    let reply = exec_or_die (Msts.Api.Report { problem; planned }) in
     let source, report =
-      if planned then ("planned schedule", Msts.Obs.Report.of_plan plan)
-      else
-        ( "realized execution",
-          Msts.Obs.Report.of_execution (Msts.Netsim.execute plan) )
+      match reply with
+      | Msts.Api.Reported { source; report } -> (source, report)
+      | _ -> assert false
     in
     match fmt with
     | Text ->
         Printf.printf "source: %s\n" source;
         print_string (Msts.Obs.Report.summary report)
-    | Json ->
-        let fields =
-          match Msts.Obs.Report.to_json report with
-          | Msts.Json.Obj fields -> fields
-          | other -> [ ("report", other) ]
-        in
-        emit_json (Msts.Json.Obj (("source", Msts.Json.String source) :: fields))
+    | Json -> emit_json (Msts.Api.json_of_reply reply)
   in
   let doc =
     "Per-resource utilization of a run: master-port saturation, per-link \
@@ -1388,6 +1188,152 @@ let trace_cmd =
   let doc = "Operate on saved profile JSON artefacts." in
   Cmd.group (Cmd.info "trace" ~doc) [ trace_diff_cmd ]
 
+(* ---------- serve ---------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(
+    value & opt string "msts.sock" & info [ "s"; "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let jobs_arg =
+    let doc = "Worker domains of the solve pool ($(b,0) = one per recommended core)." in
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"J" ~doc)
+  in
+  let cache_arg =
+    let doc = "Capacity of the shared LRU solve cache." in
+    Arg.(value & opt int 256 & info [ "cache-size" ] ~docv:"K" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission control: queued solve requests beyond $(docv) are rejected \
+       with the $(b,overloaded) error code."
+    in
+    Arg.(value & opt int 1024 & info [ "queue-cap" ] ~docv:"Q" ~doc)
+  in
+  let timeout_arg =
+    let doc =
+      "Per-request queue-wait deadline in milliseconds (checked at dispatch; \
+       $(b,0) disables timeouts)."
+    in
+    Arg.(value & opt int 0 & info [ "timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let batch_arg =
+    let doc = "Most requests dispatched per micro-batch." in
+    Arg.(value & opt int 32 & info [ "max-batch" ] ~docv:"B" ~doc)
+  in
+  let telemetry_arg =
+    let doc = "Stream every observability event to $(docv) as JSONL." in
+    Arg.(value & opt (some string) None & info [ "telemetry" ] ~docv:"FILE" ~doc)
+  in
+  let ring_arg =
+    let doc = "Post-mortem ring buffer size (last-N telemetry events)." in
+    Arg.(value & opt int 1024 & info [ "ring" ] ~docv:"N" ~doc)
+  in
+  let quiet_arg =
+    let doc = "Suppress the readiness and shutdown notices." in
+    Arg.(value & flag & info [ "quiet" ] ~doc)
+  in
+  let run () socket jobs cache_size queue_cap timeout_ms max_batch telemetry
+      ring quiet =
+    List.iter
+      (fun (what, v) ->
+        if v < 1 then begin
+          Printf.eprintf "error: --%s must be >= 1\n" what;
+          exit 2
+        end)
+      [
+        ("jobs", jobs);
+        ("cache-size", cache_size);
+        ("queue-cap", queue_cap);
+        ("max-batch", max_batch);
+        ("ring", ring);
+      ];
+    if timeout_ms < 0 then begin
+      Printf.eprintf "error: --timeout-ms must be >= 0\n";
+      exit 2
+    end;
+    let cfg =
+      {
+        Msts_serve.Server.socket_path = socket;
+        engine =
+          {
+            Msts_serve.Engine.jobs;
+            cache_capacity = cache_size;
+            queue_cap;
+            timeout_us = timeout_ms * 1000;
+            max_batch;
+          };
+        telemetry;
+        ring_capacity = ring;
+        quiet;
+      }
+    in
+    exit (Msts_serve.Server.run cfg)
+  in
+  let doc =
+    "Run the solver as a persistent daemon on a Unix-domain socket (JSONL \
+     framing, versioned typed requests — see docs/API.md).  Requests are \
+     served from a bounded queue on a domain pool with the shared LRU solve \
+     cache; SIGTERM drains in-flight work before exiting."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ kernel_setter $ socket_arg $ jobs_arg $ cache_arg $ queue_arg
+      $ timeout_arg $ batch_arg $ telemetry_arg $ ring_arg $ quiet_arg)
+
+(* ---------- call ---------- *)
+
+let call_cmd =
+  let frame_arg =
+    let doc =
+      "The request: one JSONL frame, e.g. \
+       $(b,{\"op\":\"ping\"}) or \
+       $(b,{\"op\":\"schedule\",\"platform\":\"chain 2 1 3 1 2\",\"tasks\":4})."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
+  in
+  let raw_arg =
+    let doc = "Print the raw response frame instead of the decoded payload." in
+    Arg.(value & flag & info [ "raw" ] ~doc)
+  in
+  let run socket frame raw =
+    match Msts_serve.Client.connect socket with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | Ok client -> (
+        Msts_serve.Client.send_line client frame;
+        let line =
+          match Msts_serve.Client.recv_line client with
+          | Some line -> line
+          | None ->
+              Printf.eprintf "error: connection closed by server\n";
+              exit 2
+        in
+        Msts_serve.Client.close client;
+        if raw then print_endline line
+        else
+          match Msts.Api.response_of_line line with
+          | Error e ->
+              Printf.eprintf "error: unreadable response: %s\n" e.Msts.Api.message;
+              exit 2
+          | Ok { Msts.Api.result = Ok payload; _ } ->
+              print_endline (Msts.Json.to_string ~pretty:true payload)
+          | Ok { Msts.Api.result = Error e; _ } ->
+              Printf.eprintf "error [%s]: %s\n"
+                (Msts.Api.error_code_to_string e.Msts.Api.code)
+                e.Msts.Api.message;
+              exit 1)
+  in
+  let doc =
+    "Send one request frame to a running $(b,msts serve) daemon and print \
+     the response — the decoded $(b,ok) payload (pretty JSON, byte-identical \
+     to the matching subcommand's $(b,--format=json) output), or the raw \
+     frame with $(b,--raw).  Exits 1 on a structured error response."
+  in
+  Cmd.v (Cmd.info "call" ~doc) Term.(const run $ socket_arg $ frame_arg $ raw_arg)
+
 (* ---------- dot ---------- *)
 
 let dot_cmd =
@@ -1414,6 +1360,8 @@ let main_cmd =
       metrics_cmd;
       profile_cmd;
       report_cmd;
+      serve_cmd;
+      call_cmd;
       trace_cmd;
       tree_cmd;
       dot_cmd;

@@ -1,0 +1,786 @@
+(* The versioned, typed request API.  See api.mli for the contract: total
+   codecs over a JSONL wire format, one dispatcher shared by the CLI and
+   the daemon, and JSON renderings that are byte-identical between the
+   two because they are the same code. *)
+
+module Json = Msts_obs.Json
+module Obs = Msts_obs.Obs
+module Parse = Msts_platform.Parse
+module Plan = Msts_schedule.Plan
+module Schedule = Msts_schedule.Schedule
+module Spider_schedule = Msts_schedule.Spider_schedule
+module Metrics = Msts_schedule.Metrics
+module Intervals = Msts_schedule.Intervals
+module Chain = Msts_platform.Chain
+module Spider = Msts_platform.Spider
+module Batch = Msts_pool.Batch
+module Netsim = Msts_sim.Netsim
+module Report = Msts_sim.Report
+module Fault = Msts_sim.Fault
+module Trace = Msts_trace.Trace
+module Spider_algorithm = Msts_spider.Algorithm
+module Prng = Msts_util.Prng
+module Intx = Msts_util.Intx
+
+let version = 1
+
+type problem = Solve.problem
+
+(* ---------- structured errors ---------- *)
+
+type error_code =
+  | Bad_request
+  | Unsupported_version
+  | Invalid_platform
+  | Invalid_argument_error
+  | Unsolvable
+  | Overloaded
+  | Timeout
+  | Shutting_down
+  | Internal
+
+let error_code_to_string = function
+  | Bad_request -> "bad_request"
+  | Unsupported_version -> "unsupported_version"
+  | Invalid_platform -> "invalid_platform"
+  | Invalid_argument_error -> "invalid_argument"
+  | Unsolvable -> "unsolvable"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Shutting_down -> "shutting_down"
+  | Internal -> "internal"
+
+let all_error_codes =
+  [
+    Bad_request;
+    Unsupported_version;
+    Invalid_platform;
+    Invalid_argument_error;
+    Unsolvable;
+    Overloaded;
+    Timeout;
+    Shutting_down;
+    Internal;
+  ]
+
+let error_code_of_string s =
+  List.find_opt (fun c -> error_code_to_string c = s) all_error_codes
+
+type error = { code : error_code; message : string }
+
+let error code message = { code; message }
+
+let error_of_exn = function
+  | Invalid_argument msg -> { code = Invalid_argument_error; message = msg }
+  | exn -> { code = Internal; message = Printexc.to_string exn }
+
+let error_of_solve_failure msg =
+  if String.length msg >= 5 && String.sub msg 0 5 = "Msts." then
+    { code = Invalid_argument_error; message = msg }
+  else { code = Unsolvable; message = msg }
+
+(* ---------- operations ---------- *)
+
+type workload = Solve_only | Execute | Pull | Faults
+
+let workload_to_string = function
+  | Solve_only -> "solve"
+  | Execute -> "execute"
+  | Pull -> "pull"
+  | Faults -> "faults"
+
+let workload_of_string = function
+  | "solve" -> Some Solve_only
+  | "execute" -> Some Execute
+  | "pull" -> Some Pull
+  | "faults" -> Some Faults
+  | _ -> None
+
+type op =
+  | Ping
+  | Schedule of problem
+  | Deadline of problem
+  | Metrics of problem
+  | Batch of problem array
+  | Report of { problem : problem; planned : bool }
+  | Check of { problem : problem; trace : bool; seed : int; events : int }
+  | Profile of {
+      platform : Parse.platform;
+      tasks : int;
+      deadline : int option;
+      workload : workload;
+      seed : int;
+      events : int;
+    }
+  | Stats
+  | Shutdown
+
+let op_name = function
+  | Ping -> "ping"
+  | Schedule _ -> "schedule"
+  | Deadline _ -> "deadline"
+  | Metrics _ -> "metrics"
+  | Batch _ -> "batch"
+  | Report _ -> "report"
+  | Check _ -> "check"
+  | Profile _ -> "profile"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let is_control = function Ping | Stats | Shutdown -> true | _ -> false
+
+type request = { id : int option; op : op }
+
+(* ---------- request codec ---------- *)
+
+let problem_fields (p : problem) =
+  ("platform", Json.String (Parse.platform_to_string p.Solve.platform))
+  :: (match p.Solve.tasks with None -> [] | Some n -> [ ("tasks", Json.Int n) ])
+  @ match p.Solve.deadline with None -> [] | Some d -> [ ("deadline", Json.Int d) ]
+
+let encode_op_fields = function
+  | Ping | Stats | Shutdown -> []
+  | Schedule p | Deadline p | Metrics p -> problem_fields p
+  | Batch problems ->
+      [
+        ( "problems",
+          Json.List
+            (Array.to_list
+               (Array.map (fun p -> Json.Obj (problem_fields p)) problems)) );
+      ]
+  | Report { problem; planned } ->
+      problem_fields problem @ [ ("planned", Json.Bool planned) ]
+  | Check { problem; trace; seed; events } ->
+      problem_fields problem
+      @ [
+          ("trace", Json.Bool trace);
+          ("seed", Json.Int seed);
+          ("events", Json.Int events);
+        ]
+  | Profile { platform; tasks; deadline; workload; seed; events } ->
+      [
+        ("platform", Json.String (Parse.platform_to_string platform));
+        ("tasks", Json.Int tasks);
+      ]
+      @ (match deadline with None -> [] | Some d -> [ ("deadline", Json.Int d) ])
+      @ [
+          ("workload", Json.String (workload_to_string workload));
+          ("seed", Json.Int seed);
+          ("events", Json.Int events);
+        ]
+
+let encode_request { id; op } =
+  Json.Obj
+    (("v", Json.Int version)
+    :: (match id with None -> [] | Some i -> [ ("id", Json.Int i) ])
+    @ (("op", Json.String (op_name op)) :: encode_op_fields op))
+
+(* Total decoding: every failure is a value, never an exception. *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+let bad fmt = Printf.ksprintf (fun m -> Error (error Bad_request m)) fmt
+
+let field kvs key = List.assoc_opt key kvs
+
+let int_field kvs key =
+  match field kvs key with
+  | None -> bad "missing integer field %S" key
+  | Some (Json.Int i) -> Ok i
+  | Some _ -> bad "field %S must be an integer" key
+
+let opt_int_field kvs key =
+  match field kvs key with
+  | None -> Ok None
+  | Some (Json.Int i) -> Ok (Some i)
+  | Some _ -> bad "field %S must be an integer" key
+
+let opt_bool_field kvs key ~default =
+  match field kvs key with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> bad "field %S must be a boolean" key
+
+let string_field kvs key =
+  match field kvs key with
+  | None -> bad "missing string field %S" key
+  | Some (Json.String s) -> Ok s
+  | Some _ -> bad "field %S must be a string" key
+
+let platform_field kvs =
+  let* text = string_field kvs "platform" in
+  match Parse.of_string text with
+  | Ok platform -> Ok platform
+  | Error msg -> Error (error Invalid_platform ("platform: " ^ msg))
+
+let problem_of_fields kvs =
+  let* platform = platform_field kvs in
+  let* tasks = opt_int_field kvs "tasks" in
+  let* deadline = opt_int_field kvs "deadline" in
+  Ok { Solve.platform; tasks; deadline }
+
+let decode_op kvs name =
+  match name with
+  | "ping" -> Ok Ping
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | "schedule" ->
+      let* p = problem_of_fields kvs in
+      Ok (Schedule p)
+  | "deadline" ->
+      let* p = problem_of_fields kvs in
+      Ok (Deadline p)
+  | "metrics" ->
+      let* p = problem_of_fields kvs in
+      Ok (Metrics p)
+  | "batch" -> (
+      match field kvs "problems" with
+      | Some (Json.List items) ->
+          let rec decode acc = function
+            | [] -> Ok (Batch (Array.of_list (List.rev acc)))
+            | Json.Obj item :: rest ->
+                let* p = problem_of_fields item in
+                decode (p :: acc) rest
+            | _ -> bad "every element of \"problems\" must be an object"
+          in
+          decode [] items
+      | Some _ -> bad "field \"problems\" must be a list"
+      | None -> bad "missing list field \"problems\"")
+  | "report" ->
+      let* problem = problem_of_fields kvs in
+      let* planned = opt_bool_field kvs "planned" ~default:false in
+      Ok (Report { problem; planned })
+  | "check" ->
+      let* problem = problem_of_fields kvs in
+      let* trace = opt_bool_field kvs "trace" ~default:false in
+      let* seed = opt_int_field kvs "seed" in
+      let* events = opt_int_field kvs "events" in
+      Ok
+        (Check
+           {
+             problem;
+             trace;
+             seed = Option.value seed ~default:0;
+             events = Option.value events ~default:3;
+           })
+  | "profile" ->
+      let* platform = platform_field kvs in
+      let* tasks = int_field kvs "tasks" in
+      let* deadline = opt_int_field kvs "deadline" in
+      let* workload_name =
+        match field kvs "workload" with
+        | None -> Ok "execute"
+        | Some (Json.String s) -> Ok s
+        | Some _ -> bad "field \"workload\" must be a string"
+      in
+      let* workload =
+        match workload_of_string workload_name with
+        | Some w -> Ok w
+        | None -> bad "unknown workload %S" workload_name
+      in
+      let* seed = opt_int_field kvs "seed" in
+      let* events = opt_int_field kvs "events" in
+      Ok
+        (Profile
+           {
+             platform;
+             tasks;
+             deadline;
+             workload;
+             seed = Option.value seed ~default:0;
+             events = Option.value events ~default:4;
+           })
+  | other -> bad "unknown op %S" other
+
+let decode_envelope json =
+  match json with
+  | Json.Obj kvs -> (
+      let* () =
+        match field kvs "v" with
+        | None -> Ok () (* absent = current version *)
+        | Some (Json.Int v) when v = version -> Ok ()
+        | Some (Json.Int v) ->
+            Error
+              (error Unsupported_version
+                 (Printf.sprintf "protocol version %d not supported (this is version %d)"
+                    v version))
+        | Some _ -> bad "field \"v\" must be an integer"
+      in
+      let* id = opt_int_field kvs "id" in
+      Ok (kvs, id))
+  | _ -> bad "frame must be a JSON object"
+
+let decode_request json =
+  let* kvs, id = decode_envelope json in
+  let* name = string_field kvs "op" in
+  let* op = decode_op kvs name in
+  Ok { id; op }
+
+let request_to_line r = Json.to_string (encode_request r) ^ "\n"
+
+let parse_line line =
+  match Json.parse line with
+  | Ok json -> Ok json
+  | Error msg -> bad "malformed frame: %s" msg
+
+let request_of_line line =
+  let* json = parse_line line in
+  decode_request json
+
+let frame_id line =
+  match Json.parse line with
+  | Ok (Json.Obj kvs) -> (
+      match field kvs "id" with Some (Json.Int i) -> Some i | _ -> None)
+  | _ -> None
+
+(* ---------- response codec ---------- *)
+
+type response = { id : int option; result : (Json.t, error) result }
+
+let encode_response { id; result } =
+  Json.Obj
+    (("v", Json.Int version)
+    :: (match id with None -> [] | Some i -> [ ("id", Json.Int i) ])
+    @ [
+        (match result with
+        | Ok payload -> ("ok", payload)
+        | Error { code; message } ->
+            ( "error",
+              Json.Obj
+                [
+                  ("code", Json.String (error_code_to_string code));
+                  ("message", Json.String message);
+                ] ));
+      ])
+
+let decode_response json =
+  let* kvs, id = decode_envelope json in
+  match (field kvs "ok", field kvs "error") with
+  | Some payload, None -> Ok { id; result = Ok payload }
+  | None, Some (Json.Obj ekvs) ->
+      let* code_name = string_field ekvs "code" in
+      let* message = string_field ekvs "message" in
+      let* code =
+        match error_code_of_string code_name with
+        | Some c -> Ok c
+        | None -> bad "unknown error code %S" code_name
+      in
+      Ok { id; result = Error { code; message } }
+  | None, Some _ -> bad "field \"error\" must be an object"
+  | Some _, Some _ -> bad "frame carries both \"ok\" and \"error\""
+  | None, None -> bad "frame carries neither \"ok\" nor \"error\""
+
+let response_to_line r = Json.to_string (encode_response r) ^ "\n"
+
+let response_of_line line =
+  let* json = parse_line line in
+  decode_response json
+
+(* ---------- JSON renderings (the former per-subcommand CLI assembly,
+   now the one shared definition) ---------- *)
+
+let json_of_plan ?(extra = []) plan =
+  let open Json in
+  let comms_json comms = List (Array.to_list (Array.map (fun c -> Int c) comms)) in
+  let entries =
+    match plan with
+    | Plan.Chain sched ->
+        Array.to_list (Schedule.entries sched)
+        |> List.mapi (fun idx (e : Schedule.entry) ->
+               Obj
+                 [
+                   ("task", Int (idx + 1));
+                   ("proc", Int e.proc);
+                   ("start", Int e.start);
+                   ("comms", comms_json e.comms);
+                 ])
+    | Plan.Spider sched ->
+        Array.to_list (Spider_schedule.entries sched)
+        |> List.mapi (fun idx (e : Spider_schedule.entry) ->
+               Obj
+                 [
+                   ("task", Int (idx + 1));
+                   ("leg", Int e.address.Spider.leg);
+                   ("depth", Int e.address.Spider.depth);
+                   ("start", Int e.start);
+                   ("comms", comms_json e.comms);
+                 ])
+  in
+  Obj
+    (extra
+    @ [
+        ( "kind",
+          String
+            (match plan with Plan.Chain _ -> "chain" | Plan.Spider _ -> "spider")
+        );
+        ("tasks", Int (Plan.task_count plan));
+        ("makespan", Int (Plan.makespan plan));
+        ("entries", List entries);
+      ])
+
+let pct x = Json.Float (Float.round (1000.0 *. x) /. 10.0)
+
+let chain_metrics_json sched =
+  let open Json in
+  let chain = Schedule.chain sched in
+  let procs =
+    List.map
+      (fun k ->
+        Obj
+          [
+            ("proc", Int k);
+            ("tasks", Int (List.length (Schedule.tasks_on sched k)));
+            ("link_busy_pct", pct (Metrics.link_utilisation sched k));
+            ("cpu_busy_pct", pct (Metrics.proc_utilisation sched k));
+            ("max_buffered", Int (Metrics.buffer_high_water sched k));
+          ])
+      (Intx.range 1 (Chain.length chain))
+  in
+  Obj
+    [
+      ("kind", String "chain");
+      ("tasks", Int (Schedule.task_count sched));
+      ("makespan", Int (Schedule.makespan sched));
+      ("total_waiting", Int (Metrics.total_waiting sched));
+      ("max_waiting", Int (Metrics.max_waiting sched));
+      ("processors", List procs);
+    ]
+
+let spider_metrics_json sched =
+  let open Json in
+  let spider = Spider_schedule.spider sched in
+  let makespan = Spider_schedule.makespan sched in
+  let legs =
+    List.map
+      (fun l ->
+        let leg = Spider_schedule.leg_schedule sched l in
+        let nodes =
+          List.map
+            (fun k ->
+              Obj
+                [
+                  ("depth", Int k);
+                  ("tasks", Int (List.length (Schedule.tasks_on leg k)));
+                  ( "link_busy_pct",
+                    pct
+                      (Intervals.utilisation (Schedule.link_intervals leg k)
+                         ~horizon:makespan) );
+                  ( "cpu_busy_pct",
+                    pct
+                      (Intervals.utilisation (Schedule.proc_intervals leg k)
+                         ~horizon:makespan) );
+                  ("max_buffered", Int (Metrics.buffer_high_water leg k));
+                ])
+            (Intx.range 1 (Chain.length (Spider.leg_chain spider l)))
+        in
+        Obj
+          [
+            ("leg", Int l);
+            ("tasks", Int (Schedule.task_count leg));
+            ("nodes", List nodes);
+          ])
+      (Intx.range 1 (Spider.legs spider))
+  in
+  Obj
+    [
+      ("kind", String "spider");
+      ("tasks", Int (Spider_schedule.task_count sched));
+      ("makespan", Int makespan);
+      ("master_port_busy_pct", pct (Metrics.spider_master_utilisation sched));
+      ("legs", List legs);
+    ]
+
+(* ---------- typed replies ---------- *)
+
+type section = {
+  label : string;
+  trace : Trace.t;
+  violations : Trace.violation list;
+}
+
+type reply =
+  | Pong
+  | Solved of { plan : Plan.t; deadline : int option }
+  | Measured of Plan.t
+  | Batched of {
+      problems : problem array;
+      outcomes : Batch.outcome array;
+      stats : Batch.stats;
+      cache_capacity : int;
+    }
+  | Reported of { source : string; report : Report.t }
+  | Checked of {
+      plan : Plan.t;
+      oracle : string list;
+      sections : section list;
+      ok : bool;
+    }
+  | Profiled of { summary : (string * Json.t) list; mem : Obs.Memory.t }
+  | Stats_info of Json.t
+  | Bye
+
+let platform_kind = function
+  | Parse.Chain_platform _ -> "chain"
+  | Parse.Fork_platform _ -> "fork"
+  | Parse.Spider_platform _ -> "spider"
+  | Parse.Tree_platform _ -> "tree"
+
+let json_of_reply = function
+  | Pong -> Json.Obj [ ("version", Json.Int version) ]
+  | Solved { plan; deadline } ->
+      let extra =
+        match deadline with
+        | None -> []
+        | Some d -> [ ("deadline", Json.Int d) ]
+      in
+      json_of_plan ~extra plan
+  | Measured plan -> (
+      match plan with
+      | Plan.Chain sched -> chain_metrics_json sched
+      | Plan.Spider sched -> spider_metrics_json sched)
+  | Batched { problems; outcomes; stats; cache_capacity } ->
+      let result i outcome =
+        let open Json in
+        let kind = platform_kind problems.(i).Solve.platform in
+        match outcome with
+        | Ok plan ->
+            Obj
+              [
+                ("instance", Int (i + 1));
+                ("kind", String kind);
+                ("tasks", Int (Plan.task_count plan));
+                ("makespan", Int (Plan.makespan plan));
+              ]
+        | Error msg ->
+            Obj
+              [ ("instance", Int (i + 1)); ("kind", String kind); ("error", String msg) ]
+      in
+      Json.Obj
+        [
+          ("instances", Json.Int stats.Batch.requests);
+          ( "cache",
+            Json.Obj
+              [
+                ("capacity", Json.Int cache_capacity);
+                ("hits", Json.Int stats.Batch.cache_hits);
+                ("misses", Json.Int stats.Batch.cache_misses);
+              ] );
+          ("results", Json.List (Array.to_list (Array.mapi result outcomes)));
+        ]
+  | Reported { source; report } ->
+      let fields =
+        match Report.to_json report with
+        | Json.Obj fields -> fields
+        | other -> [ ("report", other) ]
+      in
+      Json.Obj (("source", Json.String source) :: fields)
+  | Checked { plan; oracle; sections; ok } ->
+      let section_json { label; trace; violations } =
+        Json.Obj
+          ([
+             ("name", Json.String label);
+             ("events", Json.Int (Trace.length trace));
+             ("violations", Json.Int (List.length violations));
+           ]
+          @
+          if violations = [] then []
+          else [ ("report", Json.String (Trace.report trace violations)) ])
+      in
+      Json.Obj
+        [
+          ("tasks", Json.Int (Plan.task_count plan));
+          ("makespan", Json.Int (Plan.makespan plan));
+          ("ok", Json.Bool ok);
+          ( "oracle_violations",
+            Json.List (List.map (fun s -> Json.String s) oracle) );
+          ("sections", Json.List (List.map section_json sections));
+        ]
+  | Profiled { summary; mem } ->
+      let fields =
+        match Obs.Memory.to_json mem with
+        | Json.Obj fields -> fields
+        | other -> [ ("profile", other) ]
+      in
+      Json.Obj (summary @ fields)
+  | Stats_info json -> json
+  | Bye -> Json.Obj [ ("shutting_down", Json.Bool true) ]
+
+(* ---------- execution ---------- *)
+
+type solver = problem array -> Batch.outcome array * Batch.stats
+
+let guarded_solve problem =
+  try Solve.solve problem with
+  | Invalid_argument msg -> Error msg
+  | exn -> Error (Printexc.to_string exn)
+
+let direct_solver problems =
+  let outcomes = Array.map guarded_solve problems in
+  let n = Array.length problems in
+  ( outcomes,
+    {
+      Batch.jobs = 1;
+      requests = n;
+      cache_hits = 0;
+      cache_misses = n;
+      queue_wait_us = 0;
+      busy_us = 0;
+    } )
+
+let solve_one ~solver problem =
+  match solver [| problem |] with
+  | [| outcome |], _ -> (
+      match outcome with
+      | Ok plan -> Ok plan
+      | Error msg -> Error (error_of_solve_failure msg))
+  | _ -> Error (error Internal "solver returned a mis-sized outcome array")
+
+let as_spider_or_err platform =
+  match Solve.as_spider platform with
+  | Ok spider -> Ok spider
+  | Error msg -> Error (error_of_solve_failure msg)
+
+let exec_check ~solver { Solve.platform; tasks; deadline } ~trace:do_trace ~seed
+    ~events =
+  let* plan = solve_one ~solver { Solve.platform; tasks; deadline } in
+  let oracle = Plan.check ~require_nonnegative:true plan in
+  let audit label trace =
+    { label; trace; violations = Trace.check ~require_nonnegative:true trace }
+  in
+  let record f =
+    let r = Trace.Recorder.create () in
+    ignore (Trace.with_recorder r f);
+    Trace.recorded r
+  in
+  let* sections =
+    if not do_trace then Ok [ audit "planned trace" (Trace.of_plan plan) ]
+    else if events < 0 then
+      Error (error Invalid_argument_error "--events must be >= 0")
+    else
+      let* spider = as_spider_or_err platform in
+        let n = Plan.task_count plan in
+        let execution =
+          audit "recorded execution" (record (fun () -> Netsim.execute plan))
+        in
+        let splan = Spider_algorithm.schedule_tasks spider n in
+        let horizon = Spider_schedule.makespan splan in
+        let ftrace = Fault.random (Prng.create seed) spider ~events ~horizon in
+        let faulted =
+          audit
+            (Printf.sprintf "recorded fault replay (seed %d, %d events)" seed
+               events)
+            (record (fun () ->
+                 Netsim.replay_under_faults ~max_events:1_000_000 ~trace:ftrace
+                   splan))
+        in
+        Ok [ audit "planned trace" (Trace.of_plan plan); execution; faulted ]
+    in
+    let ok = oracle = [] && List.for_all (fun s -> s.violations = []) sections in
+    Ok (Checked { plan; oracle; sections; ok })
+
+let exec_profile ~platform ~tasks:n ~deadline ~workload ~seed ~events =
+  let mem = Obs.Memory.create () in
+  let problem =
+    match deadline with
+    | Some d -> Solve.problem ~deadline:d platform
+    | None -> Solve.problem ~tasks:n platform
+  in
+  (* The workload runs under its own Memory sink — inside the daemon this
+     temporarily shadows the serve telemetry sink, exactly as documented. *)
+  let result =
+    Obs.with_sink (Obs.Memory.sink mem) @@ fun () ->
+    match workload with
+    | Solve_only -> (
+        match guarded_solve problem with
+        | Error msg -> Error (error_of_solve_failure msg)
+        | Ok plan ->
+            Ok
+              [
+                ("workload", Json.String "solve");
+                ("makespan", Json.Int (Plan.makespan plan));
+                ("tasks", Json.Int (Plan.task_count plan));
+              ])
+    | Execute -> (
+        match guarded_solve problem with
+        | Error msg -> Error (error_of_solve_failure msg)
+        | Ok plan ->
+            let report = Netsim.execute plan in
+            Ok
+              [
+                ("workload", Json.String "execute");
+                ("planned_makespan", Json.Int report.Netsim.planned_makespan);
+                ("realized_makespan", Json.Int report.Netsim.realized_makespan);
+                ("tasks", Json.Int (Plan.task_count plan));
+              ])
+    | Pull -> (
+        match as_spider_or_err platform with
+        | Error e -> Error e
+        | Ok spider ->
+            let sched = Netsim.pull_policy spider ~tasks:n in
+            Ok
+              [
+                ("workload", Json.String "pull");
+                ("makespan", Json.Int (Spider_schedule.makespan sched));
+                ("tasks", Json.Int n);
+              ])
+    | Faults -> (
+        match as_spider_or_err platform with
+        | Error e -> Error e
+        | Ok spider ->
+            let plan = Spider_algorithm.schedule_tasks spider n in
+            let trace =
+              Fault.random (Prng.create seed) spider ~events
+                ~horizon:(Spider_schedule.makespan plan)
+            in
+            let outcome = Msts_sim.Replan.replay ~trace plan in
+            Ok
+              [
+                ("workload", Json.String "faults");
+                ( "observed_makespan",
+                  Json.Int
+                    outcome.Msts_sim.Replan.report.Netsim.observed_makespan );
+                ("replans_adopted", Json.Int outcome.Msts_sim.Replan.replans);
+                ("tasks", Json.Int n);
+              ])
+  in
+  let* summary = result in
+  Ok (Profiled { summary; mem })
+
+let exec ?(cache_capacity = 0) ~solver op =
+  try
+    match op with
+    | Ping -> Ok Pong
+    | Stats -> Ok (Stats_info (Json.Obj [ ("version", Json.Int version) ]))
+    | Shutdown -> Ok Bye
+    | Schedule problem ->
+        let* plan = solve_one ~solver problem in
+        Ok (Solved { plan; deadline = None })
+    | Deadline problem ->
+        let* plan = solve_one ~solver problem in
+        Ok (Solved { plan; deadline = problem.Solve.deadline })
+    | Metrics problem ->
+        let* plan = solve_one ~solver problem in
+        Ok (Measured plan)
+    | Batch problems ->
+        let outcomes, stats = solver problems in
+        Ok (Batched { problems; outcomes; stats; cache_capacity })
+    | Report { problem; planned } ->
+        let* plan = solve_one ~solver problem in
+        let source, report =
+          if planned then ("planned schedule", Report.of_plan plan)
+          else ("realized execution", Report.of_execution (Netsim.execute plan))
+        in
+        Ok (Reported { source; report })
+    | Check { problem; trace; seed; events } ->
+        exec_check ~solver problem ~trace ~seed ~events
+    | Profile { platform; tasks; deadline; workload; seed; events } ->
+        exec_profile ~platform ~tasks ~deadline ~workload ~seed ~events
+  with exn -> Error (error_of_exn exn)
+
+let respond ?cache_capacity ~solver { id; op } =
+  let result =
+    match exec ?cache_capacity ~solver op with
+    | Ok reply -> Ok (json_of_reply reply)
+    | Error e -> Error e
+  in
+  { id; result }

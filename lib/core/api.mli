@@ -1,0 +1,187 @@
+(** The versioned, typed request API — the single entry surface shared by
+    the CLI subcommands, the [msts serve] daemon and programmatic callers.
+
+    One wire format, one dispatcher: a {!request} is a typed operation
+    (solve, metrics, report, check, batch, profile, plus the control
+    operations ping/stats/shutdown) tagged with the protocol {!version}
+    and an optional correlation id.  {!exec} runs an operation and returns
+    a typed {!reply}; {!json_of_reply} renders the reply as the {e exact}
+    JSON document the CLI's [--format=json] emits — so an answer computed
+    through a live [msts serve] socket is byte-identical to the same
+    request answered by the CLI, because both are the same code path.
+
+    Codecs are {e total}: {!decode_request} and {!decode_response} map any
+    JSON value (and {!request_of_line} any byte string) to either a value
+    or a structured {!error} — a malformed or truncated frame becomes
+    [`bad_request`], an unknown protocol version [`unsupported_version`];
+    nothing raises.  Encoding then decoding is the identity (QCheck-tested
+    in [test/test_api.ml]).
+
+    Error classification follows the repo-wide prefix convention: an
+    [Invalid_argument] whose message starts with ["Msts."] (the
+    [Msts.Netsim.*]-style precondition errors) maps to the
+    [`invalid_argument`] code with the message preserved verbatim; solver
+    refusals map to [`unsolvable`].  See docs/API.md for the wire
+    protocol, the versioning policy and the full error-code table. *)
+
+val version : int
+(** Current wire-protocol version (1).  Requests may omit ["v"] (it
+    defaults to the current version); a present-but-different version is
+    rejected with [`unsupported_version`]. *)
+
+type problem = Solve.problem
+(** The solve triple: platform, optional task count, optional deadline. *)
+
+(** {2 Structured errors} *)
+
+type error_code =
+  | Bad_request  (** malformed/truncated frame, missing or ill-typed field *)
+  | Unsupported_version  (** ["v"] present and not {!version} *)
+  | Invalid_platform  (** the platform field did not parse *)
+  | Invalid_argument_error
+      (** an [Msts.*]-prefixed precondition violation (the PR-6 error
+          convention), message preserved verbatim *)
+  | Unsolvable  (** well-formed request the solver refuses (e.g. no objective) *)
+  | Overloaded  (** admission control: the daemon's request queue is full *)
+  | Timeout  (** the request exceeded its queue-wait deadline *)
+  | Shutting_down  (** received while the daemon drains *)
+  | Internal  (** uncaught exception; the daemon stays up *)
+
+val error_code_to_string : error_code -> string
+(** Stable wire name ([bad_request], [unsupported_version], ...). *)
+
+val error_code_of_string : string -> error_code option
+
+type error = { code : error_code; message : string }
+
+val error : error_code -> string -> error
+val error_of_exn : exn -> error
+(** Classify an exception per the prefix convention above. *)
+
+val error_of_solve_failure : string -> error
+(** Classify a [Solve.solve] / [Solve.as_spider] [Error] message:
+    [`invalid_argument`] when ["Msts."]-prefixed, [`unsolvable`]
+    otherwise. *)
+
+(** {2 Operations} *)
+
+type workload = Solve_only | Execute | Pull | Faults
+
+val workload_to_string : workload -> string
+val workload_of_string : string -> workload option
+
+type op =
+  | Ping
+  | Schedule of problem  (** makespan-optimal schedule ([tasks] objective) *)
+  | Deadline of problem  (** maximise tasks within [deadline] *)
+  | Metrics of problem
+  | Batch of problem array
+  | Report of { problem : problem; planned : bool }
+  | Check of { problem : problem; trace : bool; seed : int; events : int }
+  | Profile of {
+      platform : Msts_platform.Parse.platform;
+      tasks : int;
+      deadline : int option;
+      workload : workload;
+      seed : int;
+      events : int;
+    }
+  | Stats  (** daemon statistics (answered engine-side by [msts serve]) *)
+  | Shutdown  (** ask the daemon to drain and exit *)
+
+val op_name : op -> string
+(** The wire name ([ping], [schedule], ..., [shutdown]). *)
+
+val is_control : op -> bool
+(** Control operations ([Ping]/[Stats]/[Shutdown]) bypass the daemon's
+    request queue and are answered immediately. *)
+
+type request = { id : int option; op : op }
+(** [id], when present, is echoed verbatim in the response — pipelined
+    clients correlate replies with it. *)
+
+(** {2 Wire codecs (JSONL framing: one JSON document per line)} *)
+
+val encode_request : request -> Msts_obs.Json.t
+val decode_request : Msts_obs.Json.t -> (request, error) result
+val request_to_line : request -> string
+(** Compact JSON, newline-terminated. *)
+
+val request_of_line : string -> (request, error) result
+
+val frame_id : string -> int option
+(** Best-effort extraction of the correlation id from a frame that may
+    not decode as a full request — so error responses can still echo
+    it. *)
+
+type response = { id : int option; result : (Msts_obs.Json.t, error) result }
+
+val encode_response : response -> Msts_obs.Json.t
+val decode_response : Msts_obs.Json.t -> (response, error) result
+val response_to_line : response -> string
+val response_of_line : string -> (response, error) result
+
+(** {2 Execution} *)
+
+type section = {
+  label : string;
+  trace : Msts_trace.Trace.t;
+  violations : Msts_trace.Trace.violation list;
+}
+(** One audited trace of a [Check] reply. *)
+
+type reply =
+  | Pong
+  | Solved of { plan : Msts_schedule.Plan.t; deadline : int option }
+      (** [deadline] is [Some] for the [Deadline] operation (the JSON
+          rendering carries it as an extra field, as [msts deadline
+          --format=json] always has) *)
+  | Measured of Msts_schedule.Plan.t
+  | Batched of {
+      problems : problem array;
+      outcomes : Msts_pool.Batch.outcome array;
+      stats : Msts_pool.Batch.stats;
+      cache_capacity : int;
+    }
+  | Reported of { source : string; report : Msts_sim.Report.t }
+  | Checked of {
+      plan : Msts_schedule.Plan.t;
+      oracle : string list;
+      sections : section list;
+      ok : bool;
+    }
+  | Profiled of {
+      summary : (string * Msts_obs.Json.t) list;
+      mem : Msts_obs.Obs.Memory.t;
+          (** the sink that observed the workload — text renderers read its
+              tables, {!json_of_reply} flattens its profile fields *)
+    }
+  | Stats_info of Msts_obs.Json.t
+  | Bye
+
+val json_of_reply : reply -> Msts_obs.Json.t
+(** The canonical JSON document for a reply — exactly what the CLI's
+    [--format=json] prints and what the daemon puts in the [ok] field. *)
+
+type solver = problem array -> Msts_pool.Batch.outcome array * Msts_pool.Batch.stats
+(** How {!exec} solves: the CLI plugs {!direct_solver} (plain sequential
+    [Solve.solve], no pool, no cache — identical behaviour to the
+    pre-API CLI), the daemon plugs a [Msts_pool.Batch.run] closure over
+    its persistent pool and shared LRU cache. *)
+
+val direct_solver : solver
+
+val guarded_solve : problem -> Msts_pool.Batch.outcome
+(** [Solve.solve] that turns exceptions into [Error] messages (preserving
+    [Invalid_argument] text) — what long-lived daemons feed to
+    [Batch.run] so one poisoned request cannot kill a worker. *)
+
+val exec : ?cache_capacity:int -> solver:solver -> op -> (reply, error) result
+(** Run one operation.  Never raises: exceptions become
+    {!error_of_exn}-classified errors.  [cache_capacity] is reported in
+    [Batched] replies (the CLI passes its [--cache-size], the daemon its
+    configured capacity; defaults to 0). *)
+
+val respond : ?cache_capacity:int -> solver:solver -> request -> response
+(** {!exec} + {!json_of_reply}, with the request's [id] echoed — the
+    daemon's per-frame step. *)

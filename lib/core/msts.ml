@@ -29,6 +29,11 @@
 (* The unified facade: one problem record in, one polymorphic plan out. *)
 module Solve = Solve
 
+(* The versioned, typed request API: one wire format and one dispatcher
+   shared by the CLI subcommands, the [msts serve] daemon and programmatic
+   callers (docs/API.md). *)
+module Api = Api
+
 (* Multicore batch solving: a fixed-size domain pool with a sharded work
    queue, and the batch driver with its shared LRU solve cache. *)
 module Pool = Msts_pool.Pool

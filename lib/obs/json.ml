@@ -185,12 +185,19 @@ let parse text =
         consume_digits ()
     | _ -> ());
     let s = String.sub text start (!pos - start) in
+    let float_or_fail s =
+      (* [float_of_string] would raise on bare punctuation like "." or
+         "-e5" that survives the scanner — keep the parser total. *)
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail "expected number"
+    in
     if s = "" || s = "-" then fail "expected number"
-    else if !is_float then Float (float_of_string s)
+    else if !is_float then float_or_fail s
     else
       match int_of_string_opt s with
       | Some i -> Int i
-      | None -> Float (float_of_string s)
+      | None -> float_or_fail s
   in
   let rec parse_value () =
     skip_ws ();

@@ -1,0 +1,181 @@
+module Api = Msts.Api
+module Obs = Msts.Obs
+module Json = Msts.Json
+
+type config = {
+  jobs : int;
+  cache_capacity : int;
+  queue_cap : int;
+  timeout_us : int;
+  max_batch : int;
+}
+
+let default_config =
+  { jobs = 1; cache_capacity = 256; queue_cap = 1024; timeout_us = 0; max_batch = 32 }
+
+type item = {
+  request : Api.request;
+  reply : Api.response -> unit;
+  enqueued_us : int;
+}
+
+type t = {
+  cfg : config;
+  pool : Msts.Pool.t;
+  cache : Msts.Batch.cache;
+  queue : item Queue.t;
+  mutable stopping : bool;
+  mutable served : int;
+  mutable rejected : int;
+  mutable timeouts : int;
+}
+
+let create cfg =
+  if cfg.jobs < 1 then
+    invalid_arg "Msts_serve.Engine.create: jobs must be >= 1";
+  if cfg.cache_capacity < 1 then
+    invalid_arg "Msts_serve.Engine.create: cache_capacity must be >= 1";
+  if cfg.queue_cap < 1 then
+    invalid_arg "Msts_serve.Engine.create: queue_cap must be >= 1";
+  if cfg.max_batch < 1 then
+    invalid_arg "Msts_serve.Engine.create: max_batch must be >= 1";
+  {
+    cfg;
+    pool = Msts.Pool.create ~jobs:cfg.jobs ();
+    cache = Msts.Batch.cache ~capacity:cfg.cache_capacity;
+    queue = Queue.create ();
+    stopping = false;
+    served = 0;
+    rejected = 0;
+    timeouts = 0;
+  }
+
+let config t = t.cfg
+let pending t = Queue.length t.queue
+let stopping t = t.stopping
+let served t = t.served
+let rejected t = t.rejected
+let stop t = t.stopping <- true
+
+let stats_json t =
+  Json.Obj
+    [
+      ("version", Json.Int Api.version);
+      ("jobs", Json.Int (Msts.Pool.jobs t.pool));
+      ( "cache",
+        Json.Obj
+          [
+            ("capacity", Json.Int (Msts.Batch.cache_capacity t.cache));
+            ("length", Json.Int (Msts.Batch.cache_length t.cache));
+          ] );
+      ("queue", Json.Int (Queue.length t.queue));
+      ("served", Json.Int t.served);
+      ("rejected", Json.Int t.rejected);
+      ("stopping", Json.Bool t.stopping);
+    ]
+
+let solver t problems =
+  Msts.Batch.run ~pool:t.pool ~cache:t.cache ~solve:Api.guarded_solve problems
+
+(* Every response funnels through here: the one place that counts. *)
+let deliver t item response =
+  t.served <- t.served + 1;
+  Obs.count "serve.responses";
+  (match response.Api.result with
+  | Ok _ -> ()
+  | Error _ -> Obs.count "serve.errors");
+  item.reply response
+
+let answer t item result = deliver t item { Api.id = item.request.Api.id; result }
+
+let refuse t item code message =
+  t.rejected <- t.rejected + 1;
+  Obs.count "serve.rejected";
+  answer t item (Error (Api.error code message))
+
+let submit t ~reply request =
+  Obs.count "serve.requests";
+  let item = { request; reply; enqueued_us = Obs.now_us () } in
+  if Api.is_control request.Api.op then begin
+    (match request.Api.op with Api.Shutdown -> t.stopping <- true | _ -> ());
+    let result =
+      match Api.exec ~solver:(solver t) request.Api.op with
+      | Ok Api.Stats_info _ -> Ok (stats_json t)
+      | Ok reply -> Ok (Api.json_of_reply reply)
+      | Error e -> Error e
+    in
+    deliver t item { Api.id = request.Api.id; result }
+  end
+  else if t.stopping then
+    refuse t item Api.Shutting_down "server is draining; request not admitted"
+  else if Queue.length t.queue >= t.cfg.queue_cap then
+    refuse t item Api.Overloaded
+      (Printf.sprintf "request queue full (%d queued)" t.cfg.queue_cap)
+  else begin
+    Obs.count "serve.accepted";
+    Queue.add item t.queue
+  end
+
+let handle_line t ~reply line =
+  match Api.request_of_line line with
+  | Ok request ->
+      submit t ~reply:(fun r -> reply (Api.response_to_line r)) request
+  | Error e ->
+      Obs.count "serve.requests";
+      t.rejected <- t.rejected + 1;
+      Obs.count "serve.rejected";
+      Obs.count "serve.responses";
+      Obs.count "serve.errors";
+      t.served <- t.served + 1;
+      reply
+        (Api.response_to_line { Api.id = Api.frame_id line; result = Error e })
+
+let dispatch t =
+  let batch = min t.cfg.max_batch (Queue.length t.queue) in
+  if batch = 0 then 0
+  else begin
+    Obs.record "serve.batch_size" batch;
+    let now = Obs.now_us () in
+    let items = Array.init batch (fun _ -> Queue.take t.queue) in
+    Array.iter
+      (fun item -> Obs.record "serve.queue_wait_us" (now - item.enqueued_us))
+      items;
+    let live, expired =
+      if t.cfg.timeout_us <= 0 then (Array.to_list items, [])
+      else
+        List.partition
+          (fun item -> now - item.enqueued_us <= t.cfg.timeout_us)
+          (Array.to_list items)
+    in
+    List.iter
+      (fun item ->
+        t.timeouts <- t.timeouts + 1;
+        t.rejected <- t.rejected + 1;
+        Obs.count "serve.timeouts";
+        answer t item
+          (Error
+             (Api.error Api.Timeout
+                (Printf.sprintf "queued %d us, deadline %d us"
+                   (now - item.enqueued_us) t.cfg.timeout_us))))
+      expired;
+    List.iter
+      (fun item ->
+        answer t item
+          (match
+             Api.exec ~cache_capacity:t.cfg.cache_capacity ~solver:(solver t)
+               item.request.Api.op
+           with
+          | Ok reply -> Ok (Api.json_of_reply reply)
+          | Error e -> Error e))
+      live;
+    batch
+  end
+
+let drain t =
+  let total = ref 0 in
+  while Queue.length t.queue > 0 do
+    total := !total + dispatch t
+  done;
+  !total
+
+let shutdown t = Msts.Pool.shutdown t.pool

@@ -1,0 +1,97 @@
+(** The daemon's request engine, with no sockets in sight.
+
+    The engine owns the serving policy: a bounded FIFO request queue with
+    admission control, per-request queue-wait deadlines, a persistent
+    {!Msts.Pool} with the shared {!Msts.Batch} LRU solve cache, and the
+    [serve.*] telemetry.  The socket layer ({!Server}) only moves bytes;
+    everything observable about serving — which requests are admitted,
+    rejected, timed out, answered, and in what order — is decided here, so
+    the whole policy is testable in-process (see [test/test_obs.ml]'s
+    drift guard and [test/test_api.ml]).
+
+    Flow: {!handle_line} (or {!submit}) either answers immediately
+    (control operations, parse errors, admission rejections) or enqueues;
+    {!dispatch} drains one micro-batch through {!Msts.Api.exec} backed by
+    a [Batch.run] solver over the engine's pool and cache.  Responses are
+    delivered through the per-request [reply] callback, always on the
+    calling domain.
+
+    Telemetry (all emitted on the engine's domain, catalogued in
+    docs/OBSERVABILITY.md): counters [serve.requests], [serve.accepted],
+    [serve.rejected], [serve.timeouts], [serve.responses], [serve.errors];
+    histograms [serve.queue_wait_us] (admission-to-dispatch latency) and
+    [serve.batch_size] (requests per dispatch round).  Dispatch also emits
+    the usual [pool.*] counters via {!Msts.Batch.run}. *)
+
+type config = {
+  jobs : int;  (** pool worker domains (clamped by {!Msts.Pool.create}) *)
+  cache_capacity : int;  (** shared LRU solve-cache capacity, >= 1 *)
+  queue_cap : int;
+      (** admission control: solve requests queued beyond this are
+          rejected with [`overloaded] *)
+  timeout_us : int;
+      (** per-request queue-wait deadline in microseconds; a request
+          still queued past it is answered [`timeout] instead of solved
+          (a pure OCaml solve cannot be preempted, so the deadline is
+          checked at dispatch).  0 disables timeouts. *)
+  max_batch : int;  (** most requests dispatched per {!dispatch} round *)
+}
+
+val default_config : config
+(** [jobs = 1], [cache_capacity = 256], [queue_cap = 1024],
+    [timeout_us = 0], [max_batch = 32]. *)
+
+type t
+
+val create : config -> t
+(** Starts the worker pool.  @raise Invalid_argument on a non-positive
+    [cache_capacity], [queue_cap] or [max_batch]. *)
+
+val config : t -> config
+
+val submit : t -> reply:(Msts.Api.response -> unit) -> Msts.Api.request -> unit
+(** Admit one request.  Control operations ([Ping]/[Stats]/[Shutdown])
+    are answered synchronously — [Shutdown] flips {!stopping} and answers
+    [Bye].  Solve operations are enqueued (reply comes from a later
+    {!dispatch}), or answered immediately with [`shutting_down] when
+    {!stopping}, or [`overloaded] when the queue is full. *)
+
+val handle_line : t -> reply:(string -> unit) -> string -> unit
+(** The full wire step: parse one JSONL frame, {!submit} it, and deliver
+    every response as a newline-terminated frame.  Malformed frames are
+    answered with a [`bad_request] error response (never dropped, never a
+    closed connection). *)
+
+val dispatch : t -> int
+(** Process one micro-batch (at most [max_batch] queued requests):
+    time out the expired, solve the rest on the pool, deliver every
+    reply.  Returns the number of responses delivered; 0 when idle. *)
+
+val drain : t -> int
+(** {!dispatch} until the queue is empty (used at shutdown — queued
+    requests are in-flight work and are never dropped).  Returns the
+    number of responses delivered. *)
+
+val pending : t -> int
+(** Currently queued (admitted, not yet dispatched) requests. *)
+
+val stop : t -> unit
+(** Enter the draining state: subsequent solve submissions are rejected
+    with [`shutting_down]; already-queued work is unaffected. *)
+
+val stopping : t -> bool
+
+val served : t -> int
+(** Total responses delivered over the engine's lifetime. *)
+
+val rejected : t -> int
+(** Total admission rejections (overload + shutting-down + timeouts). *)
+
+val stats_json : t -> Msts.Json.t
+(** The [Stats] reply payload: version, pool size, cache
+    capacity/occupancy, queue length, served/rejected totals and the
+    stopping flag. *)
+
+val shutdown : t -> unit
+(** Shut the worker pool down.  Idempotent; call after the final
+    {!drain}. *)

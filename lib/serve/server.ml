@@ -1,0 +1,260 @@
+module Obs = Msts.Obs
+
+type config = {
+  socket_path : string;
+  engine : Engine.config;
+  telemetry : string option;
+  ring_capacity : int;
+  quiet : bool;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    engine = Engine.default_config;
+    telemetry = None;
+    ring_capacity = 1024;
+    quiet = false;
+  }
+
+(* One connected client: accumulated input bytes (split on '\n') and an
+   output backlog drained as the socket accepts writes. *)
+type client = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string;
+  mutable out_off : int;
+  mutable dead : bool;
+}
+
+let queue_out client line =
+  if not client.dead then
+    client.out <- String.sub client.out client.out_off
+                    (String.length client.out - client.out_off) ^ line;
+  if not client.dead then client.out_off <- 0
+
+let has_out client = String.length client.out - client.out_off > 0
+
+let flush_out client =
+  (* Write as much of the backlog as the socket takes; never blocks. *)
+  try
+    let len = String.length client.out - client.out_off in
+    if len > 0 then begin
+      let n =
+        Unix.write_substring client.fd client.out client.out_off len
+      in
+      client.out_off <- client.out_off + n;
+      if client.out_off = String.length client.out then begin
+        client.out <- "";
+        client.out_off <- 0
+      end
+    end
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> client.dead <- true
+
+(* Feed freshly read bytes to the engine, one complete line at a time;
+   a trailing partial line waits in [inbuf] for the next read. *)
+let consume engine client bytes n =
+  Buffer.add_subbytes client.inbuf bytes 0 n;
+  let data = Buffer.contents client.inbuf in
+  Buffer.clear client.inbuf;
+  let rec split from =
+    match String.index_from_opt data from '\n' with
+    | None ->
+        Buffer.add_substring client.inbuf data from (String.length data - from)
+    | Some nl ->
+        let line = String.sub data from (nl - from) in
+        if String.trim line <> "" then
+          Engine.handle_line engine ~reply:(queue_out client) line;
+        split (nl + 1)
+  in
+  split 0
+
+let read_chunk = Bytes.create 65536
+
+(* Drain everything currently readable from one client; [`Eof] once the
+   peer closed its write end. *)
+let rec sweep_client engine client =
+  match Unix.read client.fd read_chunk 0 (Bytes.length read_chunk) with
+  | 0 -> `Eof
+  | n ->
+      consume engine client read_chunk n;
+      sweep_client engine client
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      `More
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> `Eof
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let run cfg =
+  let stop = ref false in
+  let prev_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+  in
+  let prev_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true))
+  in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let restore_signals () =
+    Sys.set_signal Sys.sigterm prev_term;
+    Sys.set_signal Sys.sigint prev_int;
+    Sys.set_signal Sys.sigpipe prev_pipe
+  in
+  let ring = Obs.Ring.create ~capacity:cfg.ring_capacity () in
+  let telemetry =
+    Option.map
+      (fun path ->
+        let oc = Out_channel.open_text path in
+        (path, oc, Obs.Streaming.create oc))
+      cfg.telemetry
+  in
+  let sinks =
+    Obs.Ring.sink ring
+    :: (match telemetry with
+       | None -> []
+       | Some (_, _, s) -> [ Obs.Streaming.sink s ])
+  in
+  Obs.set_sink (Some (Obs.tee sinks));
+  let close_telemetry () =
+    Obs.set_sink None;
+    Option.iter
+      (fun (_, oc, s) ->
+        Obs.Streaming.flush s;
+        Out_channel.close oc)
+      telemetry
+  in
+  match
+    let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+       Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+       Unix.listen listen_fd 64;
+       Unix.set_nonblock listen_fd;
+       Ok listen_fd
+     with
+    | Unix.Unix_error (err, _, _) ->
+        close_quietly listen_fd;
+        Error (Unix.error_message err)
+    | Sys_error msg ->
+        close_quietly listen_fd;
+        Error msg)
+  with
+  | Error msg ->
+      Printf.eprintf "msts serve: cannot bind %s: %s\n%!" cfg.socket_path msg;
+      close_telemetry ();
+      restore_signals ();
+      2
+  | Ok listen_fd -> (
+      let engine = Engine.create cfg.engine in
+      if not cfg.quiet then
+        Printf.printf "msts serve: listening on %s (jobs=%d, cache=%d, queue=%d)\n%!"
+          cfg.socket_path cfg.engine.Engine.jobs cfg.engine.Engine.cache_capacity
+          cfg.engine.Engine.queue_cap;
+      let clients = ref [] in
+      let drop_dead () =
+        clients :=
+          List.filter
+            (fun c ->
+              if c.dead then close_quietly c.fd;
+              not c.dead)
+            !clients
+      in
+      let accept_all () =
+        let rec go () =
+          match Unix.accept listen_fd with
+          | fd, _ ->
+              Unix.set_nonblock fd;
+              Obs.count "serve.connections";
+              clients :=
+                { fd; inbuf = Buffer.create 256; out = ""; out_off = 0; dead = false }
+                :: !clients;
+              go ()
+          | exception
+              Unix.Unix_error
+                ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+              ()
+        in
+        go ()
+      in
+      let serve_loop () =
+        while not (!stop || Engine.stopping engine) do
+          drop_dead ();
+          let read_fds = listen_fd :: List.map (fun c -> c.fd) !clients in
+          let write_fds =
+            List.filter_map
+              (fun c -> if has_out c then Some c.fd else None)
+              !clients
+          in
+          let timeout = if Engine.pending engine > 0 then 0.0 else 0.05 in
+          let readable, writable, _ =
+            try Unix.select read_fds write_fds [] timeout
+            with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+          in
+          if List.mem listen_fd readable then accept_all ();
+          List.iter
+            (fun c ->
+              if (not c.dead) && List.mem c.fd readable then
+                match sweep_client engine c with
+                | `Eof -> if not (has_out c) then c.dead <- true
+                | `More -> ())
+            !clients;
+          ignore (Engine.dispatch engine);
+          List.iter
+            (fun c ->
+              if (not c.dead) && (List.mem c.fd writable || has_out c) then
+                flush_out c)
+            !clients
+        done
+      in
+      let epilogue () =
+        (* Frames already written by clients are in-flight: sweep them in
+           before refusing new work, then drain to the last response. *)
+        List.iter
+          (fun c -> if not c.dead then ignore (sweep_client engine c))
+          !clients;
+        Engine.stop engine;
+        let drained = Engine.drain engine in
+        let deadline = Unix.gettimeofday () +. 10.0 in
+        let rec flush_all () =
+          drop_dead ();
+          let waiting = List.filter has_out !clients in
+          if waiting <> [] && Unix.gettimeofday () < deadline then begin
+            (match
+               Unix.select [] (List.map (fun c -> c.fd) waiting) [] 0.5
+             with
+            | _, writable, _ ->
+                List.iter
+                  (fun c -> if List.mem c.fd writable then flush_out c)
+                  waiting
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            flush_all ()
+          end
+        in
+        flush_all ();
+        List.iter (fun c -> close_quietly c.fd) !clients;
+        close_quietly listen_fd;
+        if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+        Engine.shutdown engine;
+        if not cfg.quiet then
+          Printf.printf "msts serve: drained %d request(s), served %d, bye\n%!"
+            drained (Engine.served engine);
+        close_telemetry ();
+        restore_signals ();
+        0
+      in
+      try
+        serve_loop ();
+        epilogue ()
+      with exn ->
+        let tail = Obs.Ring.to_jsonl ring in
+        Printf.eprintf "msts serve: fatal: %s\n%s%!" (Printexc.to_string exn)
+          (if tail = "" then "" else "last telemetry events:\n" ^ tail);
+        List.iter (fun c -> close_quietly c.fd) !clients;
+        close_quietly listen_fd;
+        if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+        (try Engine.shutdown engine with _ -> ());
+        close_telemetry ();
+        restore_signals ();
+        125)

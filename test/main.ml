@@ -31,5 +31,6 @@ let () =
          Test_report.suites;
          Test_solve.suites;
          Test_batch.suites;
+         Test_api.suites;
          Test_integration.suites;
        ])

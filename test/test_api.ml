@@ -1,0 +1,354 @@
+(* The typed request API: total codecs (decode ∘ encode = id on random
+   requests and responses, garbage in → structured errors out, never an
+   exception), version gating, the error-code taxonomy, and the
+   CLI-vs-daemon equivalence contract — the engine's wire answer to a
+   request is byte-identical to Api.exec over the direct solver, because
+   both are the same code path. *)
+
+open Helpers
+module Api = Msts.Api
+module Json = Msts.Json
+module Gen = QCheck.Gen
+
+(* ---------- generators ---------- *)
+
+let platform_gen =
+  let profile = Msts.Generator.default_profile in
+  Gen.(
+    int_range 0 1_000_000 >>= fun seed ->
+    let rng = Msts.Prng.create seed in
+    oneofl [ `Chain; `Fork; `Spider; `Tree ] >|= function
+    | `Chain ->
+        Msts.Platform_format.Chain_platform
+          (Msts.Generator.chain rng profile ~p:(1 + (seed mod 5)))
+    | `Fork ->
+        Msts.Platform_format.Fork_platform
+          (Msts.Generator.fork rng profile ~slaves:(1 + (seed mod 5)))
+    | `Spider ->
+        Msts.Platform_format.Spider_platform
+          (Msts.Generator.spider rng profile ~legs:(1 + (seed mod 4)) ~max_depth:2)
+    | `Tree ->
+        Msts.Platform_format.Tree_platform
+          (Msts.Generator.tree rng profile ~nodes:(2 + (seed mod 6)) ~max_children:3))
+
+let problem_gen =
+  Gen.(
+    platform_gen >>= fun platform ->
+    opt (int_range 0 40) >>= fun tasks ->
+    opt (int_range 0 200) >|= fun deadline ->
+    { Msts.Solve.platform; tasks; deadline })
+
+let workload_gen =
+  Gen.oneofl [ Api.Solve_only; Api.Execute; Api.Pull; Api.Faults ]
+
+let op_gen =
+  Gen.(
+    oneof
+      [
+        return Api.Ping;
+        return Api.Stats;
+        return Api.Shutdown;
+        map (fun p -> Api.Schedule p) problem_gen;
+        map (fun p -> Api.Deadline p) problem_gen;
+        map (fun p -> Api.Metrics p) problem_gen;
+        map
+          (fun ps -> Api.Batch (Array.of_list ps))
+          (list_size (int_range 0 5) problem_gen);
+        map2 (fun problem planned -> Api.Report { problem; planned }) problem_gen
+          bool;
+        map2
+          (fun problem (trace, seed, events) ->
+            Api.Check { problem; trace; seed; events })
+          problem_gen
+          (triple bool (int_range 0 1000) (int_range 0 10));
+        map2
+          (fun (platform, tasks, deadline) (workload, seed, events) ->
+            Api.Profile { platform; tasks; deadline; workload; seed; events })
+          (triple platform_gen (int_range 0 30) (opt (int_range 0 100)))
+          (triple workload_gen (int_range 0 1000) (int_range 0 10));
+      ])
+
+let request_gen =
+  Gen.(
+    map2 (fun id op -> { Api.id; op }) (opt (int_range 0 1_000_000)) op_gen)
+
+let rec json_gen depth =
+  Gen.(
+    if depth = 0 then
+      oneof
+        [
+          map (fun i -> Json.Int i) (int_range (-1000) 1000);
+          map (fun s -> Json.String s) (string_size ~gen:printable (int_range 0 12));
+          map (fun b -> Json.Bool b) bool;
+          return Json.Null;
+        ]
+    else
+      oneof
+        [
+          map (fun i -> Json.Int i) (int_range (-1000) 1000);
+          map (fun l -> Json.List l) (list_size (int_range 0 3) (json_gen (depth - 1)));
+          map
+            (fun kvs -> Json.Obj kvs)
+            (list_size (int_range 0 3)
+               (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 6))
+                  (json_gen (depth - 1))));
+        ])
+
+let error_code_gen =
+  Gen.oneofl
+    [
+      Api.Bad_request; Api.Unsupported_version; Api.Invalid_platform;
+      Api.Invalid_argument_error; Api.Unsolvable; Api.Overloaded;
+      Api.Timeout; Api.Shutting_down; Api.Internal;
+    ]
+
+let response_gen =
+  Gen.(
+    map2
+      (fun id result -> { Api.id; result })
+      (opt (int_range 0 1_000_000))
+      (oneof
+         [
+           map (fun j -> Ok j) (json_gen 2);
+           map2
+             (fun code message -> Error (Api.error code message))
+             error_code_gen
+             (string_size ~gen:printable (int_range 0 30));
+         ]))
+
+let request_print r = Api.request_to_line r
+let response_print r = Api.response_to_line r
+
+(* ---------- codec round-trips ---------- *)
+
+let request_roundtrip =
+  to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"decode ∘ encode = id on requests"
+       (QCheck.make ~print:request_print request_gen) (fun r ->
+         match Api.request_of_line (Api.request_to_line r) with
+         | Ok r' -> r' = r
+         | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e.Api.message))
+
+let response_roundtrip =
+  to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"decode ∘ encode = id on responses"
+       (QCheck.make ~print:response_print response_gen) (fun r ->
+         match Api.response_of_line (Api.response_to_line r) with
+         | Ok r' -> r' = r
+         | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e.Api.message))
+
+(* ---------- total decoding: rejection, never exceptions ---------- *)
+
+let truncated_frames_rejected =
+  to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"every strict prefix of a valid frame is rejected as bad_request"
+       (QCheck.make ~print:request_print request_gen) (fun r ->
+         let line = String.trim (Api.request_to_line r) in
+         let ok = ref true in
+         for len = 0 to String.length line - 1 do
+           match Api.request_of_line (String.sub line 0 len) with
+           | Ok _ -> ok := false
+           | Error { Api.code = Api.Bad_request; _ } -> ()
+           | Error _ -> ok := false
+           | exception _ -> ok := false
+         done;
+         !ok))
+
+let garbage_never_raises =
+  to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"request decoder never raises on bytes"
+       (QCheck.make ~print:String.escaped
+          Gen.(string_size ~gen:(map Char.chr (int_range 0 127)) (int_range 0 120)))
+       (fun line ->
+         (match Api.request_of_line line with Ok _ | Error _ -> ());
+         (match Api.response_of_line line with Ok _ | Error _ -> ());
+         true))
+
+let unknown_version_rejected () =
+  (match Api.request_of_line "{\"v\":2,\"op\":\"ping\"}" with
+  | Error { Api.code = Api.Unsupported_version; _ } -> ()
+  | Ok _ -> Alcotest.fail "accepted v=2"
+  | Error e -> Alcotest.failf "wrong code: %s" (Api.error_code_to_string e.Api.code));
+  (* absent "v" means current version *)
+  match Api.request_of_line "{\"op\":\"ping\"}" with
+  | Ok { Api.op = Api.Ping; _ } -> ()
+  | _ -> Alcotest.fail "rejected a version-less ping"
+
+let error_code_names_bijective () =
+  List.iter
+    (fun code ->
+      let name = Api.error_code_to_string code in
+      Alcotest.(check bool)
+        (name ^ " survives the name round-trip")
+        true
+        (Api.error_code_of_string name = Some code))
+    [
+      Api.Bad_request; Api.Unsupported_version; Api.Invalid_platform;
+      Api.Invalid_argument_error; Api.Unsolvable; Api.Overloaded;
+      Api.Timeout; Api.Shutting_down; Api.Internal;
+    ];
+  Alcotest.(check bool)
+    "unknown names map to None" true
+    (Api.error_code_of_string "no_such_code" = None)
+
+let prefix_convention_classified () =
+  let e1 = Api.error_of_solve_failure "Msts.Netsim.execute: negative start" in
+  Alcotest.(check bool) "Msts.-prefixed message is invalid_argument" true
+    (e1.Api.code = Api.Invalid_argument_error
+    && e1.Api.message = "Msts.Netsim.execute: negative start");
+  let e2 = Api.error_of_solve_failure "give either tasks or a deadline" in
+  Alcotest.(check bool) "plain refusal is unsolvable" true
+    (e2.Api.code = Api.Unsolvable);
+  let e3 = Api.error_of_exn (Invalid_argument "Msts.Chain.of_pairs: empty") in
+  Alcotest.(check bool) "Invalid_argument exception keeps its message" true
+    (e3.Api.code = Api.Invalid_argument_error
+    && e3.Api.message = "Msts.Chain.of_pairs: empty");
+  let e4 = Api.error_of_exn Not_found in
+  Alcotest.(check bool) "other exceptions are internal" true
+    (e4.Api.code = Api.Internal)
+
+let workload_names_roundtrip () =
+  List.iter
+    (fun w ->
+      Alcotest.(check bool)
+        (Api.workload_to_string w ^ " round-trips")
+        true
+        (Api.workload_of_string (Api.workload_to_string w) = Some w))
+    [ Api.Solve_only; Api.Execute; Api.Pull; Api.Faults ]
+
+(* ---------- exec over the direct solver = the Solve facade ---------- *)
+
+let exec_matches_solve =
+  to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"exec Schedule/Deadline agrees with Solve.solve"
+       (QCheck.make ~print:request_print
+          Gen.(map (fun p -> { Api.id = None; op = Api.Schedule p }) problem_gen))
+       (fun { Api.op; _ } ->
+         let problem =
+           match op with Api.Schedule p -> p | _ -> assert false
+         in
+         let direct = Msts.Solve.solve problem in
+         match (Api.exec ~solver:Api.direct_solver op, direct) with
+         | Ok (Api.Solved { plan; _ }), Ok plan' -> Msts.Plan.equal plan plan'
+         | Error _, Error _ -> true
+         | Ok _, Error msg ->
+             QCheck.Test.fail_reportf "exec solved, facade refused: %s" msg
+         | Error e, Ok _ ->
+             QCheck.Test.fail_reportf "exec refused a solvable problem: %s"
+               e.Api.message
+         | _ -> false))
+
+(* ---------- the engine answers with the same bytes ---------- *)
+
+let figure2_problem () =
+  Msts.Solve.problem ~tasks:5
+    (Msts.Platform_format.Chain_platform figure2_chain)
+
+let engine_config =
+  { Msts_serve.Engine.default_config with jobs = 1; cache_capacity = 4 }
+
+let engine_wire_equals_direct () =
+  let engine = Msts_serve.Engine.create engine_config in
+  let problem = figure2_problem () in
+  let ask op =
+    let got = ref None in
+    Msts_serve.Engine.handle_line engine
+      ~reply:(fun line -> got := Some line)
+      (Api.request_to_line { Api.id = Some 9; op });
+    ignore (Msts_serve.Engine.dispatch engine);
+    match !got with
+    | Some line -> line
+    | None -> Alcotest.fail "engine never replied"
+  in
+  List.iter
+    (fun op ->
+      let wire = ask op in
+      let direct =
+        Api.response_to_line (Api.respond ~solver:Api.direct_solver
+                                { Api.id = Some 9; op })
+      in
+      Alcotest.(check string)
+        (Api.op_name op ^ " over the wire = direct exec")
+        direct wire)
+    [
+      Api.Schedule problem;
+      Api.Deadline { problem with Msts.Solve.tasks = None; deadline = Some 40 };
+      Api.Metrics problem;
+      Api.Report { problem; planned = true };
+      Api.Check { problem; trace = false; seed = 0; events = 3 };
+    ];
+  Msts_serve.Engine.shutdown engine
+
+let engine_admission_control () =
+  let engine =
+    Msts_serve.Engine.create
+      { engine_config with Msts_serve.Engine.queue_cap = 1 }
+  in
+  let responses = ref [] in
+  let reply r = responses := r :: !responses in
+  let submit () =
+    Msts_serve.Engine.submit engine ~reply
+      { Api.id = None; op = Api.Schedule (figure2_problem ()) }
+  in
+  submit ();
+  submit ();
+  (* second one bounced: queue_cap 1 *)
+  (match !responses with
+  | [ { Api.result = Error { Api.code = Api.Overloaded; _ }; _ } ] -> ()
+  | _ -> Alcotest.fail "expected exactly one overloaded rejection");
+  ignore (Msts_serve.Engine.drain engine);
+  Alcotest.(check int) "queued request still answered" 2
+    (List.length !responses);
+  Msts_serve.Engine.stop engine;
+  submit ();
+  (match !responses with
+  | { Api.result = Error { Api.code = Api.Shutting_down; _ }; _ } :: _ -> ()
+  | _ -> Alcotest.fail "expected shutting_down after stop");
+  Alcotest.(check int) "served counts every response" 3
+    (Msts_serve.Engine.served engine);
+  Msts_serve.Engine.shutdown engine
+
+let engine_malformed_frames_answered () =
+  let engine = Msts_serve.Engine.create engine_config in
+  let got = ref None in
+  Msts_serve.Engine.handle_line engine
+    ~reply:(fun line -> got := Some line)
+    "{\"id\":3,\"op\":\"schedule\",\"platform\":12}";
+  (match !got with
+  | Some line -> (
+      match Api.response_of_line line with
+      | Ok { Api.id = Some 3; result = Error { Api.code = Api.Bad_request; _ } }
+        ->
+          ()
+      | _ -> Alcotest.failf "unexpected reply %s" line)
+  | None -> Alcotest.fail "malformed frame got no reply");
+  Msts_serve.Engine.shutdown engine
+
+let suites =
+  [
+    ( "api.codecs",
+      [
+        request_roundtrip;
+        response_roundtrip;
+        truncated_frames_rejected;
+        garbage_never_raises;
+        case "unknown version rejected, absent version accepted"
+          unknown_version_rejected;
+        case "error-code names are bijective" error_code_names_bijective;
+        case "Msts. prefix convention maps to invalid_argument"
+          prefix_convention_classified;
+        case "workload names round-trip" workload_names_roundtrip;
+      ] );
+    ( "api.exec",
+      [
+        exec_matches_solve;
+        case "engine wire responses = direct exec bytes"
+          engine_wire_equals_direct;
+        case "admission control: overload, drain, shutting down"
+          engine_admission_control;
+        case "malformed frames answered, id echoed"
+          engine_malformed_frames_answered;
+      ] );
+  ]

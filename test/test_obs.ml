@@ -469,7 +469,40 @@ let corpus () =
        [|
          Msts.Solve.problem ~tasks:4 chain_platform;
          Msts.Solve.problem ~tasks:4 chain_platform;
-       |])
+       |]);
+  (* The serve engine, under a deterministic clock so the queue-wait
+     timeout path fires without sleeping: two requests age past the
+     10us deadline, a third lands on a full queue (overloaded), a
+     malformed frame exercises the rejection counters, and a final
+     dispatch at a frozen clock solves live. *)
+  let clock = ref 0 in
+  Msts.Obs.set_clock (Some (fun () -> !clock));
+  Fun.protect ~finally:(fun () -> Msts.Obs.set_clock None) @@ fun () ->
+  let engine =
+    Msts_serve.Engine.create
+      {
+        Msts_serve.Engine.default_config with
+        cache_capacity = 4;
+        queue_cap = 2;
+        timeout_us = 10;
+      }
+  in
+  let sink _ = () in
+  let ask op =
+    Msts_serve.Engine.handle_line engine ~reply:sink
+      (Msts.Api.request_to_line { Msts.Api.id = None; op })
+  in
+  let schedule = Msts.Api.Schedule (Msts.Solve.problem ~tasks:4 chain_platform) in
+  ask schedule;
+  ask schedule;
+  ask schedule (* queue_cap 2: rejected as overloaded *);
+  ask Msts.Api.Ping (* control fast path *);
+  Msts_serve.Engine.handle_line engine ~reply:sink "{not json" (* bad frame *);
+  clock := 1000;
+  ignore (Msts_serve.Engine.dispatch engine) (* both queued solves time out *);
+  ask schedule;
+  ignore (Msts_serve.Engine.dispatch engine) (* live solve at wait 0 *);
+  Msts_serve.Engine.shutdown engine
 
 (* Backticked lowercase dotted tokens of docs/OBSERVABILITY.md (the test
    rule copies the file next to the runner). *)
@@ -521,6 +554,14 @@ let metric_names_documented () =
       "spider.search_probes";
       "pool.requests";
       "pool.queue_wait_us";
+      "serve.requests";
+      "serve.accepted";
+      "serve.rejected";
+      "serve.timeouts";
+      "serve.responses";
+      "serve.errors";
+      "serve.queue_wait_us";
+      "serve.batch_size";
       "trace.events";
       "trace.segments_checked";
       "trace.violations";
