@@ -1289,50 +1289,146 @@ let call_cmd =
     let doc =
       "The request: one JSONL frame, e.g. \
        $(b,{\"op\":\"ping\"}) or \
-       $(b,{\"op\":\"schedule\",\"platform\":\"chain 2 1 3 1 2\",\"tasks\":4})."
+       $(b,{\"op\":\"schedule\",\"platform\":\"chain\\\\n1 3\\\\n2 2\",\"tasks\":4}) \
+       (the platform travels as its canonical multi-line serialization, \
+       newlines escaped)."
     in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"REQUEST" ~doc)
   in
   let raw_arg =
     let doc = "Print the raw response frame instead of the decoded payload." in
     Arg.(value & flag & info [ "raw" ] ~doc)
   in
-  let run socket frame raw =
+  let stdin_arg =
+    let doc =
+      "Stream request frames from standard input over one connection, in \
+       lockstep (send a frame, print its response, repeat) — scripted \
+       online sessions keep their session ids valid because the \
+       connection persists."
+    in
+    Arg.(value & flag & info [ "stdin" ] ~doc)
+  in
+  let print_response ~raw line =
+    if raw then begin
+      print_endline line;
+      0
+    end
+    else
+      match Msts.Api.response_of_line line with
+      | Error e ->
+          Printf.eprintf "error: unreadable response: %s\n" e.Msts.Api.message;
+          2
+      | Ok { Msts.Api.result = Ok payload; _ } ->
+          print_endline (Msts.Json.to_string ~pretty:true payload);
+          0
+      | Ok { Msts.Api.result = Error e; _ } ->
+          Printf.eprintf "error [%s]: %s\n"
+            (Msts.Api.error_code_to_string e.Msts.Api.code)
+            e.Msts.Api.message;
+          1
+  in
+  let run socket frame raw use_stdin =
     match Msts_serve.Client.connect socket with
     | Error msg ->
         Printf.eprintf "error: %s\n" msg;
         exit 2
-    | Ok client -> (
-        Msts_serve.Client.send_line client frame;
-        let line =
+    | Ok client ->
+        let exchange frame =
+          Msts_serve.Client.send_line client frame;
           match Msts_serve.Client.recv_line client with
-          | Some line -> line
+          | Some line -> print_response ~raw line
           | None ->
               Printf.eprintf "error: connection closed by server\n";
-              exit 2
+              2
+        in
+        let status =
+          match (use_stdin, frame) with
+          | true, Some _ | false, None ->
+              Printf.eprintf
+                "error: give either one REQUEST frame or --stdin\n";
+              2
+          | false, Some frame -> exchange frame
+          | true, None ->
+              let worst = ref 0 in
+              (try
+                 while true do
+                   let line = input_line stdin in
+                   if String.trim line <> "" then
+                     worst := max !worst (exchange line)
+                 done
+               with End_of_file -> ());
+              !worst
         in
         Msts_serve.Client.close client;
-        if raw then print_endline line
-        else
-          match Msts.Api.response_of_line line with
-          | Error e ->
-              Printf.eprintf "error: unreadable response: %s\n" e.Msts.Api.message;
-              exit 2
-          | Ok { Msts.Api.result = Ok payload; _ } ->
-              print_endline (Msts.Json.to_string ~pretty:true payload)
-          | Ok { Msts.Api.result = Error e; _ } ->
-              Printf.eprintf "error [%s]: %s\n"
-                (Msts.Api.error_code_to_string e.Msts.Api.code)
-                e.Msts.Api.message;
-              exit 1)
+        if status <> 0 then exit status
   in
   let doc =
-    "Send one request frame to a running $(b,msts serve) daemon and print \
-     the response — the decoded $(b,ok) payload (pretty JSON, byte-identical \
+    "Send request frames to a running $(b,msts serve) daemon and print the \
+     responses — the decoded $(b,ok) payload (pretty JSON, byte-identical \
      to the matching subcommand's $(b,--format=json) output), or the raw \
-     frame with $(b,--raw).  Exits 1 on a structured error response."
+     frame with $(b,--raw).  One positional frame, or a JSONL stream over \
+     a single connection with $(b,--stdin) (how scripted online sessions \
+     talk to the daemon).  Exits 1 on a structured error response."
   in
-  Cmd.v (Cmd.info "call" ~doc) Term.(const run $ socket_arg $ frame_arg $ raw_arg)
+  Cmd.v (Cmd.info "call" ~doc)
+    Term.(const run $ socket_arg $ frame_arg $ raw_arg $ stdin_arg)
+
+(* ---------- online ---------- *)
+
+let online_cmd =
+  let script_arg =
+    let doc =
+      "Read request frames from $(docv) instead of standard input (one \
+       JSONL frame per line, blank lines and $(b,#) comments ignored)."
+    in
+    Arg.(value & opt (some file) None & info [ "script" ] ~docv:"FILE" ~doc)
+  in
+  let run () script =
+    (* The same Msts_online.Service the daemon engine embeds, driven
+       locally: transcripts are byte-identical to a daemon session. *)
+    let svc = Msts_online.Service.create () in
+    let step line =
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then ()
+      else
+        let response =
+          match Msts.Api.request_of_line line with
+          | Error e -> { Msts.Api.id = Msts.Api.frame_id line; result = Error e }
+          | Ok { Msts.Api.id; op } ->
+              let result =
+                if Msts_online.Service.handles op then
+                  Msts_online.Service.exec svc op
+                else
+                  Error
+                    (Msts.Api.error Msts.Api.Bad_request
+                       (Printf.sprintf
+                          "%s is not an online operation; use msts call"
+                          (Msts.Api.op_name op)))
+              in
+              { Msts.Api.id; result }
+        in
+        print_string (Msts.Api.response_to_line response)
+    in
+    let each ic = try
+        while true do
+          step (input_line ic)
+        done
+      with End_of_file -> ()
+    in
+    match script with
+    | None -> each stdin
+    | Some path -> In_channel.with_open_text path each
+  in
+  let doc =
+    "Run an anytime-scheduling session locally: read $(b,online-*) request \
+     frames (JSONL, from $(b,--script) or standard input), apply them to an \
+     in-process session registry, and print one response frame per request \
+     — tasks arrive over time, the solver streams $(b,placed) / \
+     $(b,displaced) / $(b,rejected) / $(b,frozen) deltas, and the plan's \
+     executed prefix is immutable.  The exact frames a $(b,msts serve) \
+     daemon would produce for the same requests (docs/ONLINE.md)."
+  in
+  Cmd.v (Cmd.info "online" ~doc) Term.(const run $ kernel_setter $ script_arg)
 
 (* ---------- dot ---------- *)
 
@@ -1362,6 +1458,7 @@ let main_cmd =
       report_cmd;
       serve_cmd;
       call_cmd;
+      online_cmd;
       trace_cmd;
       tree_cmd;
       dot_cmd;

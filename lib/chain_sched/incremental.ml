@@ -1,79 +1,173 @@
 module Schedule = Msts_schedule.Schedule
 
+(* Placements live in a struct-of-arrays store (processor / start / comm
+   vector offset, plus one flat int pool for the vectors themselves)
+   instead of a consed entry list: once the store has warmed up to its
+   working capacity, placing a task touches no allocator at all — the
+   property the online scheduler's steady state is benchmarked on.
+   Construction order is newest-first-in-time: placement [i] emits
+   strictly earlier than placement [i-1]. *)
+
 type t = {
   chain : Msts_platform.Chain.t;
   kernel : Kernel.t;
   sc : Kernel.scratch;
   st : Algorithm.state;
-  mutable entries : Schedule.entry list; (* emission order: earliest first *)
+  mutable horizon : int;
+  mutable procs : int array; (* procs.(i): processor of placement i *)
+  mutable starts : int array; (* starts.(i): compute start date *)
+  mutable offs : int array; (* offs.(i): offset of comms in [pool] *)
+  mutable pool : int array; (* flat comm-vector storage *)
+  mutable pool_len : int;
   mutable placed : int;
   mutable full : bool;
 }
 
-let create ?kernel chain ~horizon =
-  if horizon < 0 then invalid_arg "Incremental.create: negative horizon";
+let create ?kernel ?(capacity = 0) chain ~horizon =
+  if Msts_platform.Chain.length chain = 0 then
+    (* Unreachable through Chain.make (which refuses empty arrays), kept as
+       a defensive guard with the same Msts.Chain.* error convention. *)
+    invalid_arg "Msts.Chain.Incremental.create: zero-processor chain";
+  if horizon < 0 then
+    invalid_arg "Msts.Chain.Incremental.create: negative horizon";
+  if capacity < 0 then
+    invalid_arg "Msts.Chain.Incremental.create: negative capacity";
+  let p = Msts_platform.Chain.length chain in
   {
     chain;
     kernel = (match kernel with Some k -> k | None -> Kernel.default ());
     sc = Kernel.scratch ();
     st = Algorithm.initial_state chain ~horizon;
-    entries = [];
+    horizon;
+    procs = Array.make capacity 0;
+    starts = Array.make capacity 0;
+    offs = Array.make capacity 0;
+    pool = Array.make (capacity * p) 0;
+    pool_len = 0;
     placed = 0;
     full = false;
   }
 
-let record t entry =
-  t.entries <- entry :: t.entries;
-  t.placed <- t.placed + 1;
-  true
+let grow a n = Array.append a (Array.make n 0)
 
-let add_task_reference t =
+(* Geometric growth: amortized O(1) words per placement, and exactly zero
+   allocation while [placed] stays within the warmed-up capacity. *)
+let ensure_room t ~proc =
+  let cap = Array.length t.procs in
+  if t.placed >= cap then begin
+    let extra = max 8 cap in
+    t.procs <- grow t.procs extra;
+    t.starts <- grow t.starts extra;
+    t.offs <- grow t.offs extra
+  end;
+  let pcap = Array.length t.pool in
+  if t.pool_len + proc > pcap then
+    t.pool <- grow t.pool (max proc (max 64 pcap))
+
+let record_fast t ~proc ~start =
+  let i = t.placed in
+  t.procs.(i) <- proc;
+  t.starts.(i) <- start;
+  t.offs.(i) <- t.pool_len;
+  t.pool_len <- t.pool_len + proc;
+  t.placed <- i + 1
+
+let add_task_reference t ~min_emission =
   (* Probe with the would-be greatest candidate before committing. *)
   let cands = Algorithm.candidates t.chain t.st in
   let best = Algorithm.select cands in
-  if cands.(best).(0) < 0 then begin
+  if cands.(best).(0) < min_emission then begin
     t.full <- true;
     false
   end
   else begin
     let step = Algorithm.place t.chain t.st ~task:(t.placed + 1) in
-    record t
-      {
-        Schedule.proc = step.Algorithm.chosen_proc;
-        start = step.Algorithm.start;
-        comms = step.Algorithm.chosen_vector;
-      }
+    ensure_room t ~proc:step.Algorithm.chosen_proc;
+    Array.blit step.Algorithm.chosen_vector 0 t.pool t.pool_len
+      step.Algorithm.chosen_proc;
+    record_fast t ~proc:step.Algorithm.chosen_proc ~start:step.Algorithm.start;
+    true
   end
 
-let add_task_fast t =
+let add_task_fast t ~min_emission =
   (* One sweep both probes and decides; commit only if the task fits. *)
   let proc =
     Kernel.sweep t.chain ~hull:t.st.Algorithm.hull
       ~occupancy:t.st.Algorithm.occupancy t.sc
   in
-  if Kernel.first_emission t.sc < 0 then begin
+  if Kernel.first_emission t.sc < min_emission then begin
     t.full <- true;
     false
   end
   else begin
-    let comms = Kernel.chosen_vector t.sc ~proc in
+    ensure_room t ~proc;
+    Kernel.blit_chosen t.sc ~proc t.pool ~pos:t.pool_len;
     let start =
       Kernel.commit t.chain ~hull:t.st.Algorithm.hull
         ~occupancy:t.st.Algorithm.occupancy t.sc ~proc
     in
-    record t { Schedule.proc; start; comms }
+    record_fast t ~proc ~start;
+    true
   end
 
-let add_task t =
+let add_task_from t ~min_emission =
   if t.full then false
   else
     match t.kernel with
-    | Kernel.Reference -> add_task_reference t
-    | Kernel.Fast -> add_task_fast t
+    | Kernel.Reference -> add_task_reference t ~min_emission
+    | Kernel.Fast -> add_task_fast t ~min_emission
+
+let add_task t = add_task_from t ~min_emission:0
 
 let placed t = t.placed
+let horizon t = t.horizon
 
-let schedule t = Schedule.make t.chain (Array.of_list t.entries)
+let check_index t i name =
+  if i < 0 || i >= t.placed then
+    invalid_arg
+      (Printf.sprintf "Msts.Chain.Incremental.%s: placement %d outside 0..%d"
+         name i (t.placed - 1))
+
+let proc_at t i =
+  check_index t i "proc_at";
+  t.procs.(i)
+
+let start_at t i =
+  check_index t i "start_at";
+  t.starts.(i)
+
+let emission_at t i =
+  check_index t i "emission_at";
+  t.pool.(t.offs.(i))
+
+let comms_at t i =
+  check_index t i "comms_at";
+  Array.sub t.pool t.offs.(i) t.procs.(i)
+
+let entry_at t i =
+  { Schedule.proc = proc_at t i; start = start_at t i; comms = comms_at t i }
+
+let extend t ~by =
+  if by < 0 then
+    invalid_arg "Msts.Chain.Incremental.extend: negative extension";
+  if by > 0 then begin
+    t.horizon <- t.horizon + by;
+    let shift a n = for i = 0 to n - 1 do a.(i) <- a.(i) + by done in
+    shift t.st.Algorithm.hull (Array.length t.st.Algorithm.hull);
+    shift t.st.Algorithm.occupancy (Array.length t.st.Algorithm.occupancy);
+    shift t.starts t.placed;
+    shift t.pool t.pool_len;
+    (* A construction that was full may fit more tasks on the longer
+       horizon: the refusal is no longer a permanent fact. *)
+    t.full <- false
+  end
+
+let schedule t =
+  (* Placement i emits earlier than placement i-1, so emission order —
+     the task numbering Schedule.make expects — is reverse construction
+     order: task 1 is the newest placement. *)
+  Schedule.make t.chain
+    (Array.init t.placed (fun j -> entry_at t (t.placed - 1 - j)))
 
 let state t =
   {
@@ -82,9 +176,7 @@ let state t =
   }
 
 let earliest_emission t =
-  match t.entries with
-  | [] -> None
-  | e :: _ -> Some (Msts_schedule.Comm_vector.first_emission e.Schedule.comms)
+  if t.placed = 0 then None else Some (emission_at t (t.placed - 1))
 
 let fill t ?(max_tasks = max_int) () =
   while t.placed < max_tasks && add_task t do

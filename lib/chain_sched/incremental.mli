@@ -4,18 +4,29 @@
     the optimal [(n−1)]-task one (the suffix property behind Lemma 4), so
     the construction can be driven one task at a time: start from a
     horizon, keep placing tasks while they fit.  This powers the deadline
-    variant and lets clients answer "how many more tasks until [T]?"
-    without recomputing from scratch.
+    variant, the online scheduler ([Msts_online.Online]), and lets clients
+    answer "how many more tasks until [T]?" without recomputing from
+    scratch.
+
+    Placements are stored in preallocated struct-of-arrays buffers, so
+    once the store has grown to its working capacity (or was created with
+    [~capacity]), {!add_task} on the fast kernel performs {e zero} minor-
+    heap allocation — asserted by the test suite via [Gc.minor_words] and
+    gated in [BENCH_online.json].
 
     Dates are absolute in [\[0, horizon\]]; no final shift is applied. *)
 
 type t
 
-val create : ?kernel:Kernel.t -> Msts_platform.Chain.t -> horizon:int -> t
+val create :
+  ?kernel:Kernel.t -> ?capacity:int -> Msts_platform.Chain.t -> horizon:int -> t
 (** Fresh construction ending at [horizon]; [kernel] (default
     {!Kernel.default}) picks the placement kernel for the whole lifetime
-    of this construction.
-    @raise Invalid_argument on a negative horizon. *)
+    of this construction.  [capacity] (default 0) preallocates room for
+    that many placements, making the allocation-free steady state
+    immediate instead of reached after geometric growth.
+    @raise Invalid_argument on a negative horizon or capacity (message
+    prefixed [Msts.Chain.Incremental]). *)
 
 val add_task : t -> bool
 (** Place one more task (earlier than everything placed so far).  Returns
@@ -24,8 +35,44 @@ val add_task : t -> bool
     single O(p) sweep both probes and places; the reference kernel probes
     with a full candidate scan before committing. *)
 
+val add_task_from : t -> min_emission:int -> bool
+(** {!add_task} with an explicit floor: refuse (returning [false]) when
+    the task's first emission would fall before [min_emission].  The
+    online scheduler uses the execution frontier as the floor so frozen
+    history is never re-entered.  [add_task t] = [add_task_from t
+    ~min_emission:0].  The label is non-optional so the per-arrival hot
+    path never boxes an argument. *)
+
 val placed : t -> int
 (** Number of tasks placed so far. *)
+
+val horizon : t -> int
+(** Current horizon (grows under {!extend}). *)
+
+val extend : t -> by:int -> unit
+(** Push the horizon [by] time units later, shifting the hull/occupancy
+    state and every stored placement with it — the construction behaves
+    exactly as if it had started from the longer horizon (the sweep is
+    shift-equivariant), and a construction that was full may accept tasks
+    again.  O(placed + p).
+    @raise Invalid_argument when [by < 0]. *)
+
+val proc_at : t -> int -> int
+(** Processor of placement [i] (0-based construction order: placement 0
+    is the oldest, latest-in-time task).  @raise Invalid_argument outside
+    [0..placed-1]. *)
+
+val start_at : t -> int -> int
+(** Compute start date of placement [i]. *)
+
+val emission_at : t -> int -> int
+(** Link-1 emission date of placement [i]; strictly decreasing in [i]. *)
+
+val comms_at : t -> int -> Msts_schedule.Comm_vector.t
+(** Fresh copy of placement [i]'s communication vector. *)
+
+val entry_at : t -> int -> Msts_schedule.Schedule.entry
+(** Placement [i] as a schedule entry (fresh copy). *)
 
 val schedule : t -> Msts_schedule.Schedule.t
 (** Snapshot of the current schedule; tasks renumbered 1.. in emission

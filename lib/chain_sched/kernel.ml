@@ -42,7 +42,10 @@ let sweep chain ~hull ~occupancy sc =
   let p = Chain.length chain in
   if Array.length sc.vals < p then sc.vals <- Array.make p 0;
   let vals = sc.vals in
-  Obs.count ~n:p "chain.candidate_scans";
+  (* The [~n:..] application boxes its optional argument; skipping it when
+     no sink is installed keeps the sweep allocation-free in steady state
+     (asserted by the online bench via [Gc.minor_words]). *)
+  if Obs.enabled () then Obs.count ~n:p "chain.candidate_scans";
   let best = ref p in
   let tracked = ref (seed chain ~hull ~occupancy p) in
   vals.(p - 1) <- !tracked;
@@ -62,11 +65,13 @@ let first_emission sc = sc.vals.(0)
 
 let chosen_vector sc ~proc = Array.sub sc.vals 0 proc
 
+let blit_chosen sc ~proc dst ~pos = Array.blit sc.vals 0 dst pos proc
+
 let commit chain ~hull ~occupancy sc ~proc =
   let start = occupancy.(proc - 1) - Chain.work chain proc in
   occupancy.(proc - 1) <- start;
   Array.blit sc.vals 0 hull 0 proc;
   Obs.count "chain.tasks_placed";
-  Obs.count ~n:proc "chain.hull_updates";
+  if Obs.enabled () then Obs.count ~n:proc "chain.hull_updates";
   Obs.count "chain.kernel.fast_placements";
   start

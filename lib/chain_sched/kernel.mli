@@ -48,6 +48,12 @@ val chosen_vector : scratch -> proc:int -> Msts_schedule.Comm_vector.t
 (** Copy of the winner's communication vector (length [proc]) after a
     {!sweep} returning [proc].  The only allocation on the fast path. *)
 
+val blit_chosen : scratch -> proc:int -> int array -> pos:int -> unit
+(** Allocation-free variant of {!chosen_vector}: write the winner's vector
+    (length [proc]) into [dst] at [pos].  Lets {!Incremental} store
+    placements in a preallocated pool, so the whole per-arrival path runs
+    without touching the minor heap. *)
+
 val commit :
   Msts_platform.Chain.t ->
   hull:int array -> occupancy:int array -> scratch -> proc:int -> int

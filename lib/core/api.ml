@@ -114,6 +114,13 @@ type op =
     }
   | Stats
   | Shutdown
+  | Online_open of { platform : Parse.platform; deadline : int; capacity : int }
+  | Online_submit of { session : int; tasks : int }
+  | Online_advance of { session : int; time : int }
+  | Online_extend of { session : int; deadline : int }
+  | Online_degrade of { session : int; at : int; work_factor : int }
+  | Online_plan of { session : int }
+  | Online_close of { session : int }
 
 let op_name = function
   | Ping -> "ping"
@@ -126,8 +133,21 @@ let op_name = function
   | Profile _ -> "profile"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
+  | Online_open _ -> "online-open"
+  | Online_submit _ -> "online-submit"
+  | Online_advance _ -> "online-advance"
+  | Online_extend _ -> "online-extend"
+  | Online_degrade _ -> "online-degrade"
+  | Online_plan _ -> "online-plan"
+  | Online_close _ -> "online-close"
 
 let is_control = function Ping | Stats | Shutdown -> true | _ -> false
+
+let is_online = function
+  | Online_open _ | Online_submit _ | Online_advance _ | Online_extend _
+  | Online_degrade _ | Online_plan _ | Online_close _ ->
+      true
+  | _ -> false
 
 type request = { id : int option; op : op }
 
@@ -168,6 +188,26 @@ let encode_op_fields = function
           ("seed", Json.Int seed);
           ("events", Json.Int events);
         ]
+  | Online_open { platform; deadline; capacity } ->
+      ("platform", Json.String (Parse.platform_to_string platform))
+      :: ("deadline", Json.Int deadline)
+      ::
+      (* 0 is the default; omitting it keeps encode∘decode the identity *)
+      (if capacity = 0 then [] else [ ("capacity", Json.Int capacity) ])
+  | Online_submit { session; tasks } ->
+      [ ("session", Json.Int session); ("tasks", Json.Int tasks) ]
+  | Online_advance { session; time } ->
+      [ ("session", Json.Int session); ("time", Json.Int time) ]
+  | Online_extend { session; deadline } ->
+      [ ("session", Json.Int session); ("deadline", Json.Int deadline) ]
+  | Online_degrade { session; at; work_factor } ->
+      [
+        ("session", Json.Int session);
+        ("at", Json.Int at);
+        ("work_factor", Json.Int work_factor);
+      ]
+  | Online_plan { session } | Online_close { session } ->
+      [ ("session", Json.Int session) ]
 
 let encode_request { id; op } =
   Json.Obj
@@ -290,6 +330,36 @@ let decode_op kvs name =
              seed = Option.value seed ~default:0;
              events = Option.value events ~default:4;
            })
+  | "online-open" ->
+      let* platform = platform_field kvs in
+      let* deadline = int_field kvs "deadline" in
+      let* capacity = opt_int_field kvs "capacity" in
+      Ok
+        (Online_open
+           { platform; deadline; capacity = Option.value capacity ~default:0 })
+  | "online-submit" ->
+      let* session = int_field kvs "session" in
+      let* tasks = int_field kvs "tasks" in
+      Ok (Online_submit { session; tasks })
+  | "online-advance" ->
+      let* session = int_field kvs "session" in
+      let* time = int_field kvs "time" in
+      Ok (Online_advance { session; time })
+  | "online-extend" ->
+      let* session = int_field kvs "session" in
+      let* deadline = int_field kvs "deadline" in
+      Ok (Online_extend { session; deadline })
+  | "online-degrade" ->
+      let* session = int_field kvs "session" in
+      let* at = int_field kvs "at" in
+      let* work_factor = int_field kvs "work_factor" in
+      Ok (Online_degrade { session; at; work_factor })
+  | "online-plan" ->
+      let* session = int_field kvs "session" in
+      Ok (Online_plan { session })
+  | "online-close" ->
+      let* session = int_field kvs "session" in
+      Ok (Online_close { session })
   | other -> bad "unknown op %S" other
 
 let decode_envelope json =
@@ -775,6 +845,14 @@ let exec ?(cache_capacity = 0) ~solver op =
         exec_check ~solver problem ~trace ~seed ~events
     | Profile { platform; tasks; deadline; workload; seed; events } ->
         exec_profile ~platform ~tasks ~deadline ~workload ~seed ~events
+    | Online_open _ | Online_submit _ | Online_advance _ | Online_extend _
+    | Online_degrade _ | Online_plan _ | Online_close _ ->
+        (* Sessions are daemon/CLI-session state; the stateless dispatcher
+           cannot host them.  Msts_online.Service.exec is the handler. *)
+        Error
+          (error Bad_request
+             "online operations require a session; use msts serve or msts \
+              online")
   with exn -> Error (error_of_exn exn)
 
 let respond ?cache_capacity ~solver { id; op } =

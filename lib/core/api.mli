@@ -88,13 +88,37 @@ type op =
     }
   | Stats  (** daemon statistics (answered engine-side by [msts serve]) *)
   | Shutdown  (** ask the daemon to drain and exit *)
+  | Online_open of {
+      platform : Msts_platform.Parse.platform;
+      deadline : int;
+      capacity : int;
+    }
+      (** open an anytime-scheduling session (chain platforms only;
+          [capacity] preallocates placement storage, 0 = grow on demand) *)
+  | Online_submit of { session : int; tasks : int }
+      (** feed [tasks] arrivals; the reply streams one delta each *)
+  | Online_advance of { session : int; time : int }
+      (** move the execution frontier; placements behind it freeze *)
+  | Online_extend of { session : int; deadline : int }
+      (** grow the session deadline, displacing the revisable suffix *)
+  | Online_degrade of { session : int; at : int; work_factor : int }
+      (** slow processor [at]; unfrozen tasks are re-placed *)
+  | Online_plan of { session : int }  (** snapshot the current plan *)
+  | Online_close of { session : int }  (** drop the session *)
 
 val op_name : op -> string
-(** The wire name ([ping], [schedule], ..., [shutdown]). *)
+(** The wire name ([ping], [schedule], ..., [online-close]). *)
 
 val is_control : op -> bool
 (** Control operations ([Ping]/[Stats]/[Shutdown]) bypass the daemon's
     request queue and are answered immediately. *)
+
+val is_online : op -> bool
+(** The [Online_*] operations.  They are stateful: {!exec} refuses them
+    with [`bad_request`]; [Msts_online.Service.exec] (held by the daemon
+    engine and the [msts online] CLI) is their handler, also answered
+    synchronously — including during a drain, so an in-flight online
+    session loses no deltas on SIGTERM (docs/ONLINE.md). *)
 
 type request = { id : int option; op : op }
 (** [id], when present, is echoed verbatim in the response — pipelined

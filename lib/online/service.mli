@@ -1,0 +1,31 @@
+(** Session registry behind the [online-*] request frames.
+
+    One [Service.t] owns every open online session of a process — the
+    [msts serve] engine holds one, and [msts online] drives one locally —
+    so the JSONL transcripts of the daemon and the offline CLI are
+    byte-identical: both funnel through {!exec}.
+
+    Online operations are stateful and cheap (one O(p) sweep per
+    submitted task), so the engine answers them synchronously instead of
+    queueing them behind batch solves; during a SIGTERM drain they keep
+    being answered, which is what guarantees zero dropped deltas. *)
+
+type t
+
+val create : ?max_sessions:int -> unit -> t
+(** [max_sessions] (default 64) bounds concurrent sessions; further
+    [online-open]s are refused with an [overloaded] error. *)
+
+val handles : Msts.Api.op -> bool
+(** True exactly on the [Online_*] operations. *)
+
+val sessions : t -> int
+(** Currently open sessions. *)
+
+val exec : t -> Msts.Api.op -> (Msts.Json.t, Msts.Api.error) result
+(** Apply one online operation.  Deltas ride in the reply payload's
+    ["deltas"] list, in emission order (docs/ONLINE.md).  Non-online ops
+    return a [bad_request] error. *)
+
+val close_all : t -> int
+(** Drop every session (drain epilogue); returns how many were open. *)

@@ -6,13 +6,13 @@ type t = {
 
 let make ~c ~w =
   let p = Array.length c in
-  if p = 0 then invalid_arg "Chain.make: empty chain";
-  if Array.length w <> p then invalid_arg "Chain.make: c/w length mismatch";
+  if p = 0 then invalid_arg "Msts.Chain.make: empty chain";
+  if Array.length w <> p then invalid_arg "Msts.Chain.make: c/w length mismatch";
   Array.iter
-    (fun x -> if x <= 0 then invalid_arg "Chain.make: non-positive latency")
+    (fun x -> if x <= 0 then invalid_arg "Msts.Chain.make: non-positive latency")
     c;
   Array.iter
-    (fun x -> if x <= 0 then invalid_arg "Chain.make: non-positive work time")
+    (fun x -> if x <= 0 then invalid_arg "Msts.Chain.make: non-positive work time")
     w;
   let cumulative_c = Array.make p c.(0) in
   for k = 1 to p - 1 do
@@ -29,7 +29,7 @@ let length t = Array.length t.c
 
 let check_index t k name =
   if k < 1 || k > length t then
-    invalid_arg (Printf.sprintf "Chain.%s: processor %d outside 1..%d" name k (length t))
+    invalid_arg (Printf.sprintf "Msts.Chain.%s: processor %d outside 1..%d" name k (length t))
 
 let latency t k =
   check_index t k "latency";
@@ -44,7 +44,7 @@ let path_latency t k =
   t.cumulative_c.(k - 1)
 
 let drop_first t =
-  if length t < 2 then invalid_arg "Chain.drop_first: chain of length 1";
+  if length t < 2 then invalid_arg "Msts.Chain.drop_first: chain of length 1";
   make ~c:(Array.sub t.c 1 (length t - 1)) ~w:(Array.sub t.w 1 (length t - 1))
 
 let prefix t k =
@@ -55,8 +55,8 @@ let to_pairs t = List.init (length t) (fun i -> (t.c.(i), t.w.(i)))
 
 let scale ?(latency_factor = 1) ?(work_factor = 1) t ~at =
   check_index t at "scale";
-  if latency_factor < 1 then invalid_arg "Chain.scale: latency_factor must be >= 1";
-  if work_factor < 1 then invalid_arg "Chain.scale: work_factor must be >= 1";
+  if latency_factor < 1 then invalid_arg "Msts.Chain.scale: latency_factor must be >= 1";
+  if work_factor < 1 then invalid_arg "Msts.Chain.scale: work_factor must be >= 1";
   let c = Array.copy t.c and w = Array.copy t.w in
   c.(at - 1) <- c.(at - 1) * latency_factor;
   w.(at - 1) <- w.(at - 1) * work_factor;
@@ -73,7 +73,7 @@ let pp ppf t =
 let to_string t = Format.asprintf "%a" pp t
 
 let master_only_makespan t n =
-  if n < 0 then invalid_arg "Chain.master_only_makespan: negative n";
+  if n < 0 then invalid_arg "Msts.Chain.master_only_makespan: negative n";
   if n = 0 then 0
   else t.c.(0) + ((n - 1) * max t.w.(0) t.c.(0)) + t.w.(0)
 

@@ -24,6 +24,7 @@ type t = {
   pool : Msts.Pool.t;
   cache : Msts.Batch.cache;
   queue : item Queue.t;
+  online : Msts_online.Service.t;
   mutable stopping : bool;
   mutable served : int;
   mutable rejected : int;
@@ -44,6 +45,7 @@ let create cfg =
     pool = Msts.Pool.create ~jobs:cfg.jobs ();
     cache = Msts.Batch.cache ~capacity:cfg.cache_capacity;
     queue = Queue.create ();
+    online = Msts_online.Service.create ();
     stopping = false;
     served = 0;
     rejected = 0;
@@ -55,6 +57,7 @@ let pending t = Queue.length t.queue
 let stopping t = t.stopping
 let served t = t.served
 let rejected t = t.rejected
+let online_sessions t = Msts_online.Service.sessions t.online
 let stop t = t.stopping <- true
 
 let stats_json t =
@@ -69,6 +72,7 @@ let stats_json t =
             ("length", Json.Int (Msts.Batch.cache_length t.cache));
           ] );
       ("queue", Json.Int (Queue.length t.queue));
+      ("online_sessions", Json.Int (Msts_online.Service.sessions t.online));
       ("served", Json.Int t.served);
       ("rejected", Json.Int t.rejected);
       ("stopping", Json.Bool t.stopping);
@@ -106,6 +110,16 @@ let submit t ~reply request =
     in
     deliver t item { Api.id = request.Api.id; result }
   end
+  else if Msts_online.Service.handles request.Api.op then
+    (* Online operations are session state transitions: cheap (O(p) per
+       arrival), ordered, and answered synchronously — including while
+       draining, so a SIGTERM mid-session never drops a delta.  The queue
+       and its admission control are for solve work only. *)
+    deliver t item
+      {
+        Api.id = request.Api.id;
+        result = Msts_online.Service.exec t.online request.Api.op;
+      }
   else if t.stopping then
     refuse t item Api.Shutting_down "server is draining; request not admitted"
   else if Queue.length t.queue >= t.cfg.queue_cap then

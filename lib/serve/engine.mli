@@ -52,9 +52,12 @@ val config : t -> config
 val submit : t -> reply:(Msts.Api.response -> unit) -> Msts.Api.request -> unit
 (** Admit one request.  Control operations ([Ping]/[Stats]/[Shutdown])
     are answered synchronously — [Shutdown] flips {!stopping} and answers
-    [Bye].  Solve operations are enqueued (reply comes from a later
-    {!dispatch}), or answered immediately with [`shutting_down] when
-    {!stopping}, or [`overloaded] when the queue is full. *)
+    [Bye].  Online operations ([Online_*]) are answered synchronously by
+    the engine's {!Msts_online.Service} — also while draining, so an
+    in-flight online session loses no deltas to a SIGTERM.  Solve
+    operations are enqueued (reply comes from a later {!dispatch}), or
+    answered immediately with [`shutting_down] when {!stopping}, or
+    [`overloaded] when the queue is full. *)
 
 val handle_line : t -> reply:(string -> unit) -> string -> unit
 (** The full wire step: parse one JSONL frame, {!submit} it, and deliver
@@ -86,6 +89,9 @@ val served : t -> int
 
 val rejected : t -> int
 (** Total admission rejections (overload + shutting-down + timeouts). *)
+
+val online_sessions : t -> int
+(** Currently open online (anytime-scheduling) sessions. *)
 
 val stats_json : t -> Msts.Json.t
 (** The [Stats] reply payload: version, pool size, cache

@@ -1,0 +1,100 @@
+The online anytime scheduler, end to end.  `msts online` drives the same
+session registry (`Msts_online.Service`) that the `msts serve` engine
+embeds, so a scripted session produces byte-identical response frames
+whether it runs locally or over the daemon's socket (docs/ONLINE.md).
+
+  $ cat > session.jsonl <<'EOF'
+  > # figure-2 chain: five tasks fit before deadline 14
+  > {"id":1,"op":"online-open","platform":"chain\n2 3\n3 5","deadline":14}
+  > {"id":2,"op":"online-submit","session":1,"tasks":6}
+  > {"id":3,"op":"online-advance","session":1,"time":5}
+  > {"id":4,"op":"online-extend","session":1,"deadline":15}
+  > {"id":5,"op":"online-extend","session":1,"deadline":22}
+  > {"id":6,"op":"online-degrade","session":1,"at":2,"work_factor":3}
+  > {"id":7,"op":"online-plan","session":1}
+  > {"id":8,"op":"online-close","session":1}
+  > {"id":9,"op":"online-submit","session":1,"tasks":1}
+  > EOF
+
+The local session.  Six arrivals: five place (each later arrival emits
+earlier — the plan grows backward from the deadline), the sixth is
+rejected.  Advancing the execution frontier to 5 freezes three
+placements; a one-tick extension cannot clear them and the refusal names
+the minimal acceptable deadline; extending to exactly that deadline
+displaces the two revisable tasks.  The degradation is refused because
+processor 2 already executed a frozen placement.  The plan payload
+renders like `msts deadline --format=json`, prefixed with the session
+state; closed sessions answer `unknown session`:
+
+  $ ../../bin/msts.exe online --script session.jsonl | tee local.out
+  {"v":1,"id":1,"ok":{"session":1,"deadline":14,"procs":2}}
+  {"v":1,"id":2,"ok":{"session":1,"placed":5,"rejected":1,"deltas":[{"delta":"placed","task":1,"proc":1,"start":11,"comms":[9]},{"delta":"placed","task":2,"proc":1,"start":8,"comms":[6]},{"delta":"placed","task":3,"proc":2,"start":9,"comms":[4,6]},{"delta":"placed","task":4,"proc":1,"start":5,"comms":[2]},{"delta":"placed","task":5,"proc":1,"start":2,"comms":[0]},{"delta":"rejected","task":6}]}}
+  {"v":1,"id":3,"ok":{"session":1,"frontier":5,"frozen":3,"deltas":[{"delta":"frozen","frontier":5,"tasks":3}]}}
+  {"v":1,"id":4,"error":{"code":"invalid_argument","message":"Msts.Online.extend: 15 does not clear the frozen prefix; extend to at least 22"}}
+  {"v":1,"id":5,"ok":{"session":1,"deadline":22,"displaced":2,"deltas":[{"delta":"displaced","task":1,"proc":1,"start":19,"comms":[17]},{"delta":"displaced","task":2,"proc":1,"start":16,"comms":[14]}]}}
+  {"v":1,"id":6,"error":{"code":"invalid_argument","message":"Msts.Online.degrade: processor 2 holds 1 frozen placement(s)"}}
+  {"v":1,"id":7,"ok":{"session":1,"frontier":5,"frozen":3,"rejected":1,"deadline":22,"kind":"chain","tasks":5,"makespan":22,"entries":[{"task":1,"proc":1,"start":2,"comms":[0]},{"task":2,"proc":1,"start":5,"comms":[2]},{"task":3,"proc":2,"start":9,"comms":[4,6]},{"task":4,"proc":1,"start":16,"comms":[14]},{"task":5,"proc":1,"start":19,"comms":[17]}]}}
+  {"v":1,"id":8,"ok":{"session":1,"closed":true,"placed":5,"rejected":1}}
+  {"v":1,"id":9,"error":{"code":"invalid_argument","message":"Msts.Online.Service: unknown session 1"}}
+
+Non-online operations don't belong here — the daemon answers them
+engine-side, the local session runner points at `msts call`:
+
+  $ echo '{"op":"ping"}' | ../../bin/msts.exe online
+  {"v":1,"error":{"code":"bad_request","message":"ping is not an online operation; use msts call"}}
+
+A mid-run fault that *is* adoptable: with the frontier at 1 only the
+earliest placement is frozen (on processor 1), so degrading processor 2
+re-places every revisable task on the slower platform and extends the
+deadline by exactly the slack the new suffix needs:
+
+  $ ../../bin/msts.exe online <<'EOF'
+  > {"op":"online-open","platform":"chain\n2 3\n3 5","deadline":14}
+  > {"op":"online-submit","session":1,"tasks":5}
+  > {"op":"online-advance","session":1,"time":1}
+  > {"op":"online-degrade","session":1,"at":2,"work_factor":2}
+  > {"op":"online-close","session":1}
+  > EOF
+  {"v":1,"ok":{"session":1,"deadline":14,"procs":2}}
+  {"v":1,"ok":{"session":1,"placed":5,"rejected":0,"deltas":[{"delta":"placed","task":1,"proc":1,"start":11,"comms":[9]},{"delta":"placed","task":2,"proc":1,"start":8,"comms":[6]},{"delta":"placed","task":3,"proc":2,"start":9,"comms":[4,6]},{"delta":"placed","task":4,"proc":1,"start":5,"comms":[2]},{"delta":"placed","task":5,"proc":1,"start":2,"comms":[0]}]}}
+  {"v":1,"ok":{"session":1,"frontier":1,"frozen":1,"deltas":[{"delta":"frozen","frontier":1,"tasks":1}]}}
+  {"v":1,"ok":{"session":1,"replaced":4,"extended_by":5,"deadline":19,"deltas":[{"delta":"displaced","task":1,"proc":1,"start":16,"comms":[14]},{"delta":"displaced","task":2,"proc":1,"start":13,"comms":[11]},{"delta":"displaced","task":3,"proc":1,"start":10,"comms":[8]},{"delta":"displaced","task":4,"proc":1,"start":7,"comms":[5]}]}}
+  {"v":1,"ok":{"session":1,"closed":true,"placed":5,"rejected":0}}
+
+Now the same script through a real daemon.  `msts call --stdin` streams
+the frames over one persistent connection (session ids stay valid) and
+`--raw` echoes the response frames untouched:
+
+  $ ../../bin/msts.exe serve --socket msts.sock > serve.log 2>&1 &
+  $ SERVE=$!
+  $ for i in $(seq 1 100); do [ -S msts.sock ] && break; sleep 0.1; done
+
+  $ grep -v '^#' session.jsonl \
+  >   | ../../bin/msts.exe call --socket msts.sock --stdin --raw > daemon.out
+  $ cmp daemon.out local.out && echo byte-identical
+  byte-identical
+
+SIGTERM mid-session: a second connection opens a session and submits,
+the daemon is terminated while the connection is live, and every frame
+written still gets its response — zero dropped deltas — before the
+daemon drains out:
+
+  $ mkfifo req
+  $ ../../bin/msts.exe call --socket msts.sock --stdin --raw < req > drain.out &
+  $ CLIENT=$!
+  $ exec 9> req
+  $ printf '%s\n' '{"op":"online-open","platform":"chain\n2 3\n3 5","deadline":40}' >&9
+  $ printf '%s\n' '{"op":"online-submit","session":2,"tasks":3}' >&9
+  $ sleep 0.5
+  $ kill -TERM $SERVE
+  $ exec 9>&-
+  $ wait $CLIENT
+  $ wait $SERVE
+  $ cat drain.out
+  {"v":1,"ok":{"session":2,"deadline":40,"procs":2}}
+  {"v":1,"ok":{"session":2,"placed":3,"rejected":0,"deltas":[{"delta":"placed","task":1,"proc":1,"start":37,"comms":[35]},{"delta":"placed","task":2,"proc":1,"start":34,"comms":[32]},{"delta":"placed","task":3,"proc":2,"start":35,"comms":[30,32]}]}}
+
+Every request got exactly one response and the daemon exited cleanly:
+
+  $ grep -c bye serve.log
+  1

@@ -33,4 +33,5 @@ let () =
          Test_batch.suites;
          Test_api.suites;
          Test_integration.suites;
+         Test_online.suites;
        ])

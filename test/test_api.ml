@@ -66,6 +66,26 @@ let op_gen =
             Api.Profile { platform; tasks; deadline; workload; seed; events })
           (triple platform_gen (int_range 0 30) (opt (int_range 0 100)))
           (triple workload_gen (int_range 0 1000) (int_range 0 10));
+        map
+          (fun (platform, deadline, capacity) ->
+            Api.Online_open { platform; deadline; capacity })
+          (triple platform_gen (int_range 0 500) (int_range 0 8));
+        map2
+          (fun session tasks -> Api.Online_submit { session; tasks })
+          (int_range 1 64) (int_range 0 40);
+        map2
+          (fun session time -> Api.Online_advance { session; time })
+          (int_range 1 64) (int_range 0 500);
+        map2
+          (fun session deadline -> Api.Online_extend { session; deadline })
+          (int_range 1 64) (int_range 0 500);
+        map2
+          (fun session (at, work_factor) ->
+            Api.Online_degrade { session; at; work_factor })
+          (int_range 1 64)
+          (pair (int_range 1 5) (int_range 1 4));
+        map (fun session -> Api.Online_plan { session }) (int_range 1 64);
+        map (fun session -> Api.Online_close { session }) (int_range 1 64);
       ])
 
 let request_gen =

@@ -58,7 +58,7 @@ let incremental_state_copy () =
 
 let incremental_rejects_negative () =
   Alcotest.check_raises "negative horizon"
-    (Invalid_argument "Incremental.create: negative horizon") (fun () ->
+    (Invalid_argument "Msts.Chain.Incremental.create: negative horizon") (fun () ->
       ignore (Msts.Chain_incremental.create figure2_chain ~horizon:(-1)))
 
 (* ---------- spread profile / heterogeneity ---------- *)

@@ -94,10 +94,10 @@ let spider_makespans_identical =
    degenerate corner is therefore the minimal legal platform. *)
 let degenerate_rejected () =
   Alcotest.check_raises "c = 0 is outside the model"
-    (Invalid_argument "Chain.make: non-positive latency") (fun () ->
+    (Invalid_argument "Msts.Chain.make: non-positive latency") (fun () ->
       ignore (Msts.Chain.of_pairs [ (0, 1) ]));
   Alcotest.check_raises "w = 0 is outside the model"
-    (Invalid_argument "Chain.make: non-positive work time") (fun () ->
+    (Invalid_argument "Msts.Chain.make: non-positive work time") (fun () ->
       ignore (Msts.Chain.of_pairs [ (1, 0) ]))
 
 let minimal_platform () =

@@ -470,6 +470,20 @@ let corpus () =
          Msts.Solve.problem ~tasks:4 chain_platform;
          Msts.Solve.problem ~tasks:4 chain_platform;
        |]);
+  (* The online anytime scheduler: one session with arrivals, a deadline
+     extension (displacements) and an adopted degradation (replan); a
+     second session exercising rejection and freezing. *)
+  (let o = Msts_online.Online.create figure2_chain ~deadline:40 in
+   ignore (Msts_online.Online.submit o 6);
+   (match Msts_online.Online.extend o ~deadline:60 with
+   | Ok _ -> ()
+   | Error msg -> Alcotest.fail msg);
+   match Msts_online.Online.degrade o ~at:1 ~work_factor:2 with
+   | Ok _ -> ()
+   | Error msg -> Alcotest.fail msg);
+  (let o = Msts_online.Online.create figure2_chain ~deadline:14 in
+   ignore (Msts_online.Online.submit o 9) (* only 5 fit: rejections *);
+   ignore (Msts_online.Online.advance o ~time:14) (* freeze them all *));
   (* The serve engine, under a deterministic clock so the queue-wait
      timeout path fires without sleeping: two requests age past the
      10us deadline, a third lands on a full queue (overloaded), a
@@ -566,6 +580,15 @@ let metric_names_documented () =
       "trace.segments_checked";
       "trace.violations";
       "trace.check";
+      "online.sessions";
+      "online.arrivals";
+      "online.placed";
+      "online.rejected";
+      "online.frozen";
+      "online.displaced";
+      "online.extends";
+      "online.replans";
+      "online.place_us";
     ]
   in
   List.iter

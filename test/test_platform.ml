@@ -15,24 +15,24 @@ let chain_accessors () =
   Alcotest.(check int) "path 3" 6 (Msts.Chain.path_latency chain 3)
 
 let chain_validation () =
-  Alcotest.check_raises "empty" (Invalid_argument "Chain.make: empty chain")
+  Alcotest.check_raises "empty" (Invalid_argument "Msts.Chain.make: empty chain")
     (fun () -> ignore (Msts.Chain.make ~c:[||] ~w:[||]));
-  Alcotest.check_raises "mismatch" (Invalid_argument "Chain.make: c/w length mismatch")
+  Alcotest.check_raises "mismatch" (Invalid_argument "Msts.Chain.make: c/w length mismatch")
     (fun () -> ignore (Msts.Chain.make ~c:[| 1 |] ~w:[| 1; 2 |]));
   Alcotest.check_raises "zero latency"
-    (Invalid_argument "Chain.make: non-positive latency") (fun () ->
+    (Invalid_argument "Msts.Chain.make: non-positive latency") (fun () ->
       ignore (Msts.Chain.make ~c:[| 0 |] ~w:[| 1 |]));
   Alcotest.check_raises "zero work"
-    (Invalid_argument "Chain.make: non-positive work time") (fun () ->
+    (Invalid_argument "Msts.Chain.make: non-positive work time") (fun () ->
       ignore (Msts.Chain.make ~c:[| 1 |] ~w:[| 0 |]))
 
 let chain_out_of_range () =
   let chain = figure2_chain in
   Alcotest.check_raises "latency 0"
-    (Invalid_argument "Chain.latency: processor 0 outside 1..2") (fun () ->
+    (Invalid_argument "Msts.Chain.latency: processor 0 outside 1..2") (fun () ->
       ignore (Msts.Chain.latency chain 0));
   Alcotest.check_raises "work 3"
-    (Invalid_argument "Chain.work: processor 3 outside 1..2") (fun () ->
+    (Invalid_argument "Msts.Chain.work: processor 3 outside 1..2") (fun () ->
       ignore (Msts.Chain.work chain 3))
 
 let chain_drop_first () =
@@ -41,7 +41,7 @@ let chain_drop_first () =
   Alcotest.(check bool) "drop" true
     (Msts.Chain.equal sub (Msts.Chain.of_pairs [ (3, 5); (1, 7) ]));
   Alcotest.check_raises "drop singleton"
-    (Invalid_argument "Chain.drop_first: chain of length 1") (fun () ->
+    (Invalid_argument "Msts.Chain.drop_first: chain of length 1") (fun () ->
       ignore (Msts.Chain.drop_first (Msts.Chain.of_pairs [ (1, 1) ])))
 
 let chain_prefix () =
@@ -51,7 +51,7 @@ let chain_prefix () =
 
 let chain_pairs_roundtrip =
   Helpers.to_alcotest
-    (QCheck.Test.make ~count:200 ~name:"Chain.of_pairs/to_pairs round-trip"
+    (QCheck.Test.make ~count:200 ~name:"Msts.Chain.of_pairs/to_pairs round-trip"
        (chain_arb ~max_p:6 ())
        (fun chain ->
          Msts.Chain.equal chain (Msts.Chain.of_pairs (Msts.Chain.to_pairs chain))))
@@ -123,7 +123,7 @@ let spider_scale () =
   Alcotest.(check bool) "original unchanged" true
     (Msts.Spider.work spider target = 5);
   Alcotest.check_raises "factor < 1 rejected"
-    (Invalid_argument "Chain.scale: work_factor must be >= 1") (fun () ->
+    (Invalid_argument "Msts.Chain.scale: work_factor must be >= 1") (fun () ->
       ignore (Msts.Spider.scale ~work_factor:0 spider target))
 
 let spider_restrict () =
