@@ -63,7 +63,7 @@ let request i =
       | _ ->
           Api.Schedule (Msts.Solve.problem ~tasks:(4 + ((i / 7) mod 8)) platform)
   in
-  { Api.id = Some i; op }
+  { Api.id = Some i; trace = None; op }
 
 let sock_path stage = Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "msts-bench-%s-%d.sock" stage (Unix.getpid ()))
@@ -104,7 +104,7 @@ let connect_or_fail socket_path =
 
 let response_id line =
   match Api.response_of_line line with
-  | Ok { Api.id = Some i; result } -> (i, result)
+  | Ok { Api.id = Some i; result; _ } -> (i, result)
   | Ok { Api.id = None; _ } -> failwith "serve bench: response without id"
   | Error e -> failwith ("serve bench: unreadable response: " ^ e.Api.message)
 
@@ -144,6 +144,101 @@ let replay client ~total =
   if !errors > 0 then
     failwith (Printf.sprintf "serve bench: %d error responses" !errors);
   (latency, wall)
+
+(* Lockstep exchange on an otherwise-quiet connection (the replay has
+   fully drained, so the next received line answers the sent frame). *)
+let exchange client frame =
+  Msts_serve.Client.send_line client frame;
+  match Msts_serve.Client.recv_line client with
+  | Some line -> line
+  | None -> failwith "serve bench: server closed during audit"
+
+let payload_of_line line =
+  match Api.response_of_line line with
+  | Ok { Api.result = Ok payload; _ } -> payload
+  | Ok { Api.result = Error e; _ } ->
+      failwith ("serve bench: audit request refused: " ^ e.Api.message)
+  | Error e -> failwith ("serve bench: unreadable audit response: " ^ e.Api.message)
+
+let member_exn what json name =
+  match Json.member name json with
+  | Some v -> v
+  | None -> failwith (Printf.sprintf "serve bench: %s lacks %S" what name)
+
+(* Post-replay observability audit: the slow-request log must stay at its
+   top-K cap (no growth across the whole replay), the per-request
+   queue-wait histogram must count exactly the dispatched solves, and the
+   Prometheus exposition's global serve.queue_wait_us family must agree —
+   the same requests, tallied in two independent layers.  Returns extra
+   fields for the stage record, including the mean scrape cost. *)
+let observability_audit client ~total =
+  let expected_solves =
+    let n = ref 0 in
+    for i = 0 to total - 1 do
+      if i mod 101 <> 0 && i mod 7 <> 0 then incr n
+    done;
+    !n
+  in
+  let stats = payload_of_line (exchange client {|{"op":"stats"}|}) in
+  let slow =
+    match member_exn "stats" stats "slow_requests" with
+    | Json.List l -> List.length l
+    | _ -> failwith "serve bench: slow_requests is not a list"
+  in
+  if slow > 16 then
+    failwith
+      (Printf.sprintf "serve bench: slow-request log grew to %d (cap 16)" slow);
+  let request_count =
+    match
+      member_exn "request.queue_wait_us"
+        (member_exn "stats.request"
+           (member_exn "stats" stats "request")
+           "queue_wait_us")
+        "count"
+    with
+    | Json.Int n -> n
+    | _ -> failwith "serve bench: request histogram count is not an int"
+  in
+  if request_count <> expected_solves then
+    failwith
+      (Printf.sprintf
+         "serve bench: request.queue_wait_us counted %d, %d solves dispatched"
+         request_count expected_solves);
+  let scrapes = 20 in
+  let scrape_us = ref 0 in
+  let body = ref "" in
+  for _ = 1 to scrapes do
+    let t0 = Unix.gettimeofday () in
+    let payload = payload_of_line (exchange client {|{"op":"metrics"}|}) in
+    scrape_us := !scrape_us + int_of_float ((Unix.gettimeofday () -. t0) *. 1e6);
+    match member_exn "metrics" payload "body" with
+    | Json.String b -> body := b
+    | _ -> failwith "serve bench: metrics body is not a string"
+  done;
+  let exposed_count =
+    let prefix = "msts_serve_queue_wait_us_count " in
+    let found = ref None in
+    String.split_on_char '\n' !body
+    |> List.iter (fun line ->
+           if String.starts_with ~prefix line then
+             found :=
+               Some
+                 (int_of_string
+                    (String.sub line (String.length prefix)
+                       (String.length line - String.length prefix))));
+    match !found with
+    | Some n -> n
+    | None -> failwith "serve bench: exposition lost msts_serve_queue_wait_us"
+  in
+  if exposed_count <> request_count then
+    failwith
+      (Printf.sprintf
+         "serve bench: exposition counted %d queue waits, stats counted %d"
+         exposed_count request_count);
+  [
+    ("slow_requests", Json.Int slow);
+    ("metrics_scrape_us", Json.Int (!scrape_us / scrapes));
+  ]
 
 (* The drain contract: write [drain_inflight] frames, SIGTERM the daemon
    with them still unanswered, and demand every one of them back plus a
@@ -254,8 +349,13 @@ let run_stage ~stage ~total ~with_telemetry =
   let client = connect_or_fail socket_path in
   let t0 = Unix.gettimeofday () in
   let latency, _replay_wall = replay client ~total in
+  let audit_t0 = Unix.gettimeofday () in
+  let audit = observability_audit client ~total in
+  let audit_wall = Unix.gettimeofday () -. audit_t0 in
   sigterm_drain client pid ~offset:total;
-  let wall = Unix.gettimeofday () -. t0 in
+  (* The audit's lockstep exchanges are not load; keep the throughput
+     figure about the replay + drain. *)
+  let wall = Unix.gettimeofday () -. t0 -. audit_wall in
   let extra =
     match telemetry with
     | None -> []
@@ -269,6 +369,7 @@ let run_stage ~stage ~total ~with_telemetry =
         Sys.remove path;
         take "serve.queue_wait_us" @ take "serve.batch_size"
   in
+  let extra = extra @ audit in
   sections := (stage, stage_json ~total ~latency ~wall ~extra) :: !sections;
   write_bench ();
   Printf.printf

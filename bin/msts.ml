@@ -1234,8 +1234,28 @@ let serve_cmd =
     let doc = "Suppress the readiness and shutdown notices." in
     Arg.(value & flag & info [ "quiet" ] ~doc)
   in
+  let slow_log_arg =
+    let doc =
+      "Retain the $(docv) slowest requests (by total latency) in the \
+       $(b,stats) reply's slow-request log ($(b,0) disables it)."
+    in
+    Arg.(value & opt int 16 & info [ "slow-log" ] ~docv:"K" ~doc)
+  in
+  let metrics_out_arg =
+    let doc =
+      "Atomically rewrite $(docv) with the live Prometheus text exposition \
+       (write to $(docv).tmp, rename) — point a node-exporter textfile \
+       collector or a file-scraping agent at it."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+  in
+  let metrics_interval_arg =
+    let doc = "Seconds between $(b,--metrics-out) rewrites." in
+    Arg.(value & opt float 1.0 & info [ "metrics-interval" ] ~docv:"S" ~doc)
+  in
   let run () socket jobs cache_size queue_cap timeout_ms max_batch telemetry
-      ring quiet =
+      ring quiet slow_log metrics_out metrics_interval =
     List.iter
       (fun (what, v) ->
         if v < 1 then begin
@@ -1253,6 +1273,14 @@ let serve_cmd =
       Printf.eprintf "error: --timeout-ms must be >= 0\n";
       exit 2
     end;
+    if slow_log < 0 then begin
+      Printf.eprintf "error: --slow-log must be >= 0\n";
+      exit 2
+    end;
+    if metrics_interval <= 0.0 then begin
+      Printf.eprintf "error: --metrics-interval must be > 0\n";
+      exit 2
+    end;
     let cfg =
       {
         Msts_serve.Server.socket_path = socket;
@@ -1263,10 +1291,13 @@ let serve_cmd =
             queue_cap;
             timeout_us = timeout_ms * 1000;
             max_batch;
+            slow_log;
           };
         telemetry;
         ring_capacity = ring;
         quiet;
+        metrics_out;
+        metrics_interval;
       }
     in
     exit (Msts_serve.Server.run cfg)
@@ -1280,7 +1311,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ kernel_setter $ socket_arg $ jobs_arg $ cache_arg $ queue_arg
-      $ timeout_arg $ batch_arg $ telemetry_arg $ ring_arg $ quiet_arg)
+      $ timeout_arg $ batch_arg $ telemetry_arg $ ring_arg $ quiet_arg
+      $ slow_log_arg $ metrics_out_arg $ metrics_interval_arg)
 
 (* ---------- call ---------- *)
 
@@ -1373,6 +1405,106 @@ let call_cmd =
   Cmd.v (Cmd.info "call" ~doc)
     Term.(const run $ socket_arg $ frame_arg $ raw_arg $ stdin_arg)
 
+(* ---------- stats ---------- *)
+
+let stats_cmd =
+  let watch_arg =
+    let doc = "Poll the daemon repeatedly instead of printing one snapshot." in
+    Arg.(value & flag & info [ "w"; "watch" ] ~doc)
+  in
+  let interval_arg =
+    let doc = "Seconds between polls with $(b,--watch)." in
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"S" ~doc)
+  in
+  let count_arg =
+    let doc =
+      "Stop after $(docv) polls with $(b,--watch) ($(b,0) = poll forever)."
+    in
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let metrics_arg =
+    let doc =
+      "Print the Prometheus text exposition (the $(b,metrics) control op) \
+       instead of the $(b,stats) JSON."
+    in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let run socket watch interval count metrics =
+    if interval <= 0.0 then begin
+      Printf.eprintf "error: --interval must be > 0\n";
+      exit 2
+    end;
+    if count < 0 then begin
+      Printf.eprintf "error: --count must be >= 0\n";
+      exit 2
+    end;
+    match Msts_serve.Client.connect socket with
+    | Error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    | Ok client ->
+        let frame =
+          if metrics then {|{"op":"metrics"}|} else {|{"op":"stats"}|}
+        in
+        let print_payload payload =
+          (* The metrics payload wraps the exposition; print the body raw
+             so the output pipes straight into promtool-style checkers. *)
+          match payload with
+          | Msts.Json.Obj fields when metrics -> (
+              match List.assoc_opt "body" fields with
+              | Some (Msts.Json.String body) -> print_string body
+              | _ -> print_endline (Msts.Json.to_string ~pretty:true payload))
+          | _ -> print_endline (Msts.Json.to_string ~pretty:true payload)
+        in
+        let once () =
+          Msts_serve.Client.send_line client frame;
+          match Msts_serve.Client.recv_line client with
+          | None ->
+              Printf.eprintf "error: connection closed by server\n";
+              2
+          | Some line -> (
+              match Msts.Api.response_of_line line with
+              | Error e ->
+                  Printf.eprintf "error: unreadable response: %s\n"
+                    e.Msts.Api.message;
+                  2
+              | Ok { Msts.Api.result = Ok payload; _ } ->
+                  print_payload payload;
+                  0
+              | Ok { Msts.Api.result = Error e; _ } ->
+                  Printf.eprintf "error [%s]: %s\n"
+                    (Msts.Api.error_code_to_string e.Msts.Api.code)
+                    e.Msts.Api.message;
+                  1)
+        in
+        let rec loop i =
+          let status = once () in
+          if status <> 0 then status
+          else if (not watch) || (count > 0 && i + 1 >= count) then 0
+          else begin
+            flush stdout;
+            Unix.sleepf interval;
+            print_endline "---";
+            loop (i + 1)
+          end
+        in
+        let status = loop 0 in
+        Msts_serve.Client.close client;
+        if status <> 0 then exit status
+  in
+  let doc =
+    "Show a running $(b,msts serve) daemon's live counters: one $(b,stats) \
+     snapshot (pretty JSON — queue depth, served/rejected totals, the \
+     per-request queue-wait/solve/encode latency breakdown and the \
+     slow-request log), polled repeatedly with $(b,--watch) (snapshots \
+     separated by $(b,---)), or the Prometheus text exposition with \
+     $(b,--metrics).  Exits 2 when the daemon is unreachable."
+  in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const run $ socket_arg $ watch_arg $ interval_arg $ count_arg
+      $ metrics_arg)
+
 (* ---------- online ---------- *)
 
 let online_cmd =
@@ -1393,8 +1525,13 @@ let online_cmd =
       else
         let response =
           match Msts.Api.request_of_line line with
-          | Error e -> { Msts.Api.id = Msts.Api.frame_id line; result = Error e }
-          | Ok { Msts.Api.id; op } ->
+          | Error e ->
+              {
+                Msts.Api.id = Msts.Api.frame_id line;
+                trace = Msts.Api.frame_trace line;
+                result = Error e;
+              }
+          | Ok { Msts.Api.id; trace; op } ->
               let result =
                 if Msts_online.Service.handles op then
                   Msts_online.Service.exec svc op
@@ -1405,7 +1542,7 @@ let online_cmd =
                           "%s is not an online operation; use msts call"
                           (Msts.Api.op_name op)))
               in
-              { Msts.Api.id; result }
+              { Msts.Api.id; trace; result }
         in
         print_string (Msts.Api.response_to_line response)
     in
@@ -1458,6 +1595,7 @@ let main_cmd =
       report_cmd;
       serve_cmd;
       call_cmd;
+      stats_cmd;
       online_cmd;
       trace_cmd;
       tree_cmd;

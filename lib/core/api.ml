@@ -113,6 +113,7 @@ type op =
       events : int;
     }
   | Stats
+  | Metrics_dump
   | Shutdown
   | Online_open of { platform : Parse.platform; deadline : int; capacity : int }
   | Online_submit of { session : int; tasks : int }
@@ -132,6 +133,7 @@ let op_name = function
   | Check _ -> "check"
   | Profile _ -> "profile"
   | Stats -> "stats"
+  | Metrics_dump -> "metrics"
   | Shutdown -> "shutdown"
   | Online_open _ -> "online-open"
   | Online_submit _ -> "online-submit"
@@ -141,7 +143,9 @@ let op_name = function
   | Online_plan _ -> "online-plan"
   | Online_close _ -> "online-close"
 
-let is_control = function Ping | Stats | Shutdown -> true | _ -> false
+let is_control = function
+  | Ping | Stats | Metrics_dump | Shutdown -> true
+  | _ -> false
 
 let is_online = function
   | Online_open _ | Online_submit _ | Online_advance _ | Online_extend _
@@ -149,7 +153,10 @@ let is_online = function
       true
   | _ -> false
 
-type request = { id : int option; op : op }
+(* [trace] is the request-scoped correlation context: an opaque string the
+   client attaches; the daemon echoes it on the response and uses it to
+   label the request's scope in telemetry and the slow-request log. *)
+type request = { id : int option; trace : string option; op : op }
 
 (* ---------- request codec ---------- *)
 
@@ -159,7 +166,7 @@ let problem_fields (p : problem) =
   @ match p.Solve.deadline with None -> [] | Some d -> [ ("deadline", Json.Int d) ]
 
 let encode_op_fields = function
-  | Ping | Stats | Shutdown -> []
+  | Ping | Stats | Metrics_dump | Shutdown -> []
   | Schedule p | Deadline p | Metrics p -> problem_fields p
   | Batch problems ->
       [
@@ -172,8 +179,10 @@ let encode_op_fields = function
       problem_fields problem @ [ ("planned", Json.Bool planned) ]
   | Check { problem; trace; seed; events } ->
       problem_fields problem
+      (* wire name "traced", not "trace": the request envelope's trace
+         context owns that key *)
       @ [
-          ("trace", Json.Bool trace);
+          ("traced", Json.Bool trace);
           ("seed", Json.Int seed);
           ("events", Json.Int events);
         ]
@@ -209,10 +218,11 @@ let encode_op_fields = function
   | Online_plan { session } | Online_close { session } ->
       [ ("session", Json.Int session) ]
 
-let encode_request { id; op } =
+let encode_request { id; trace; op } =
   Json.Obj
     (("v", Json.Int version)
     :: (match id with None -> [] | Some i -> [ ("id", Json.Int i) ])
+    @ (match trace with None -> [] | Some s -> [ ("trace", Json.String s) ])
     @ (("op", Json.String (op_name op)) :: encode_op_fields op))
 
 (* Total decoding: every failure is a value, never an exception. *)
@@ -247,6 +257,12 @@ let string_field kvs key =
   | Some (Json.String s) -> Ok s
   | Some _ -> bad "field %S must be a string" key
 
+let opt_string_field kvs key =
+  match field kvs key with
+  | None -> Ok None
+  | Some (Json.String s) -> Ok (Some s)
+  | Some _ -> bad "field %S must be a string" key
+
 let platform_field kvs =
   let* text = string_field kvs "platform" in
   match Parse.of_string text with
@@ -270,9 +286,16 @@ let decode_op kvs name =
   | "deadline" ->
       let* p = problem_of_fields kvs in
       Ok (Deadline p)
-  | "metrics" ->
-      let* p = problem_of_fields kvs in
-      Ok (Metrics p)
+  | "metrics" -> (
+      (* Two ops share the wire name: with a platform this is the solve
+         metrics of a plan; without one it is the control op dumping the
+         daemon's live telemetry.  Unambiguous because the solve form
+         always requires "platform". *)
+      match field kvs "platform" with
+      | None -> Ok Metrics_dump
+      | Some _ ->
+          let* p = problem_of_fields kvs in
+          Ok (Metrics p))
   | "batch" -> (
       match field kvs "problems" with
       | Some (Json.List items) ->
@@ -292,7 +315,7 @@ let decode_op kvs name =
       Ok (Report { problem; planned })
   | "check" ->
       let* problem = problem_of_fields kvs in
-      let* trace = opt_bool_field kvs "trace" ~default:false in
+      let* trace = opt_bool_field kvs "traced" ~default:false in
       let* seed = opt_int_field kvs "seed" in
       let* events = opt_int_field kvs "events" in
       Ok
@@ -382,9 +405,10 @@ let decode_envelope json =
 
 let decode_request json =
   let* kvs, id = decode_envelope json in
+  let* trace = opt_string_field kvs "trace" in
   let* name = string_field kvs "op" in
   let* op = decode_op kvs name in
-  Ok { id; op }
+  Ok { id; trace; op }
 
 let request_to_line r = Json.to_string (encode_request r) ^ "\n"
 
@@ -403,14 +427,25 @@ let frame_id line =
       match field kvs "id" with Some (Json.Int i) -> Some i | _ -> None)
   | _ -> None
 
+let frame_trace line =
+  match Json.parse line with
+  | Ok (Json.Obj kvs) -> (
+      match field kvs "trace" with Some (Json.String s) -> Some s | _ -> None)
+  | _ -> None
+
 (* ---------- response codec ---------- *)
 
-type response = { id : int option; result : (Json.t, error) result }
+type response = {
+  id : int option;
+  trace : string option;
+  result : (Json.t, error) result;
+}
 
-let encode_response { id; result } =
+let encode_response { id; trace; result } =
   Json.Obj
     (("v", Json.Int version)
     :: (match id with None -> [] | Some i -> [ ("id", Json.Int i) ])
+    @ (match trace with None -> [] | Some s -> [ ("trace", Json.String s) ])
     @ [
         (match result with
         | Ok payload -> ("ok", payload)
@@ -425,8 +460,9 @@ let encode_response { id; result } =
 
 let decode_response json =
   let* kvs, id = decode_envelope json in
+  let* trace = opt_string_field kvs "trace" in
   match (field kvs "ok", field kvs "error") with
-  | Some payload, None -> Ok { id; result = Ok payload }
+  | Some payload, None -> Ok { id; trace; result = Ok payload }
   | None, Some (Json.Obj ekvs) ->
       let* code_name = string_field ekvs "code" in
       let* message = string_field ekvs "message" in
@@ -435,7 +471,7 @@ let decode_response json =
         | Some c -> Ok c
         | None -> bad "unknown error code %S" code_name
       in
-      Ok { id; result = Error { code; message } }
+      Ok { id; trace; result = Error { code; message } }
   | None, Some _ -> bad "field \"error\" must be an object"
   | Some _, Some _ -> bad "frame carries both \"ok\" and \"error\""
   | None, None -> bad "frame carries neither \"ok\" nor \"error\""
@@ -587,6 +623,7 @@ type reply =
     }
   | Profiled of { summary : (string * Json.t) list; mem : Obs.Memory.t }
   | Stats_info of Json.t
+  | Metrics_text of string
   | Bye
 
 let platform_kind = function
@@ -673,6 +710,12 @@ let json_of_reply = function
       in
       Json.Obj (summary @ fields)
   | Stats_info json -> json
+  | Metrics_text body ->
+      Json.Obj
+        [
+          ("format", Json.String "prometheus-text-0.0.4");
+          ("body", Json.String body);
+        ]
   | Bye -> Json.Obj [ ("shutting_down", Json.Bool true) ]
 
 (* ---------- execution ---------- *)
@@ -821,6 +864,10 @@ let exec ?(cache_capacity = 0) ~solver op =
     match op with
     | Ping -> Ok Pong
     | Stats -> Ok (Stats_info (Json.Obj [ ("version", Json.Int version) ]))
+    | Metrics_dump ->
+        (* The stateless dispatcher has no live aggregates; the daemon
+           (Msts_serve.Engine) overrides this with its real exposition. *)
+        Ok (Metrics_text "")
     | Shutdown -> Ok Bye
     | Schedule problem ->
         let* plan = solve_one ~solver problem in
@@ -855,10 +902,10 @@ let exec ?(cache_capacity = 0) ~solver op =
               online")
   with exn -> Error (error_of_exn exn)
 
-let respond ?cache_capacity ~solver { id; op } =
+let respond ?cache_capacity ~solver { id; trace; op } =
   let result =
     match exec ?cache_capacity ~solver op with
     | Ok reply -> Ok (json_of_reply reply)
     | Error e -> Error e
   in
-  { id; result }
+  { id; trace; result }

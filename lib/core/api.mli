@@ -78,6 +78,8 @@ type op =
   | Batch of problem array
   | Report of { problem : problem; planned : bool }
   | Check of { problem : problem; trace : bool; seed : int; events : int }
+      (** [trace] travels as the wire field ["traced"] — the request
+          envelope's trace context owns the ["trace"] key *)
   | Profile of {
       platform : Msts_platform.Parse.platform;
       tasks : int;
@@ -87,6 +89,12 @@ type op =
       events : int;
     }
   | Stats  (** daemon statistics (answered engine-side by [msts serve]) *)
+  | Metrics_dump
+      (** live telemetry exposition (Prometheus text format).  Shares the
+          wire name [metrics] with {!Metrics}: a frame with a [platform]
+          field is the solve form, one without is this control op.
+          Answered engine-side by [msts serve]; the stateless {!exec}
+          returns an empty exposition. *)
   | Shutdown  (** ask the daemon to drain and exit *)
   | Online_open of {
       platform : Msts_platform.Parse.platform;
@@ -110,8 +118,8 @@ val op_name : op -> string
 (** The wire name ([ping], [schedule], ..., [online-close]). *)
 
 val is_control : op -> bool
-(** Control operations ([Ping]/[Stats]/[Shutdown]) bypass the daemon's
-    request queue and are answered immediately. *)
+(** Control operations ([Ping]/[Stats]/[Metrics_dump]/[Shutdown]) bypass
+    the daemon's request queue and are answered immediately. *)
 
 val is_online : op -> bool
 (** The [Online_*] operations.  They are stateful: {!exec} refuses them
@@ -120,9 +128,15 @@ val is_online : op -> bool
     synchronously — including during a drain, so an in-flight online
     session loses no deltas on SIGTERM (docs/ONLINE.md). *)
 
-type request = { id : int option; op : op }
+type request = { id : int option; trace : string option; op : op }
 (** [id], when present, is echoed verbatim in the response — pipelined
-    clients correlate replies with it. *)
+    clients correlate replies with it.  [trace] is an opaque
+    client-chosen correlation context, also echoed verbatim on the
+    response; the daemon additionally uses it to label the request's
+    telemetry scope and slow-request-log entry.  Requests without a
+    [trace] get an engine-assigned label in the logs but {e no} injected
+    field on the wire — responses stay byte-identical for trace-less
+    clients. *)
 
 (** {2 Wire codecs (JSONL framing: one JSON document per line)} *)
 
@@ -138,7 +152,15 @@ val frame_id : string -> int option
     not decode as a full request — so error responses can still echo
     it. *)
 
-type response = { id : int option; result : (Msts_obs.Json.t, error) result }
+val frame_trace : string -> string option
+(** Best-effort extraction of the [trace] context, same contract as
+    {!frame_id}. *)
+
+type response = {
+  id : int option;
+  trace : string option;
+  result : (Msts_obs.Json.t, error) result;
+}
 
 val encode_response : response -> Msts_obs.Json.t
 val decode_response : Msts_obs.Json.t -> (response, error) result
@@ -181,6 +203,9 @@ type reply =
               tables, {!json_of_reply} flattens its profile fields *)
     }
   | Stats_info of Msts_obs.Json.t
+  | Metrics_text of string
+      (** a Prometheus text-format exposition; rendered as
+          [{"format": "prometheus-text-0.0.4", "body": ...}] *)
   | Bye
 
 val json_of_reply : reply -> Msts_obs.Json.t
@@ -207,5 +232,5 @@ val exec : ?cache_capacity:int -> solver:solver -> op -> (reply, error) result
     configured capacity; defaults to 0). *)
 
 val respond : ?cache_capacity:int -> solver:solver -> request -> response
-(** {!exec} + {!json_of_reply}, with the request's [id] echoed — the
-    daemon's per-frame step. *)
+(** {!exec} + {!json_of_reply}, with the request's [id] and [trace]
+    echoed — the daemon's per-frame step. *)

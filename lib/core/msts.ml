@@ -104,12 +104,15 @@ module Replan = Msts_sim.Replan
    invariant checker over them (docs/VERIFICATION.md). *)
 module Trace = Msts_trace.Trace
 
-(* Observability: spans, counters, histograms, sinks, Chrome traces; Json
-   doubles as the shared encoder behind every [--format=json] CLI output.
-   Report folds an executed schedule into per-resource utilization. *)
+(* Observability: spans, counters, histograms, request scopes, sinks,
+   Chrome traces; Json doubles as the shared encoder behind every
+   [--format=json] CLI output.  Report folds an executed schedule into
+   per-resource utilization; Prometheus renders counters/histograms as a
+   text exposition (the [msts serve] metrics endpoint). *)
 module Obs = struct
   include Msts_obs.Obs
   module Report = Msts_sim.Report
+  module Prometheus = Msts_obs.Prometheus
 end
 
 module Json = Msts_obs.Json

@@ -1,8 +1,13 @@
 type event =
-  | Span_begin of { name : string; ts : int; args : (string * string) list }
-  | Span_end of { name : string; ts : int }
-  | Count of { name : string; delta : int; ts : int }
-  | Value of { name : string; value : int; ts : int }
+  | Span_begin of {
+      name : string;
+      ts : int;
+      args : (string * string) list;
+      scope : int;
+    }
+  | Span_end of { name : string; ts : int; scope : int }
+  | Count of { name : string; delta : int; ts : int; scope : int }
+  | Value of { name : string; value : int; ts : int; scope : int }
 
 type sink = event -> unit
 
@@ -24,7 +29,38 @@ let with_sink s f =
   Domain.DLS.set the_sink (Some s);
   Fun.protect ~finally:(fun () -> Domain.DLS.set the_sink saved) f
 
-let tee sinks ev = List.iter (fun sink -> sink ev) sinks
+(* A failing sink must not poison the event stream: every remaining sink
+   still sees the event (in list order) and the instrumented computation
+   never observes a sink's exception. *)
+let tee sinks ev = List.iter (fun sink -> try sink ev with _ -> ()) sinks
+
+(* ---------- request scopes ----------
+
+   A scope is a plain integer carried on every event; 0 ([Scope.none])
+   means "unscoped" and serialises to nothing, so unscoped event streams
+   are byte-identical to pre-scope ones.  Like the sink, the current scope
+   is domain-local; [Msts_pool.Pool.map] forwards the submitting domain's
+   scope into its workers explicitly. *)
+
+module Scope = struct
+  let none = 0
+  let next = Atomic.make 0
+  let the_scope : int Domain.DLS.key = Domain.DLS.new_key (fun () -> none)
+  let fresh () = 1 + Atomic.fetch_and_add next 1
+  let current () = Domain.DLS.get the_scope
+  let set scope = Domain.DLS.set the_scope scope
+
+  let with_scope scope f =
+    (* Scopes only matter when events are being emitted: with the null
+       sink installed this is the same load-and-branch as [span]/[count],
+       so the disabled path allocates nothing (no closure, no protect). *)
+    match Domain.DLS.get the_sink with
+    | None -> f ()
+    | Some _ ->
+        let saved = Domain.DLS.get the_scope in
+        Domain.DLS.set the_scope scope;
+        Fun.protect ~finally:(fun () -> Domain.DLS.set the_scope saved) f
+end
 
 (* ---------- clock ---------- *)
 
@@ -54,23 +90,36 @@ let span ?(args = []) name f =
   match Domain.DLS.get the_sink with
   | None -> f ()
   | Some sink ->
-      sink (Span_begin { name; ts = now_us (); args });
-      Fun.protect ~finally:(fun () -> sink (Span_end { name; ts = now_us () })) f
+      let scope = Domain.DLS.get Scope.the_scope in
+      sink (Span_begin { name; ts = now_us (); args; scope });
+      Fun.protect
+        ~finally:(fun () -> sink (Span_end { name; ts = now_us (); scope }))
+        f
 
 let count ?(n = 1) name =
   match Domain.DLS.get the_sink with
   | None -> ()
-  | Some sink -> sink (Count { name; delta = n; ts = now_us () })
+  | Some sink ->
+      sink
+        (Count
+           { name; delta = n; ts = now_us (); scope = Domain.DLS.get Scope.the_scope })
 
 let record name value =
   match Domain.DLS.get the_sink with
   | None -> ()
-  | Some sink -> sink (Value { name; value; ts = now_us () })
+  | Some sink ->
+      sink
+        (Value { name; value; ts = now_us (); scope = Domain.DLS.get Scope.the_scope })
 
 (* ---------- event serialisation (JSONL sinks, post-mortem dumps) ---------- *)
 
+(* Unscoped events omit the "sc" member entirely, keeping unscoped JSONL
+   streams byte-identical to pre-scope ones. *)
+let scope_field scope fields =
+  if scope = Scope.none then fields else fields @ [ ("sc", Json.Int scope) ]
+
 let event_to_json = function
-  | Span_begin { name; ts; args } ->
+  | Span_begin { name; ts; args; scope } ->
       let fields =
         [ ("ev", Json.String "B"); ("name", Json.String name); ("ts", Json.Int ts) ]
       in
@@ -81,26 +130,29 @@ let event_to_json = function
             fields
             @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) args)) ]
       in
-      Json.Obj fields
-  | Span_end { name; ts } ->
+      Json.Obj (scope_field scope fields)
+  | Span_end { name; ts; scope } ->
       Json.Obj
-        [ ("ev", Json.String "E"); ("name", Json.String name); ("ts", Json.Int ts) ]
-  | Count { name; delta; ts } ->
+        (scope_field scope
+           [ ("ev", Json.String "E"); ("name", Json.String name); ("ts", Json.Int ts) ])
+  | Count { name; delta; ts; scope } ->
       Json.Obj
-        [
-          ("ev", Json.String "C");
-          ("name", Json.String name);
-          ("delta", Json.Int delta);
-          ("ts", Json.Int ts);
-        ]
-  | Value { name; value; ts } ->
+        (scope_field scope
+           [
+             ("ev", Json.String "C");
+             ("name", Json.String name);
+             ("delta", Json.Int delta);
+             ("ts", Json.Int ts);
+           ])
+  | Value { name; value; ts; scope } ->
       Json.Obj
-        [
-          ("ev", Json.String "V");
-          ("name", Json.String name);
-          ("value", Json.Int value);
-          ("ts", Json.Int ts);
-        ]
+        (scope_field scope
+           [
+             ("ev", Json.String "V");
+             ("name", Json.String name);
+             ("value", Json.Int value);
+             ("ts", Json.Int ts);
+           ])
 
 (* ---------- histograms ---------- *)
 
@@ -195,6 +247,22 @@ module Histogram = struct
       into.sum <- into.sum + t.sum
     end
 
+  (* Non-empty buckets as (inclusive upper bound, count), ascending — the
+     raw material for cumulative exports (Prometheus [le] boundaries).  A
+     bucket covering [bucket_value i, bucket_value (i+1) - 1] reports the
+     top of that range; the last representable bucket is open-ended. *)
+  let buckets t =
+    let acc = ref [] in
+    for i = bucket_count - 1 downto 0 do
+      if t.buckets.(i) > 0 then begin
+        let upper =
+          if i + 1 >= bucket_count then max_int else bucket_value (i + 1) - 1
+        in
+        acc := (upper, t.buckets.(i)) :: !acc
+      end
+    done;
+    !acc
+
   let to_json t =
     Json.Obj
       [
@@ -214,6 +282,15 @@ module Memory = struct
   type span_stat = { calls : int; total_us : int; max_us : int }
 
   let default_max_events = 100_000
+  let default_max_scopes = 256
+
+  (* Per-scope sub-aggregates: counters plus one histogram table covering
+     both recorded values and span durations (keyed by span name — the two
+     namespaces do not collide in practice). *)
+  type scope_agg = {
+    sc_counters : (string, int) Hashtbl.t;
+    sc_hists : (string, Histogram.t) Hashtbl.t;
+  }
 
   type t = {
     log : event Queue.t; (* oldest first, capped at [max_events] *)
@@ -225,9 +302,14 @@ module Memory = struct
     span_hists : (string, Histogram.t) Hashtbl.t; (* span durations, µs *)
     mutable stack : (string * int) list; (* open spans, innermost first *)
     mutable max_depth : int;
+    scoped : (int, scope_agg) Hashtbl.t;
+    scope_order : int Queue.t; (* insertion order, for FIFO eviction *)
+    max_scopes : int;
+    mutable evicted_scopes : int;
   }
 
-  let create ?(max_events = default_max_events) () =
+  let create ?(max_events = default_max_events) ?(max_scopes = default_max_scopes)
+      () =
     {
       log = Queue.create ();
       max_events = max 0 max_events;
@@ -238,6 +320,10 @@ module Memory = struct
       span_hists = Hashtbl.create 16;
       stack = [];
       max_depth = 0;
+      scoped = Hashtbl.create 16;
+      scope_order = Queue.create ();
+      max_scopes = max 0 max_scopes;
+      evicted_scopes = 0;
     }
 
   let hist_in tbl name =
@@ -247,6 +333,31 @@ module Memory = struct
         let h = Histogram.create () in
         Hashtbl.add tbl name h;
         h
+
+  (* Per-request scopes are unbounded over a daemon's lifetime; the scope
+     table is not.  Oldest scopes are evicted FIFO past [max_scopes] —
+     global aggregates are unaffected, only the per-scope breakdown of
+     evicted scopes is lost. *)
+  let scope_agg_in t scope =
+    if scope = Scope.none || t.max_scopes = 0 then None
+    else
+      match Hashtbl.find_opt t.scoped scope with
+      | Some agg -> Some agg
+      | None ->
+          if Hashtbl.length t.scoped >= t.max_scopes then begin
+            (match Queue.take_opt t.scope_order with
+            | Some oldest ->
+                Hashtbl.remove t.scoped oldest;
+                t.evicted_scopes <- t.evicted_scopes + 1
+            | None -> ());
+            ()
+          end;
+          let agg =
+            { sc_counters = Hashtbl.create 8; sc_hists = Hashtbl.create 8 }
+          in
+          Hashtbl.add t.scoped scope agg;
+          Queue.push scope t.scope_order;
+          Some agg
 
   let record t ev =
     (* The raw log is bounded (oldest events drop out); every aggregate
@@ -258,14 +369,25 @@ module Memory = struct
       t.dropped <- t.dropped + 1
     end;
     match ev with
-    | Count { name; delta; _ } ->
+    | Count { name; delta; scope; _ } ->
         let current = Option.value ~default:0 (Hashtbl.find_opt t.counters name) in
-        Hashtbl.replace t.counters name (current + delta)
-    | Value { name; value; _ } -> Histogram.add (hist_in t.hists name) value
+        Hashtbl.replace t.counters name (current + delta);
+        Option.iter
+          (fun agg ->
+            let sc =
+              Option.value ~default:0 (Hashtbl.find_opt agg.sc_counters name)
+            in
+            Hashtbl.replace agg.sc_counters name (sc + delta))
+          (scope_agg_in t scope)
+    | Value { name; value; scope; _ } ->
+        Histogram.add (hist_in t.hists name) value;
+        Option.iter
+          (fun agg -> Histogram.add (hist_in agg.sc_hists name) value)
+          (scope_agg_in t scope)
     | Span_begin { name; ts; _ } ->
         t.stack <- (name, ts) :: t.stack;
         t.max_depth <- max t.max_depth (List.length t.stack)
-    | Span_end { name; ts } -> (
+    | Span_end { name; ts; scope } -> (
         (* An end closes the innermost open span of that name; out-of-order
            ends (possible only through hand-fed sinks) are dropped. *)
         match t.stack with
@@ -273,6 +395,9 @@ module Memory = struct
             t.stack <- rest;
             let d = ts - began in
             Histogram.add (hist_in t.span_hists name) d;
+            Option.iter
+              (fun agg -> Histogram.add (hist_in agg.sc_hists name) d)
+              (scope_agg_in t scope);
             let prev =
               Option.value
                 ~default:{ calls = 0; total_us = 0; max_us = 0 }
@@ -305,6 +430,32 @@ module Memory = struct
   let max_events t = t.max_events
   let max_depth t = t.max_depth
   let open_spans t = List.rev_map fst t.stack
+
+  let scopes t =
+    List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.scoped [])
+
+  let scope_counters t scope =
+    match Hashtbl.find_opt t.scoped scope with
+    | None -> []
+    | Some agg -> sorted_bindings agg.sc_counters
+
+  let scope_counter t scope name =
+    match Hashtbl.find_opt t.scoped scope with
+    | None -> 0
+    | Some agg -> Option.value ~default:0 (Hashtbl.find_opt agg.sc_counters name)
+
+  let scope_histograms t scope =
+    match Hashtbl.find_opt t.scoped scope with
+    | None -> []
+    | Some agg -> sorted_bindings agg.sc_hists
+
+  let scope_histogram t scope name =
+    match Hashtbl.find_opt t.scoped scope with
+    | None -> None
+    | Some agg -> Hashtbl.find_opt agg.sc_hists name
+
+  let max_scopes t = t.max_scopes
+  let evicted_scopes t = t.evicted_scopes
 
   let counter_rows t =
     List.map (fun (name, total) -> [ name; string_of_int total ]) (counters t)
@@ -370,19 +521,22 @@ module Memory = struct
       ]
 
   let chrome_trace ?(process_name = "msts") t =
-    let common ts =
-      [ ("ts", Json.Int ts); ("pid", Json.Int 1); ("tid", Json.Int 1) ]
+    (* Scoped events render on their own track so per-request timelines
+       separate visually; unscoped events keep the historical tid 1. *)
+    let common ts scope =
+      let tid = if scope = Scope.none then 1 else scope + 1 in
+      [ ("ts", Json.Int ts); ("pid", Json.Int 1); ("tid", Json.Int tid) ]
     in
     let running = Hashtbl.create 16 in
     let trace_event = function
-      | Span_begin { name; ts; args } ->
+      | Span_begin { name; ts; args; scope } ->
           let fields =
             [
               ("name", Json.String name);
               ("cat", Json.String "msts");
               ("ph", Json.String "B");
             ]
-            @ common ts
+            @ common ts scope
           in
           let fields =
             match args with
@@ -396,15 +550,15 @@ module Memory = struct
                   ]
           in
           Json.Obj fields
-      | Span_end { name; ts } ->
+      | Span_end { name; ts; scope } ->
           Json.Obj
             ([
                ("name", Json.String name);
                ("cat", Json.String "msts");
                ("ph", Json.String "E");
              ]
-            @ common ts)
-      | Count { name; delta; ts } ->
+            @ common ts scope)
+      | Count { name; delta; ts; scope } ->
           let total =
             delta + Option.value ~default:0 (Hashtbl.find_opt running name)
           in
@@ -415,9 +569,9 @@ module Memory = struct
                ("cat", Json.String "msts");
                ("ph", Json.String "C");
              ]
-            @ common ts
+            @ common ts scope
             @ [ ("args", Json.Obj [ ("value", Json.Int total) ]) ])
-      | Value { name; value; ts } ->
+      | Value { name; value; ts; scope } ->
           (* raw samples become their own counter track, so distributions
              are visible on the timeline *)
           Json.Obj
@@ -426,7 +580,7 @@ module Memory = struct
                ("cat", Json.String "msts");
                ("ph", Json.String "C");
              ]
-            @ common ts
+            @ common ts scope
             @ [ ("args", Json.Obj [ ("value", Json.Int value) ]) ])
     in
     let metadata =

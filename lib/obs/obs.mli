@@ -31,13 +31,19 @@
     See docs/OBSERVABILITY.md for the full catalogue. *)
 
 type event =
-  | Span_begin of { name : string; ts : int; args : (string * string) list }
-  | Span_end of { name : string; ts : int }
-  | Count of { name : string; delta : int; ts : int }
-  | Value of { name : string; value : int; ts : int }
+  | Span_begin of {
+      name : string;
+      ts : int;
+      args : (string * string) list;
+      scope : int;
+    }
+  | Span_end of { name : string; ts : int; scope : int }
+  | Count of { name : string; delta : int; ts : int; scope : int }
+  | Value of { name : string; value : int; ts : int; scope : int }
       (** timestamps in microseconds; [Value] carries one histogram
           sample (a duration, a queue wait, a gap — any non-negative
-          magnitude) *)
+          magnitude).  [scope] attributes the event to a request scope
+          ({!Scope}); {!Scope.none} (0) means unscoped. *)
 
 type sink = event -> unit
 
@@ -57,7 +63,41 @@ val with_sink : sink -> (unit -> 'a) -> 'a
 
 val tee : sink list -> sink
 (** Fan one event stream out to several sinks (e.g. a {!Streaming} file
-    plus a {!Ring} for post-mortems), in list order. *)
+    plus a {!Ring} for post-mortems), in list order.  A sink that raises
+    is skipped for that event: the remaining sinks still receive it and
+    the instrumented computation never observes the exception. *)
+
+(** {2 Request scopes}
+
+    A scope is a lightweight integer id stamped on every event a
+    computation emits, so one sink can attribute interleaved work (e.g.
+    100 concurrent daemon requests) to its originator.  Scopes are
+    domain-local like the sink; {!Msts_pool.Pool.map} explicitly forwards
+    the submitting domain's scope into its worker closures.  With the null
+    sink installed, {!Scope.with_scope} is the same single load-and-branch
+    as {!span} — the disabled path allocates nothing (scopes only exist on
+    events, and no events are being emitted). *)
+module Scope : sig
+  val none : int
+  (** 0 — the ambient "unscoped" scope.  Unscoped events serialise without
+      the ["sc"] member, byte-identical to pre-scope streams. *)
+
+  val fresh : unit -> int
+  (** A process-unique scope id (never {!none}); safe from any domain. *)
+
+  val current : unit -> int
+  (** The calling domain's active scope ({!none} by default). *)
+
+  val set : int -> unit
+  (** Unconditionally set the calling domain's scope — the low-level hook
+      worker pools use to propagate a submitter's scope. Prefer
+      {!with_scope}. *)
+
+  val with_scope : int -> (unit -> 'a) -> 'a
+  (** Run [f] with the given scope active, restoring the previous scope
+      afterwards (also on exceptions).  Free when no sink is installed
+      (the scope is observable only through emitted events). *)
+end
 
 (** {2 Clock} *)
 
@@ -120,6 +160,11 @@ module Histogram : sig
   (** Add every bucket of the second histogram into [into] — how
       per-domain histograms combine on a coordinator. *)
 
+  val buckets : t -> (int * int) list
+  (** Non-empty buckets as [(inclusive upper bound, count)] pairs in
+      ascending bound order — the raw material for cumulative exports
+      ({!Msts_obs.Prometheus} [le] boundaries). *)
+
   val to_json : t -> Json.t
   (** [{"count", "sum", "min", "max", "p50", "p90", "p99"}]. *)
 end
@@ -136,10 +181,15 @@ module Memory : sig
   val default_max_events : int
   (** 100_000 — the default raw-log cap. *)
 
-  val create : ?max_events:int -> unit -> t
+  val default_max_scopes : int
+  (** 256 — the default cap on distinct scopes with live sub-aggregates. *)
+
+  val create : ?max_events:int -> ?max_scopes:int -> unit -> t
   (** [max_events] caps the stored raw events (oldest dropped first);
       counter totals, span statistics and histograms stay exact past the
-      cap. *)
+      cap.  [max_scopes] caps the per-scope sub-aggregate table (oldest
+      scopes evicted FIFO; 0 disables per-scope aggregation) — global
+      aggregates are never affected. *)
 
   val sink : t -> sink
 
@@ -183,6 +233,32 @@ module Memory : sig
   val open_spans : t -> string list
   (** Names of begun-but-unfinished spans, outermost first (empty after a
       balanced run). *)
+
+  (** {3 Per-scope aggregates}
+
+      Events carrying a non-{!Scope.none} scope are additionally
+      aggregated per scope (counters; histograms of both recorded values
+      and span durations, keyed by name).  The table is bounded by
+      [max_scopes] with FIFO eviction. *)
+
+  val scopes : t -> int list
+  (** Scope ids with live sub-aggregates, ascending. *)
+
+  val scope_counters : t -> int -> (string * int) list
+  (** One scope's counter totals, sorted by name ([[]] for unknown or
+      evicted scopes). *)
+
+  val scope_counter : t -> int -> string -> int
+
+  val scope_histograms : t -> int -> (string * Histogram.t) list
+  (** One scope's histograms (recorded values and span durations), sorted
+      by name. *)
+
+  val scope_histogram : t -> int -> string -> Histogram.t option
+  val max_scopes : t -> int
+
+  val evicted_scopes : t -> int
+  (** Scopes whose sub-aggregates were dropped by the [max_scopes] cap. *)
 
   val counter_rows : t -> string list list
   (** Counter totals as [[name; total]] rows for the shared table

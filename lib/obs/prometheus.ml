@@ -1,0 +1,79 @@
+(* Prometheus text exposition (format 0.0.4) over Obs aggregates.
+
+   Counters and histograms come straight from the log-bucketed layout:
+   each non-empty bucket's inclusive upper bound becomes a cumulative
+   [le] boundary, so the rendered bucket counts are monotone by
+   construction and the [+Inf] bucket always equals [_count].  The
+   output is deterministic (families sorted by name) so scrapes diff
+   cleanly. *)
+
+let mangle name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  let mangled = Bytes.to_string b in
+  "msts_" ^ mangled
+
+(* HELP text is on one line; escape backslashes and newlines per the
+   exposition format. *)
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let header buf ~name ~help ~kind =
+  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+
+let counter_block buf (name, total) =
+  let fam = mangle name ^ "_total" in
+  header buf ~name:fam ~help:(Printf.sprintf "Counter %s." name) ~kind:"counter";
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" fam total)
+
+let gauge_block buf (name, value) =
+  let fam = mangle name in
+  header buf ~name:fam ~help:(Printf.sprintf "Gauge %s." name) ~kind:"gauge";
+  Buffer.add_string buf (Printf.sprintf "%s %d\n" fam value)
+
+let histogram_block buf (name, h) =
+  let fam = mangle name in
+  header buf ~name:fam ~help:(Printf.sprintf "Histogram %s." name) ~kind:"histogram";
+  let cumulative = ref 0 in
+  List.iter
+    (fun (upper, count) ->
+      cumulative := !cumulative + count;
+      Buffer.add_string buf
+        (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" fam upper !cumulative))
+    (Obs.Histogram.buckets h);
+  Buffer.add_string buf
+    (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" fam (Obs.Histogram.count h));
+  Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" fam (Obs.Histogram.sum h));
+  Buffer.add_string buf
+    (Printf.sprintf "%s_count %d\n" fam (Obs.Histogram.count h))
+
+let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l
+
+let render ?(counters = []) ?(gauges = []) ?(histograms = []) () =
+  let buf = Buffer.create 4096 in
+  List.iter (counter_block buf) (by_name counters);
+  List.iter (gauge_block buf) (by_name gauges);
+  List.iter (histogram_block buf) (by_name histograms);
+  Buffer.contents buf
+
+let of_memory ?(gauges = []) m =
+  render ~counters:(Obs.Memory.counters m) ~gauges
+    ~histograms:(Obs.Memory.histograms m) ()

@@ -2,12 +2,19 @@
 
 module Api = Msts.Api
 module Json = Msts.Json
+module Obs = Msts.Obs
 module Parse = Msts.Platform_format
 module Chain = Msts.Chain
 
+(* Each session carries the [Obs.Scope] it was opened under: every later
+   operation on the session re-enters that scope, so a scope-aware sink
+   (e.g. the serve engine's Memory) attributes all [online.*] events to
+   the session that produced them. *)
+type entry = { online : Online.t; scope : int }
+
 type t = {
   max_sessions : int;
-  sessions : (int, Online.t) Hashtbl.t;
+  sessions : (int, entry) Hashtbl.t;
   mutable next : int;
 }
 
@@ -69,13 +76,18 @@ let collector () =
 
 let find t session =
   match Hashtbl.find_opt t.sessions session with
-  | Some o -> Ok o
+  | Some e -> Ok e
   | None ->
       Error
         (Api.error Api.Invalid_argument_error
            (Printf.sprintf "Msts.Online.Service: unknown session %d" session))
 
 let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+(* Run [f] on the session's [Online.t] under the session's scope. *)
+let with_session t session f =
+  let* e = find t session in
+  Obs.Scope.with_scope e.scope (fun () -> f e.online)
 
 let exec t op =
   try
@@ -88,10 +100,14 @@ let exec t op =
         else
           match platform with
           | Parse.Chain_platform chain ->
-              let o = Online.create ~capacity chain ~deadline in
+              let scope = Obs.Scope.fresh () in
+              let o =
+                Obs.Scope.with_scope scope (fun () ->
+                    Online.create ~capacity chain ~deadline)
+              in
               let session = t.next in
               t.next <- session + 1;
-              Hashtbl.replace t.sessions session o;
+              Hashtbl.replace t.sessions session { online = o; scope };
               Ok
                 (Json.Obj
                    [
@@ -104,7 +120,7 @@ let exec t op =
                 (Api.error Api.Invalid_platform
                    "online sessions require a chain platform"))
     | Api.Online_submit { session; tasks } ->
-        let* o = find t session in
+        with_session t session @@ fun o ->
         let emit, drain = collector () in
         let placed = Online.submit ~emit o tasks in
         Ok
@@ -116,7 +132,7 @@ let exec t op =
                ("deltas", drain ());
              ])
     | Api.Online_advance { session; time } ->
-        let* o = find t session in
+        with_session t session @@ fun o ->
         let emit, drain = collector () in
         let frozen = Online.advance ~emit o ~time in
         Ok
@@ -128,7 +144,7 @@ let exec t op =
                ("deltas", drain ());
              ])
     | Api.Online_extend { session; deadline } -> (
-        let* o = find t session in
+        with_session t session @@ fun o ->
         let emit, drain = collector () in
         match Online.extend ~emit o ~deadline with
         | Error msg -> Error (Api.error_of_solve_failure msg)
@@ -142,7 +158,7 @@ let exec t op =
                    ("deltas", drain ());
                  ]))
     | Api.Online_degrade { session; at; work_factor } -> (
-        let* o = find t session in
+        with_session t session @@ fun o ->
         let emit, drain = collector () in
         match Online.degrade ~emit o ~at ~work_factor with
         | Error msg -> Error (Api.error_of_solve_failure msg)
@@ -157,7 +173,7 @@ let exec t op =
                    ("deltas", drain ());
                  ]))
     | Api.Online_plan { session } -> (
-        let* o = find t session in
+        with_session t session @@ fun o ->
         (* The same document [msts deadline --format=json] prints, prefixed
            with the session's live counters — cram tests cmp the two. *)
         let base =
@@ -176,7 +192,7 @@ let exec t op =
                  :: fields))
         | other -> Ok other)
     | Api.Online_close { session } ->
-        let* o = find t session in
+        with_session t session @@ fun o ->
         Hashtbl.remove t.sessions session;
         Ok
           (Json.Obj

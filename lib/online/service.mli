@@ -8,7 +8,11 @@
     Online operations are stateful and cheap (one O(p) sweep per
     submitted task), so the engine answers them synchronously instead of
     queueing them behind batch solves; during a SIGTERM drain they keep
-    being answered, which is what guarantees zero dropped deltas. *)
+    being answered, which is what guarantees zero dropped deltas.
+
+    Each session is opened under a fresh {!Msts.Obs.Scope} and every
+    later operation on it re-enters that scope, so scope-aware sinks
+    attribute the [online.*] telemetry per session. *)
 
 type t
 

@@ -8,6 +8,8 @@
    broadcast (both ordered by the pool lock against the worker's re-scan
    and wait). *)
 
+module Obs = Msts_obs.Obs
+
 type shard = { lock : Mutex.t; tasks : (unit -> unit) Queue.t }
 
 type t = {
@@ -108,12 +110,18 @@ let map t f items =
     let remaining = Atomic.make n in
     let done_lock = Mutex.create () in
     let all_done = Condition.create () in
+    (* Carry the submitting domain's request scope onto the workers:
+       events a worker emits while running [f] are attributed to the
+       request that submitted the batch, not to whatever ran before. *)
+    let scope = Obs.Scope.current () in
     Array.iteri
       (fun i item ->
         submit t (fun () ->
+            Obs.Scope.set scope;
             (try results.(i) <- Some (f item)
              with e ->
                ignore (Atomic.compare_and_set first_error None (Some e)));
+            Obs.Scope.set Obs.Scope.none;
             if Atomic.fetch_and_add remaining (-1) = 1 then begin
               Mutex.lock done_lock;
               Condition.broadcast all_done;

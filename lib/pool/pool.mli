@@ -14,7 +14,11 @@
     The function passed to {!map} runs on worker domains: it must not
     touch shared mutable state.  Solver calls are pure, and the
     observability layer is domain-local ({!Msts_obs.Obs}), so worker-side
-    [span]/[count] calls hit the null sink and are free.
+    [span]/[count] calls hit the null sink and are free.  {!map} does
+    carry the submitting domain's {!Msts_obs.Obs.Scope} onto the worker
+    for each item (set before [f], reset after), so a worker that {e
+    does} install a sink attributes its events to the request that
+    submitted the work.
 
     A pool with [jobs <= 1] spawns no domains at all; {!map} then runs
     inline on the caller, which is the baseline the differential tests

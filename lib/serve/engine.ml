@@ -8,15 +8,32 @@ type config = {
   queue_cap : int;
   timeout_us : int;
   max_batch : int;
+  slow_log : int;
 }
 
 let default_config =
-  { jobs = 1; cache_capacity = 256; queue_cap = 1024; timeout_us = 0; max_batch = 32 }
+  {
+    jobs = 1;
+    cache_capacity = 256;
+    queue_cap = 1024;
+    timeout_us = 0;
+    max_batch = 32;
+    slow_log = 16;
+  }
 
 type item = {
   request : Api.request;
   reply : Api.response -> unit;
   enqueued_us : int;
+}
+
+type slow_entry = {
+  trace_label : string;
+  op : string;
+  queue_wait_us : int;
+  solve_us : int;
+  encode_us : int;
+  total_us : int;
 }
 
 type t = {
@@ -29,6 +46,17 @@ type t = {
   mutable served : int;
   mutable rejected : int;
   mutable timeouts : int;
+  (* Request-latency breakdown, maintained engine-side (no Obs sink
+     required) so Stats and the metrics exposition always carry live
+     p50/p99s.  [metrics] is the engine's own aggregating sink; the
+     Server tees it into whatever sink stack it installs, giving the
+     exposition its counter/histogram families. *)
+  metrics : Obs.Memory.t;
+  req_queue_wait : Obs.Histogram.t;
+  req_solve : Obs.Histogram.t;
+  req_encode : Obs.Histogram.t;
+  mutable slow : slow_entry list; (* sorted by total_us desc, <= slow_log *)
+  mutable assigned : int; (* engine-assigned trace labels for traceless requests *)
 }
 
 let create cfg =
@@ -40,6 +68,8 @@ let create cfg =
     invalid_arg "Msts_serve.Engine.create: queue_cap must be >= 1";
   if cfg.max_batch < 1 then
     invalid_arg "Msts_serve.Engine.create: max_batch must be >= 1";
+  if cfg.slow_log < 0 then
+    invalid_arg "Msts_serve.Engine.create: slow_log must be >= 0";
   {
     cfg;
     pool = Msts.Pool.create ~jobs:cfg.jobs ();
@@ -50,6 +80,12 @@ let create cfg =
     served = 0;
     rejected = 0;
     timeouts = 0;
+    metrics = Obs.Memory.create ~max_events:0 ();
+    req_queue_wait = Obs.Histogram.create ();
+    req_solve = Obs.Histogram.create ();
+    req_encode = Obs.Histogram.create ();
+    slow = [];
+    assigned = 0;
   }
 
 let config t = t.cfg
@@ -59,6 +95,33 @@ let served t = t.served
 let rejected t = t.rejected
 let online_sessions t = Msts_online.Service.sessions t.online
 let stop t = t.stopping <- true
+let metrics_sink t = Obs.Memory.sink t.metrics
+let slow_requests t = t.slow
+
+let note_slow t e =
+  if t.cfg.slow_log > 0 then begin
+    let rec insert = function
+      | [] -> [ e ]
+      | x :: rest when e.total_us > x.total_us -> e :: x :: rest
+      | x :: rest -> x :: insert rest
+    in
+    let merged = insert t.slow in
+    t.slow <-
+      (if List.length merged > t.cfg.slow_log then
+         List.filteri (fun i _ -> i < t.cfg.slow_log) merged
+       else merged)
+  end
+
+let slow_entry_json e =
+  Json.Obj
+    [
+      ("trace", Json.String e.trace_label);
+      ("op", Json.String e.op);
+      ("queue_wait_us", Json.Int e.queue_wait_us);
+      ("solve_us", Json.Int e.solve_us);
+      ("encode_us", Json.Int e.encode_us);
+      ("total_us", Json.Int e.total_us);
+    ]
 
 let stats_json t =
   Json.Obj
@@ -76,7 +139,45 @@ let stats_json t =
       ("served", Json.Int t.served);
       ("rejected", Json.Int t.rejected);
       ("stopping", Json.Bool t.stopping);
+      ( "request",
+        Json.Obj
+          [
+            ("queue_wait_us", Obs.Histogram.to_json t.req_queue_wait);
+            ("solve_us", Obs.Histogram.to_json t.req_solve);
+            ("encode_us", Obs.Histogram.to_json t.req_encode);
+          ] );
+      ("slow_requests", Json.List (List.map slow_entry_json t.slow));
     ]
+
+let exposition t =
+  (* The teed Memory sink carries every counter/histogram emitted on the
+     server domain (serve.*, online.*, and whatever the solves emit).
+     The request.* breakdown is rendered from the engine-side histograms
+     instead — they are exact even when no sink is installed — so the
+     Memory copies of those names are excluded to keep families unique. *)
+  let request_name n =
+    String.length n >= 8 && String.sub n 0 8 = "request."
+  in
+  let histograms =
+    List.filter (fun (n, _) -> not (request_name n)) (Obs.Memory.histograms t.metrics)
+    @ [
+        ("request.queue_wait_us", t.req_queue_wait);
+        ("request.solve_us", t.req_solve);
+        ("request.encode_us", t.req_encode);
+      ]
+  in
+  let gauges =
+    [
+      ("serve.queue_depth", Queue.length t.queue);
+      ("serve.online_sessions", Msts_online.Service.sessions t.online);
+      ("serve.cache_entries", Msts.Batch.cache_length t.cache);
+      ("serve.cache_capacity", Msts.Batch.cache_capacity t.cache);
+      ("serve.draining", if t.stopping then 1 else 0);
+    ]
+  in
+  Obs.Prometheus.render
+    ~counters:(Obs.Memory.counters t.metrics)
+    ~gauges ~histograms ()
 
 let solver t problems =
   Msts.Batch.run ~pool:t.pool ~cache:t.cache ~solve:Api.guarded_solve problems
@@ -90,7 +191,21 @@ let deliver t item response =
   | Error _ -> Obs.count "serve.errors");
   item.reply response
 
-let answer t item result = deliver t item { Api.id = item.request.Api.id; result }
+(* Responses echo the client's trace context (or nothing): the engine
+   never injects its internally assigned labels into the wire, so
+   trace-less clients get byte-identical frames. *)
+let answer t item result =
+  deliver t item
+    { Api.id = item.request.Api.id; trace = item.request.Api.trace; result }
+
+(* The telemetry label for a request: the client's trace context when
+   supplied, an engine-assigned "r<n>" otherwise. *)
+let trace_label t (request : Api.request) =
+  match request.Api.trace with
+  | Some s -> s
+  | None ->
+      t.assigned <- t.assigned + 1;
+      Printf.sprintf "r%d" t.assigned
 
 let refuse t item code message =
   t.rejected <- t.rejected + 1;
@@ -104,11 +219,13 @@ let submit t ~reply request =
     (match request.Api.op with Api.Shutdown -> t.stopping <- true | _ -> ());
     let result =
       match Api.exec ~solver:(solver t) request.Api.op with
-      | Ok Api.Stats_info _ -> Ok (stats_json t)
+      | Ok (Api.Stats_info _) -> Ok (stats_json t)
+      | Ok (Api.Metrics_text _) ->
+          Ok (Api.json_of_reply (Api.Metrics_text (exposition t)))
       | Ok reply -> Ok (Api.json_of_reply reply)
       | Error e -> Error e
     in
-    deliver t item { Api.id = request.Api.id; result }
+    deliver t item { Api.id = request.Api.id; trace = request.Api.trace; result }
   end
   else if Msts_online.Service.handles request.Api.op then
     (* Online operations are session state transitions: cheap (O(p) per
@@ -118,6 +235,7 @@ let submit t ~reply request =
     deliver t item
       {
         Api.id = request.Api.id;
+        trace = request.Api.trace;
         result = Msts_online.Service.exec t.online request.Api.op;
       }
   else if t.stopping then
@@ -142,7 +260,12 @@ let handle_line t ~reply line =
       Obs.count "serve.errors";
       t.served <- t.served + 1;
       reply
-        (Api.response_to_line { Api.id = Api.frame_id line; result = Error e })
+        (Api.response_to_line
+           {
+             Api.id = Api.frame_id line;
+             trace = Api.frame_trace line;
+             result = Error e;
+           })
 
 let dispatch t =
   let batch = min t.cfg.max_batch (Queue.length t.queue) in
@@ -174,13 +297,46 @@ let dispatch t =
       expired;
     List.iter
       (fun item ->
-        answer t item
-          (match
-             Api.exec ~cache_capacity:t.cfg.cache_capacity ~solver:(solver t)
-               item.request.Api.op
-           with
+        (* Each live request runs under its own fresh scope: every event
+           the solve emits (pool.*, chain.*, ...) is attributed to this
+           request by any scope-aware sink, and the serve.request span
+           carries the op and trace label as args. *)
+        let label = trace_label t item.request in
+        let op_name = Api.op_name item.request.Api.op in
+        let queue_wait_us = now - item.enqueued_us in
+        Obs.Scope.with_scope (Obs.Scope.fresh ()) @@ fun () ->
+        Obs.span "serve.request"
+          ~args:[ ("op", op_name); ("trace", label) ]
+        @@ fun () ->
+        let solve_from = Obs.now_us () in
+        let result =
+          match
+            Api.exec ~cache_capacity:t.cfg.cache_capacity ~solver:(solver t)
+              item.request.Api.op
+          with
           | Ok reply -> Ok (Api.json_of_reply reply)
-          | Error e -> Error e))
+          | Error e -> Error e
+        in
+        let solve_done = Obs.now_us () in
+        answer t item result;
+        let delivered = Obs.now_us () in
+        let solve_us = solve_done - solve_from in
+        let encode_us = delivered - solve_done in
+        Obs.Histogram.add t.req_queue_wait queue_wait_us;
+        Obs.Histogram.add t.req_solve solve_us;
+        Obs.Histogram.add t.req_encode encode_us;
+        Obs.record "request.queue_wait_us" queue_wait_us;
+        Obs.record "request.solve_us" solve_us;
+        Obs.record "request.encode_us" encode_us;
+        note_slow t
+          {
+            trace_label = label;
+            op = op_name;
+            queue_wait_us;
+            solve_us;
+            encode_us;
+            total_us = queue_wait_us + solve_us + encode_us;
+          })
       live;
     batch
   end

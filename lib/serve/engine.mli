@@ -21,7 +21,16 @@
     [serve.rejected], [serve.timeouts], [serve.responses], [serve.errors];
     histograms [serve.queue_wait_us] (admission-to-dispatch latency) and
     [serve.batch_size] (requests per dispatch round).  Dispatch also emits
-    the usual [pool.*] counters via {!Msts.Batch.run}. *)
+    the usual [pool.*] counters via {!Msts.Batch.run}.
+
+    Per-request attribution: every dispatched solve runs under a fresh
+    {!Msts.Obs.Scope} inside a [serve.request] span (args: op name and
+    trace label), and records its latency breakdown as the
+    [request.queue_wait_us] / [request.solve_us] / [request.encode_us]
+    histograms — both through {!Msts.Obs.record} (scoped, sink-visible)
+    and into engine-side histograms that feed {!stats_json} and
+    {!exposition} even with no sink installed.  The slowest requests are
+    kept in a bounded top-K log ({!slow_requests}). *)
 
 type config = {
   jobs : int;  (** pool worker domains (clamped by {!Msts.Pool.create}) *)
@@ -35,17 +44,21 @@ type config = {
           (a pure OCaml solve cannot be preempted, so the deadline is
           checked at dispatch).  0 disables timeouts. *)
   max_batch : int;  (** most requests dispatched per {!dispatch} round *)
+  slow_log : int;
+      (** how many slowest requests {!slow_requests} retains (top-K by
+          total latency); 0 disables the log *)
 }
 
 val default_config : config
 (** [jobs = 1], [cache_capacity = 256], [queue_cap = 1024],
-    [timeout_us = 0], [max_batch = 32]. *)
+    [timeout_us = 0], [max_batch = 32], [slow_log = 16]. *)
 
 type t
 
 val create : config -> t
 (** Starts the worker pool.  @raise Invalid_argument on a non-positive
-    [cache_capacity], [queue_cap] or [max_batch]. *)
+    [cache_capacity], [queue_cap] or [max_batch], or a negative
+    [slow_log]. *)
 
 val config : t -> config
 
@@ -95,8 +108,36 @@ val online_sessions : t -> int
 
 val stats_json : t -> Msts.Json.t
 (** The [Stats] reply payload: version, pool size, cache
-    capacity/occupancy, queue length, served/rejected totals and the
-    stopping flag. *)
+    capacity/occupancy, queue length, served/rejected totals, the
+    stopping flag, the per-request latency breakdown (["request"]: one
+    {!Msts.Obs.Histogram.to_json} blob each for queue-wait, solve and
+    encode) and the slow-request log (["slow_requests"], slowest
+    first). *)
+
+type slow_entry = {
+  trace_label : string;  (** client trace context, or engine-assigned "r<n>" *)
+  op : string;
+  queue_wait_us : int;
+  solve_us : int;
+  encode_us : int;
+  total_us : int;
+}
+
+val slow_requests : t -> slow_entry list
+(** The top-[slow_log] slowest dispatched requests, slowest first. *)
+
+val metrics_sink : t -> Msts.Obs.sink
+(** The engine's aggregating metrics sink (a log-less {!Msts.Obs.Memory}).
+    The server tees every event into it so {!exposition} carries the full
+    counter/histogram families; it is always safe to feed. *)
+
+val exposition : t -> string
+(** The live Prometheus text exposition ({!Msts.Obs.Prometheus}): all
+    counters and histograms accumulated by {!metrics_sink}, the exact
+    engine-side [request.*] breakdown, and gauges for queue depth, open
+    online sessions, cache occupancy/capacity and the draining flag.
+    This is the [Metrics_dump] reply body and what [--metrics-out]
+    writes. *)
 
 val shutdown : t -> unit
 (** Shut the worker pool down.  Idempotent; call after the final

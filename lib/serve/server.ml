@@ -6,6 +6,8 @@ type config = {
   telemetry : string option;
   ring_capacity : int;
   quiet : bool;
+  metrics_out : string option;
+  metrics_interval : float;
 }
 
 let default_config ~socket_path =
@@ -15,7 +17,20 @@ let default_config ~socket_path =
     telemetry = None;
     ring_capacity = 1024;
     quiet = false;
+    metrics_out = None;
+    metrics_interval = 1.0;
   }
+
+(* Atomic rewrite: scrapers reading FILE never see a half-written
+   exposition — the rename swaps the complete new snapshot in. *)
+let write_metrics_file engine path =
+  try
+    let tmp = path ^ ".tmp" in
+    Out_channel.with_open_text tmp (fun oc ->
+        Out_channel.output_string oc (Engine.exposition engine));
+    Sys.rename tmp path
+  with Sys_error msg ->
+    Printf.eprintf "msts serve: cannot write metrics to %s: %s\n%!" path msg
 
 (* One connected client: accumulated input bytes (split on '\n') and an
    output backlog drained as the socket accepts writes. *)
@@ -148,6 +163,22 @@ let run cfg =
       2
   | Ok listen_fd -> (
       let engine = Engine.create cfg.engine in
+      (* The engine's aggregating metrics sink joins the tee so the live
+         exposition (metrics op, --metrics-out) sees every serve.* /
+         online.* / solve event emitted on this domain. *)
+      Obs.set_sink (Some (Obs.tee (Engine.metrics_sink engine :: sinks)));
+      let last_metrics = ref 0.0 in
+      let maybe_write_metrics ~force =
+        Option.iter
+          (fun path ->
+            let now = Unix.gettimeofday () in
+            if force || now -. !last_metrics >= cfg.metrics_interval then begin
+              last_metrics := now;
+              write_metrics_file engine path
+            end)
+          cfg.metrics_out
+      in
+      maybe_write_metrics ~force:true;
       if not cfg.quiet then
         Printf.printf "msts serve: listening on %s (jobs=%d, cache=%d, queue=%d)\n%!"
           cfg.socket_path cfg.engine.Engine.jobs cfg.engine.Engine.cache_capacity
@@ -201,6 +232,7 @@ let run cfg =
                 | `More -> ())
             !clients;
           ignore (Engine.dispatch engine);
+          maybe_write_metrics ~force:false;
           List.iter
             (fun c ->
               if (not c.dead) && (List.mem c.fd writable || has_out c) then
@@ -236,6 +268,7 @@ let run cfg =
         List.iter (fun c -> close_quietly c.fd) !clients;
         close_quietly listen_fd;
         if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+        maybe_write_metrics ~force:true;
         Engine.shutdown engine;
         if not cfg.quiet then
           Printf.printf "msts serve: drained %d request(s), served %d, bye\n%!"

@@ -18,7 +18,13 @@
     Telemetry: with [telemetry = Some path] every [Obs] event streams to
     [path] as JSONL ({!Msts.Obs.Streaming}); a last-N {!Msts.Obs.Ring}
     rides along regardless and its tail is dumped to stderr if the loop
-    dies on an uncaught exception (exit 125). *)
+    dies on an uncaught exception (exit 125).  The engine's metrics sink
+    ({!Engine.metrics_sink}) always joins the tee, feeding the live
+    Prometheus exposition: the [metrics] control op, and — with
+    [metrics_out = Some file] — a periodic atomic rewrite of [file]
+    (write to [file.tmp], rename; a scraper never reads a torn document)
+    at boot, every [metrics_interval] seconds, and once more after the
+    final drain. *)
 
 type config = {
   socket_path : string;
@@ -26,9 +32,14 @@ type config = {
   telemetry : string option;  (** stream Obs events to this JSONL file *)
   ring_capacity : int;  (** post-mortem ring size *)
   quiet : bool;  (** suppress the readiness / shutdown notices on stdout *)
+  metrics_out : string option;
+      (** atomically rewrite this file with the Prometheus exposition *)
+  metrics_interval : float;  (** seconds between rewrites (must be > 0) *)
 }
 
 val default_config : socket_path:string -> config
+(** No telemetry, no metrics file, ring of 1024, engine defaults,
+    [metrics_interval = 1.0]. *)
 
 val run : config -> int
 (** Bind, announce readiness ("listening on ..." on stdout unless

@@ -36,7 +36,7 @@ let percentile xs q =
   end
 
 let min_max xs =
-  if Array.length xs = 0 then invalid_arg "Stats.min_max: empty array";
+  if Array.length xs = 0 then invalid_arg "Msts.Stats.min_max: empty array";
   Array.fold_left
     (fun (lo, hi) x -> ((if x < lo then x else lo), if x > hi then x else hi))
     (xs.(0), xs.(0)) xs

@@ -1,0 +1,95 @@
+Live metrics exposition: `msts serve --metrics-out` atomically rewrites
+a Prometheus text file, the `metrics` control op serves the same
+exposition over the socket, and `msts stats` is the terminal client
+(docs/OBSERVABILITY.md, docs/API.md).
+
+  $ cat > fig2.txt <<'PLATFORM'
+  > chain
+  > 2 3
+  > 3 5
+  > PLATFORM
+
+Boot with a metrics file and a short rewrite interval:
+
+  $ ../../bin/msts.exe serve --socket msts.sock --metrics-out metrics.prom \
+  >   --metrics-interval 0.05 --quiet > serve.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S msts.sock ] && break; sleep 0.1; done
+
+The scrape file exists from boot, before any request arrives:
+
+  $ test -f metrics.prom && echo boot-written
+  boot-written
+
+Drive some traffic so the counters move:
+
+  $ P=$(awk '{printf "%s\\n", $0}' fig2.txt)
+  $ ../../bin/msts.exe call --socket msts.sock \
+  >   "{\"op\":\"schedule\",\"platform\":\"$P\",\"tasks\":5}" > /dev/null
+  $ ../../bin/msts.exe call --socket msts.sock '{"op":"ping"}' > /dev/null
+
+A client-supplied trace context is echoed verbatim on the response
+frame; trace-less frames get no injected field (the ping above):
+
+  $ ../../bin/msts.exe call --raw --socket msts.sock '{"id":7,"trace":"t-1","op":"ping"}'
+  {"v":1,"id":7,"trace":"t-1","ok":{"version":1}}
+
+The `metrics` control op wraps the exposition in a versioned envelope:
+
+  $ ../../bin/msts.exe call --socket msts.sock '{"op":"metrics"}' | grep '"format"'
+    "format": "prometheus-text-0.0.4",
+
+`msts stats` prints the daemon's statistics document — including the
+per-request latency breakdown and the bounded slow-request log:
+
+  $ ../../bin/msts.exe stats --socket msts.sock > stats.json
+  $ grep -c '"request"\|"slow_requests"\|"stopping"' stats.json
+  3
+
+`msts stats --metrics` prints the raw Prometheus text, and `--watch`
+polls — two rounds separated by one `---` line:
+
+  $ ../../bin/msts.exe stats --socket msts.sock --metrics | head -2
+  # HELP msts_chain_candidate_scans_total Counter chain.candidate_scans.
+  # TYPE msts_chain_candidate_scans_total counter
+  $ ../../bin/msts.exe stats --socket msts.sock --watch --interval 0.1 --count 2 \
+  >   --metrics | grep -c '^---'
+  1
+
+Shut down; the epilogue writes the exposition one last time:
+
+  $ ../../bin/msts.exe call --socket msts.sock '{"op":"shutdown"}' > /dev/null
+  $ for i in $(seq 1 100); do [ ! -S msts.sock ] && break; sleep 0.1; done
+  $ wait
+
+The scrape file is well-formed text format 0.0.4.  Every `# TYPE` is
+preceded by its family's `# HELP`:
+
+  $ awk '/^# HELP/ { help = $3 }
+  >      /^# TYPE/ { if ($3 != help) { print "TYPE without HELP: " $3; exit 1 } }' \
+  >   metrics.prom && echo help-type-paired
+  help-type-paired
+
+Histogram buckets are cumulative (monotone, per family, in file order)
+and the `+Inf` bucket equals the family's `_count`:
+
+  $ awk '
+  >   /_bucket\{le="/ {
+  >     name = $1; sub(/_bucket\{.*/, "", name)
+  >     if (name != prev) { last = -1; prev = name }
+  >     if ($2 + 0 < last) { print "non-monotone: " $0; bad = 1 }
+  >     last = $2 + 0
+  >     if (index($1, "le=\"+Inf\"") > 0) inf[name] = $2 + 0
+  >   }
+  >   /_count / { cnt[$1] = $2 + 0 }
+  >   END {
+  >     for (n in inf) if (inf[n] != cnt[n "_count"]) { print "bucket/count mismatch: " n; bad = 1 }
+  >     exit bad
+  >   }' metrics.prom && echo buckets-monotone
+  buckets-monotone
+
+The traffic we sent is in the final scrape — counters carry the
+conventional `_total` suffix, and the per-request breakdown histograms
+are exported:
+
+  $ grep -c '^msts_serve_requests_total \|^msts_request_solve_us_count \|^msts_request_queue_wait_us_count \|^msts_request_encode_us_count ' metrics.prom
+  4

@@ -86,11 +86,18 @@ let op_gen =
           (pair (int_range 1 5) (int_range 1 4));
         map (fun session -> Api.Online_plan { session }) (int_range 1 64);
         map (fun session -> Api.Online_close { session }) (int_range 1 64);
+        return Api.Metrics_dump;
       ])
+
+let trace_gen =
+  Gen.(opt (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)))
 
 let request_gen =
   Gen.(
-    map2 (fun id op -> { Api.id; op }) (opt (int_range 0 1_000_000)) op_gen)
+    map3
+      (fun id trace op -> { Api.id; trace; op })
+      (opt (int_range 0 1_000_000))
+      trace_gen op_gen)
 
 let rec json_gen depth =
   Gen.(
@@ -124,9 +131,10 @@ let error_code_gen =
 
 let response_gen =
   Gen.(
-    map2
-      (fun id result -> { Api.id; result })
+    map3
+      (fun id trace result -> { Api.id; trace; result })
       (opt (int_range 0 1_000_000))
+      trace_gen
       (oneof
          [
            map (fun j -> Ok j) (json_gen 2);
@@ -244,7 +252,10 @@ let exec_matches_solve =
     (QCheck.Test.make ~count:100
        ~name:"exec Schedule/Deadline agrees with Solve.solve"
        (QCheck.make ~print:request_print
-          Gen.(map (fun p -> { Api.id = None; op = Api.Schedule p }) problem_gen))
+          Gen.(
+            map
+              (fun p -> { Api.id = None; trace = None; op = Api.Schedule p })
+              problem_gen))
        (fun { Api.op; _ } ->
          let problem =
            match op with Api.Schedule p -> p | _ -> assert false
@@ -276,7 +287,7 @@ let engine_wire_equals_direct () =
     let got = ref None in
     Msts_serve.Engine.handle_line engine
       ~reply:(fun line -> got := Some line)
-      (Api.request_to_line { Api.id = Some 9; op });
+      (Api.request_to_line { Api.id = Some 9; trace = None; op });
     ignore (Msts_serve.Engine.dispatch engine);
     match !got with
     | Some line -> line
@@ -286,8 +297,9 @@ let engine_wire_equals_direct () =
     (fun op ->
       let wire = ask op in
       let direct =
-        Api.response_to_line (Api.respond ~solver:Api.direct_solver
-                                { Api.id = Some 9; op })
+        Api.response_to_line
+          (Api.respond ~solver:Api.direct_solver
+             { Api.id = Some 9; trace = None; op })
       in
       Alcotest.(check string)
         (Api.op_name op ^ " over the wire = direct exec")
@@ -301,6 +313,110 @@ let engine_wire_equals_direct () =
     ];
   Msts_serve.Engine.shutdown engine
 
+(* ---------- trace context and the metrics control op ---------- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let trace_context_echoed () =
+  (match Api.request_of_line {|{"id":4,"trace":"req-7","op":"ping"}|} with
+  | Ok { Api.id = Some 4; trace = Some "req-7"; op = Api.Ping } -> ()
+  | _ -> Alcotest.fail "the trace field did not decode");
+  let answered =
+    Api.response_to_line
+      (Api.respond ~solver:Api.direct_solver
+         { Api.id = Some 4; trace = Some "req-7"; op = Api.Ping })
+  in
+  (match Api.response_of_line answered with
+  | Ok { Api.id = Some 4; trace = Some "req-7"; _ } -> ()
+  | _ -> Alcotest.failf "respond lost the trace: %s" answered);
+  (* A trace-less request must produce a trace-less response frame —
+     clients that never send the field never see it. *)
+  let bare =
+    Api.response_to_line
+      (Api.respond ~solver:Api.direct_solver
+         { Api.id = Some 4; trace = None; op = Api.Ping })
+  in
+  Alcotest.(check bool) "no trace field injected" false (contains bare "trace")
+
+let engine_echoes_trace () =
+  let engine = Msts_serve.Engine.create engine_config in
+  let ask frame =
+    let got = ref None in
+    Msts_serve.Engine.handle_line engine ~reply:(fun l -> got := Some l) frame;
+    ignore (Msts_serve.Engine.dispatch engine);
+    match !got with
+    | Some line -> line
+    | None -> Alcotest.fail "engine never replied"
+  in
+  (* control fast path *)
+  (match Api.response_of_line (ask {|{"id":1,"trace":"t-a","op":"ping"}|}) with
+  | Ok { Api.trace = Some "t-a"; _ } -> ()
+  | _ -> Alcotest.fail "control reply lost the trace");
+  (* queued solve path *)
+  let solve =
+    Api.request_to_line
+      {
+        Api.id = Some 2;
+        trace = Some "t-b";
+        op = Api.Schedule (figure2_problem ());
+      }
+  in
+  (match Api.response_of_line (ask solve) with
+  | Ok { Api.id = Some 2; trace = Some "t-b"; result = Ok _ } -> ()
+  | _ -> Alcotest.fail "solve reply lost the trace");
+  (* malformed frame: trace recovered best-effort from the raw bytes *)
+  (match
+     Api.response_of_line
+       (ask {|{"id":3,"trace":"t-c","op":"schedule","platform":12}|})
+   with
+  | Ok { Api.trace = Some "t-c"; result = Error { Api.code = Api.Bad_request; _ }; _ }
+    ->
+      ()
+  | _ -> Alcotest.fail "bad_request reply lost the trace");
+  Msts_serve.Engine.shutdown engine
+
+let metrics_op_decoding () =
+  (* Bare "metrics" is the control op; with a platform it stays the
+     Metrics plan operation — the wire name is shared. *)
+  (match Api.request_of_line {|{"op":"metrics"}|} with
+  | Ok { Api.op = Api.Metrics_dump; _ } -> ()
+  | _ -> Alcotest.fail "bare metrics frame is not Metrics_dump");
+  let plan_metrics =
+    { Api.id = None; trace = None; op = Api.Metrics (figure2_problem ()) }
+  in
+  (match Api.request_of_line (Api.request_to_line plan_metrics) with
+  | Ok { Api.op = Api.Metrics _; _ } -> ()
+  | _ -> Alcotest.fail "metrics-with-platform lost its problem");
+  let dump = { Api.id = Some 8; trace = None; op = Api.Metrics_dump } in
+  match Api.request_of_line (Api.request_to_line dump) with
+  | Ok r -> Alcotest.(check bool) "Metrics_dump round-trips" true (r = dump)
+  | Error e -> Alcotest.failf "Metrics_dump decode failed: %s" e.Api.message
+
+let engine_serves_metrics_dump () =
+  let engine = Msts_serve.Engine.create engine_config in
+  let got = ref None in
+  Msts_serve.Engine.submit engine
+    ~reply:(fun r -> got := Some r)
+    { Api.id = Some 1; trace = None; op = Api.Metrics_dump };
+  (match !got with
+  | Some { Api.result = Ok (Json.Obj fields); _ } -> (
+      (match List.assoc_opt "format" fields with
+      | Some (Json.String "prometheus-text-0.0.4") -> ()
+      | _ -> Alcotest.fail "metrics reply lost its format tag");
+      match List.assoc_opt "body" fields with
+      | Some (Json.String body) ->
+          Alcotest.(check bool) "exposition has TYPE lines" true
+            (contains body "# TYPE ")
+      | _ -> Alcotest.fail "metrics reply lost its body")
+  | Some _ -> Alcotest.fail "metrics reply malformed"
+  | None -> Alcotest.fail "metrics op was queued instead of answered");
+  Msts_serve.Engine.shutdown engine
+
 let engine_admission_control () =
   let engine =
     Msts_serve.Engine.create
@@ -310,7 +426,7 @@ let engine_admission_control () =
   let reply r = responses := r :: !responses in
   let submit () =
     Msts_serve.Engine.submit engine ~reply
-      { Api.id = None; op = Api.Schedule (figure2_problem ()) }
+      { Api.id = None; trace = None; op = Api.Schedule (figure2_problem ()) }
   in
   submit ();
   submit ();
@@ -339,8 +455,12 @@ let engine_malformed_frames_answered () =
   (match !got with
   | Some line -> (
       match Api.response_of_line line with
-      | Ok { Api.id = Some 3; result = Error { Api.code = Api.Bad_request; _ } }
-        ->
+      | Ok
+          {
+            Api.id = Some 3;
+            result = Error { Api.code = Api.Bad_request; _ };
+            _;
+          } ->
           ()
       | _ -> Alcotest.failf "unexpected reply %s" line)
   | None -> Alcotest.fail "malformed frame got no reply");
@@ -360,6 +480,9 @@ let suites =
         case "Msts. prefix convention maps to invalid_argument"
           prefix_convention_classified;
         case "workload names round-trip" workload_names_roundtrip;
+        case "trace context decoded, echoed, never injected"
+          trace_context_echoed;
+        case "bare metrics decodes as the control op" metrics_op_decoding;
       ] );
     ( "api.exec",
       [
@@ -370,5 +493,8 @@ let suites =
           engine_admission_control;
         case "malformed frames answered, id echoed"
           engine_malformed_frames_answered;
+        case "engine echoes the trace on every path" engine_echoes_trace;
+        case "metrics op answers the live exposition"
+          engine_serves_metrics_dump;
       ] );
   ]

@@ -363,6 +363,193 @@ let tee_fans_out () =
   Alcotest.(check int) "ring kept the last two" 2
     (List.length (Obs.Ring.events r))
 
+(* ---------- request scopes ---------- *)
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+let scope_attribution () =
+  let mem = Obs.Memory.create () in
+  Obs.with_sink (Obs.Memory.sink mem) (fun () ->
+      Obs.count "plain";
+      Obs.Scope.with_scope 5 (fun () ->
+          Obs.count "hits";
+          Obs.count ~n:2 "hits";
+          Obs.record "lat" 10);
+      Obs.Scope.with_scope 9 (fun () ->
+          Obs.count "hits";
+          Obs.record "lat" 100));
+  (* global aggregates see everything *)
+  Alcotest.(check int) "global counter" 4 (Obs.Memory.counter mem "hits");
+  (* per-scope tallies are split *)
+  Alcotest.(check (list int)) "both scopes tracked" [ 5; 9 ]
+    (List.sort compare (Obs.Memory.scopes mem));
+  Alcotest.(check int) "scope 5 counter" 3
+    (Obs.Memory.scope_counter mem 5 "hits");
+  Alcotest.(check int) "scope 9 counter" 1
+    (Obs.Memory.scope_counter mem 9 "hits");
+  Alcotest.(check int) "unscoped name absent per-scope" 0
+    (Obs.Memory.scope_counter mem 5 "plain");
+  (match Obs.Memory.scope_histogram mem 9 "lat" with
+  | Some h ->
+      Alcotest.(check int) "scope 9 sample count" 1 (Obs.Histogram.count h);
+      Alcotest.(check int) "scope 9 max" 100 (Obs.Histogram.max_value h)
+  | None -> Alcotest.fail "scope 9 lost its histogram");
+  Alcotest.(check int) "no eviction" 0 (Obs.Memory.evicted_scopes mem)
+
+let scope_stamped_in_json () =
+  let r = Obs.Ring.create ~capacity:8 () in
+  Obs.with_sink (Obs.Ring.sink r) (fun () ->
+      Obs.count "plain";
+      Obs.Scope.with_scope 5 (fun () -> Obs.count "scoped"));
+  match
+    Obs.Ring.to_jsonl r |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  with
+  | [ plain; scoped ] ->
+      Alcotest.(check bool) "unscoped event carries no sc field" false
+        (contains plain "\"sc\"");
+      Alcotest.(check bool) "scoped event stamped sc:5" true
+        (contains scoped "\"sc\":5")
+  | lines -> Alcotest.failf "expected 2 events, got %d" (List.length lines)
+
+let scope_nesting_and_exceptions () =
+  let mem = Obs.Memory.create () in
+  Obs.with_sink (Obs.Memory.sink mem) (fun () ->
+      Obs.Scope.with_scope 3 (fun () ->
+          Alcotest.(check int) "inside" 3 (Obs.Scope.current ());
+          Obs.Scope.with_scope 4 (fun () ->
+              Alcotest.(check int) "nested" 4 (Obs.Scope.current ()));
+          Alcotest.(check int) "restored after nesting" 3 (Obs.Scope.current ());
+          (try Obs.Scope.with_scope 8 (fun () -> failwith "boom")
+           with Failure _ -> ());
+          Alcotest.(check int) "restored after exception" 3
+            (Obs.Scope.current ()));
+      Alcotest.(check int) "back to none" Obs.Scope.none (Obs.Scope.current ()))
+
+let scope_table_bounded () =
+  let mem = Obs.Memory.create ~max_scopes:2 () in
+  Obs.with_sink (Obs.Memory.sink mem) (fun () ->
+      List.iter
+        (fun sc -> Obs.Scope.with_scope sc (fun () -> Obs.count "hits"))
+        [ 11; 12; 13 ]);
+  Alcotest.(check int) "cap honoured" 2 (List.length (Obs.Memory.scopes mem));
+  Alcotest.(check int) "one eviction" 1 (Obs.Memory.evicted_scopes mem);
+  (* FIFO: the oldest scope went *)
+  Alcotest.(check (list int)) "newest two retained" [ 12; 13 ]
+    (List.sort compare (Obs.Memory.scopes mem));
+  (* global aggregates are unaffected by scope eviction *)
+  Alcotest.(check int) "global counter exact" 3 (Obs.Memory.counter mem "hits")
+
+let scope_fresh_monotone () =
+  let a = Obs.Scope.fresh () in
+  let b = Obs.Scope.fresh () in
+  Alcotest.(check bool) "fresh scopes are distinct and nonzero" true
+    (a <> b && a <> Obs.Scope.none && b <> Obs.Scope.none)
+
+(* With no sink installed the scope machinery must stay entirely off the
+   hot path: [with_scope] runs the thunk directly, allocating nothing. *)
+let calibrate () =
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  b -. a
+
+let disabled_scope_path_allocation_free () =
+  Alcotest.(check bool) "no sink installed" false (Obs.enabled ());
+  let tick = ref 0 in
+  (* allocate the thunk once — a literal [fun () -> incr tick] at the call
+     site would heap-allocate its closure on every iteration and drown the
+     measurement *)
+  let thunk () = incr tick in
+  let work () = Obs.Scope.with_scope 42 thunk in
+  work () (* warm-up *);
+  let baseline = calibrate () in
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    work ()
+  done;
+  let after = Gc.minor_words () in
+  let extra = after -. before -. baseline in
+  Alcotest.(check bool)
+    (Printf.sprintf "1000 disabled with_scope calls allocated %.0f minor words"
+       extra)
+    true (extra <= 0.5);
+  Alcotest.(check int) "thunks all ran" 1001 !tick
+
+let scope_propagates_to_pool_workers () =
+  let mem = Obs.Memory.create () in
+  Obs.with_sink (Obs.Memory.sink mem) @@ fun () ->
+  Msts.Pool.with_pool ~jobs:2 @@ fun pool ->
+  Obs.Scope.with_scope 7 @@ fun () ->
+  let seen =
+    Msts.Pool.map pool (fun _ -> Obs.Scope.current ()) (Array.init 8 Fun.id)
+  in
+  Array.iteri
+    (fun i sc ->
+      Alcotest.(check int) (Printf.sprintf "item %d ran under scope 7" i) 7 sc)
+    seen;
+  (* the worker resets its scope after each item *)
+  let cleared =
+    Obs.Scope.with_scope Obs.Scope.none (fun () ->
+        Msts.Pool.map pool (fun _ -> Obs.Scope.current ()) (Array.init 4 Fun.id))
+  in
+  Array.iter
+    (fun sc -> Alcotest.(check int) "scope cleared between batches" 0 sc)
+    cleared
+
+(* ---------- sinks under exceptions ---------- *)
+
+let tee_isolates_failing_sinks () =
+  let mem = Obs.Memory.create () in
+  let deliveries = ref 0 in
+  let failing _ =
+    incr deliveries;
+    failwith "sink died"
+  in
+  Obs.with_sink
+    (Obs.tee [ failing; Obs.Memory.sink mem ])
+    (fun () ->
+      Obs.count "a";
+      Obs.count "a");
+  Alcotest.(check int) "failing sink was offered every event" 2 !deliveries;
+  Alcotest.(check int) "surviving sink saw every event" 2
+    (Obs.Memory.counter mem "a")
+
+let streaming_no_partial_line_on_exception () =
+  let path = Filename.temp_file "msts_stream_exn" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out path in
+  let st = Obs.Streaming.create ~flush_every:4 oc in
+  (try
+     Obs.with_sink (Obs.Streaming.sink st) (fun () ->
+         for i = 1 to 10 do
+           Obs.record "v" i
+         done;
+         Obs.span "dies" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  Obs.Streaming.flush st;
+  close_out oc;
+  Alcotest.(check bool) "sink restored after the raise" false (Obs.enabled ());
+  let text = In_channel.with_open_text path In_channel.input_all in
+  Alcotest.(check bool) "file ends on a newline" true
+    (text <> "" && text.[String.length text - 1] = '\n');
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> l <> "")
+  in
+  (* 10 records + span B and E (span re-raises after emitting its end) *)
+  Alcotest.(check int) "every buffered event flushed whole" 12
+    (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "partial JSONL line %S: %s" line msg)
+    lines
+
 (* ---------- Chrome trace of a real workload ---------- *)
 
 (* Parse the exported trace and verify the structural invariants viewers
@@ -504,7 +691,7 @@ let corpus () =
   let sink _ = () in
   let ask op =
     Msts_serve.Engine.handle_line engine ~reply:sink
-      (Msts.Api.request_to_line { Msts.Api.id = None; op })
+      (Msts.Api.request_to_line { Msts.Api.id = None; trace = None; op })
   in
   let schedule = Msts.Api.Schedule (Msts.Solve.problem ~tasks:4 chain_platform) in
   ask schedule;
@@ -576,6 +763,10 @@ let metric_names_documented () =
       "serve.errors";
       "serve.queue_wait_us";
       "serve.batch_size";
+      "serve.request";
+      "request.queue_wait_us";
+      "request.solve_us";
+      "request.encode_us";
       "trace.events";
       "trace.segments_checked";
       "trace.violations";
@@ -598,6 +789,79 @@ let metric_names_documented () =
       Alcotest.(check bool) (name ^ " documented") true
         (List.mem name documented))
     core
+
+(* ---------- Prometheus text exposition ---------- *)
+
+let prometheus_mangle () =
+  Alcotest.(check string)
+    "dots and dashes become underscores" "msts_serve_queue_wait_us"
+    (Obs.Prometheus.mangle "serve.queue-wait.us");
+  Alcotest.(check string)
+    "already-clean names only gain the prefix" "msts_requests"
+    (Obs.Prometheus.mangle "requests")
+
+let prometheus_render_wellformed () =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.add h) [ 1; 2; 3; 1000 ];
+  let text =
+    Obs.Prometheus.render
+      ~counters:[ ("serve.requests", 5) ]
+      ~gauges:[ ("serve.queue_depth", 2) ]
+      ~histograms:[ ("request.solve_us", h) ]
+      ()
+  in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  let has line = List.mem line lines in
+  Alcotest.(check bool) "counter TYPE line" true
+    (has "# TYPE msts_serve_requests_total counter");
+  Alcotest.(check bool) "counter sample" true (has "msts_serve_requests_total 5");
+  Alcotest.(check bool) "gauge TYPE line" true
+    (has "# TYPE msts_serve_queue_depth gauge");
+  Alcotest.(check bool) "gauge sample" true (has "msts_serve_queue_depth 2");
+  Alcotest.(check bool) "histogram TYPE line" true
+    (has "# TYPE msts_request_solve_us histogram");
+  Alcotest.(check bool) "every family has a HELP line" true
+    (List.exists
+       (String.starts_with ~prefix:"# HELP msts_request_solve_us ")
+       lines);
+  (* cumulative buckets: non-decreasing, closed by +Inf = count *)
+  let bucket_counts =
+    List.filter_map
+      (fun line ->
+        if String.starts_with ~prefix:"msts_request_solve_us_bucket{le=" line
+        then
+          match String.rindex_opt line ' ' with
+          | Some sp ->
+              Some
+                (int_of_string
+                   (String.sub line (sp + 1) (String.length line - sp - 1)))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "at least one bucket plus +Inf" true
+    (List.length bucket_counts >= 2);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "cumulative buckets are monotone" true
+    (monotone bucket_counts);
+  Alcotest.(check bool) "+Inf bucket equals the count" true
+    (has "msts_request_solve_us_bucket{le=\"+Inf\"} 4");
+  Alcotest.(check bool) "sum line" true (has "msts_request_solve_us_sum 1006");
+  Alcotest.(check bool) "count line" true (has "msts_request_solve_us_count 4")
+
+let prometheus_of_memory () =
+  let mem = Obs.Memory.create () in
+  Obs.with_sink (Obs.Memory.sink mem) (fun () ->
+      Obs.count ~n:3 "hits";
+      Obs.record "lat" 7);
+  let text = Obs.Prometheus.of_memory mem in
+  Alcotest.(check bool) "counter family present" true
+    (contains text "msts_hits_total 3");
+  Alcotest.(check bool) "histogram family present" true
+    (contains text "msts_lat_count 1")
 
 (* ---------- the shared JSON encoder ---------- *)
 
@@ -666,6 +930,28 @@ let suites =
         case "streaming rejects flush_every < 1" streaming_rejects_bad_flush_every;
         case "ring keeps the newest N" ring_keeps_last_n;
         case "tee fans out to several sinks" tee_fans_out;
+        case "tee isolates a failing sink" tee_isolates_failing_sinks;
+        case "streaming flushes whole lines despite exceptions"
+          streaming_no_partial_line_on_exception;
+      ] );
+    ( "obs.scopes",
+      [
+        case "per-scope aggregation next to globals" scope_attribution;
+        case "scope id stamped into event JSON" scope_stamped_in_json;
+        case "with_scope nests and restores on exceptions"
+          scope_nesting_and_exceptions;
+        case "per-scope table is FIFO-bounded" scope_table_bounded;
+        case "fresh scopes are distinct" scope_fresh_monotone;
+        case "disabled path allocates nothing"
+          disabled_scope_path_allocation_free;
+        case "scopes ride onto pool workers" scope_propagates_to_pool_workers;
+      ] );
+    ( "obs.prometheus",
+      [
+        case "name mangling" prometheus_mangle;
+        case "render emits HELP/TYPE and monotone cumulative buckets"
+          prometheus_render_wellformed;
+        case "of_memory renders both families" prometheus_of_memory;
       ] );
     ( "obs.export",
       [

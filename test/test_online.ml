@@ -607,7 +607,7 @@ let engine_serves_online_while_draining () =
     let got = ref None in
     Msts_serve.Engine.submit engine
       ~reply:(fun r -> got := Some r)
-      { Api.id = None; op };
+      { Api.id = None; trace = None; op };
     match !got with
     | Some r -> r.Api.result
     | None -> Alcotest.fail "online op was queued instead of answered"

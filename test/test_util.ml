@@ -173,6 +173,13 @@ let stats_min_max () =
   Alcotest.check feq "min" (-1.0) lo;
   Alcotest.check feq "max" 7.0 hi
 
+(* Error messages carry the repo-wide [Msts.<Module>.<fn>: ...] prefix —
+   Api.error_of_solve_failure classifies on it, so it is load-bearing. *)
+let stats_error_prefix_pinned () =
+  Alcotest.check_raises "empty min_max"
+    (Invalid_argument "Msts.Stats.min_max: empty array") (fun () ->
+      ignore (Msts.Stats.min_max [||]))
+
 let stats_geometric_mean () =
   Alcotest.check feq "geo" 2.0 (Msts.Stats.geometric_mean [| 1.0; 2.0; 4.0 |])
 
@@ -364,6 +371,7 @@ let suites =
         case "stddev" stats_stddev;
         case "percentile" stats_percentile;
         case "min_max" stats_min_max;
+        case "error messages carry the Msts. prefix" stats_error_prefix_pinned;
         case "geometric mean" stats_geometric_mean;
       ] );
     ( "util.intx",
