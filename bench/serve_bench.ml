@@ -1,23 +1,33 @@
 (* Load generator for `msts serve`.
 
-   Two stages, both driving a real daemon (forked child running
-   Msts_serve.Server.run on a throw-away Unix socket) through a single
-   pipelined connection with a bounded outstanding window:
+   Four stages, all driving a real daemon (forked child running
+   Msts_serve.Server.run on a throw-away Unix socket) through pipelined
+   connections with bounded outstanding windows:
 
-     serve-smoke    ~2k mixed requests with telemetry streaming on, then
-                    a SIGTERM with in-flight requests — asserts the drain
-                    contract (every written request answered, exit 0) and
-                    recovers the serve.queue_wait_us / serve.batch_size
-                    histograms from the telemetry JSONL.
-     serve-scaling  100k mixed requests, latency histogram from client-side
-                    timestamps, throughput gated per core (the CI host has
-                    one; raw speedup would be meaningless there).
+     serve-smoke     ~2k mixed requests with telemetry streaming on, then
+                     a SIGTERM with in-flight requests — asserts the drain
+                     contract (every written request answered, exit 0) and
+                     recovers the serve.queue_wait_us / serve.batch_size
+                     histograms from the telemetry JSONL.
+     serve-scaling   100k mixed requests, latency histogram from
+                     client-side timestamps, throughput gated per core.
+     serve-mcore     the same compute-bound script against a jobs=1 and a
+                     jobs=4 daemon; records the speedup and — on hosts
+                     with >= 4 cores — gates it at 1.5x.
+     serve-fairness  a greedy pipelining connection floods a lockstep
+                     daemon while a polite connection does one-at-a-time
+                     RPCs; the polite p99 latency must stay within 3x of
+                     its uncontended baseline (deficit round robin at
+                     work, where FIFO would give backlog-proportional
+                     waits).
 
    Every request carries its index as the correlation id; responses are
    paired by id, so the control-operation fast path (ping/stats answered
    on receipt, overtaking queued solves) measures correctly.  Results
    accumulate into BENCH_serve.json: p50/p99 latency, per-core
-   throughput, queue-wait histograms, and the drain audit. *)
+   throughput, queue-wait histograms, speedup/fairness gates, and the
+   drain audit.  MSTS_BENCH_REPORT_ONLY=1 downgrades every gate to a
+   printed warning + JSON field (for cramped CI runners). *)
 
 module Api = Msts.Api
 module Json = Msts.Json
@@ -29,6 +39,25 @@ let drain_inflight = 100
 (* Conservative floor: pings and mostly-cached solves over a local socket
    clear this by an order of magnitude even on a loaded 1-core runner. *)
 let per_core_floor_rps = 200.0
+
+(* MSTS_BENCH_REPORT_ONLY=1 turns every gate below into a warning: the
+   numbers still land in BENCH_serve.json, the process still exits 0.
+   Meant for CI smoke runs on 1–2 core shared runners where latency
+   ratios and absolute throughput are hostage to noisy neighbours. *)
+let report_only =
+  match Sys.getenv_opt "MSTS_BENCH_REPORT_ONLY" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
+
+(* Enforce a gate, or — report-only mode — print the failure and keep
+   going.  Returns the verdict for the stage record. *)
+let gate ~name ~ok message =
+  if ok then Json.String "pass"
+  else if report_only then begin
+    Printf.printf "%s [report-only]: %s\n" name message;
+    Json.String "report-only"
+  end
+  else failwith (Printf.sprintf "serve bench: %s: %s" name message)
 
 let platforms =
   lazy
@@ -68,7 +97,8 @@ let request i =
 let sock_path stage = Filename.concat (Filename.get_temp_dir_name ())
     (Printf.sprintf "msts-bench-%s-%d.sock" stage (Unix.getpid ()))
 
-let start_daemon ~stage ~telemetry =
+let start_daemon ~stage ?(engine = Msts_serve.Engine.default_config) ~telemetry
+    () =
   let socket_path = sock_path stage in
   if Sys.file_exists socket_path then Sys.remove socket_path;
   flush stdout;
@@ -78,6 +108,7 @@ let start_daemon ~stage ~telemetry =
       let cfg =
         {
           (Msts_serve.Server.default_config ~socket_path) with
+          engine;
           telemetry;
           quiet = true;
         }
@@ -110,7 +141,7 @@ let response_id line =
 
 (* Pipelined replay: keep at most [window] requests outstanding, pair
    responses by id, return the latency histogram and wall time. *)
-let replay client ~total =
+let replay ?(script = request) client ~total =
   let send_at = Array.make total 0.0 in
   let seen = Array.make total false in
   let latency = Hist.create () in
@@ -120,7 +151,7 @@ let replay client ~total =
     if received < total then
       if sent < total && sent - received < window then begin
         send_at.(sent) <- Unix.gettimeofday ();
-        Msts_serve.Client.send_line client (Api.request_to_line (request sent));
+        Msts_serve.Client.send_line client (Api.request_to_line (script sent));
         loop (sent + 1) received
       end
       else begin
@@ -314,22 +345,25 @@ let write_bench () =
       Out_channel.output_string oc (Json.to_string ~pretty:true json);
       Out_channel.output_char oc '\n')
 
-let stage_json ~total ~latency ~wall ~extra =
+let stage_json ~jobs ~total ~latency ~wall ~extra =
   let throughput = float_of_int (total + drain_inflight) /. wall in
-  (* jobs=1 in the daemon: per-core == absolute on the CI host, and stays
-     honest if the default ever grows. *)
-  let per_core = throughput /. 1.0 in
-  if per_core < per_core_floor_rps then
-    failwith
-      (Printf.sprintf "serve bench: per-core throughput %.0f rps below floor %.0f"
-         per_core per_core_floor_rps);
+  (* Per-core divides by the daemon's actual worker count, not a
+     hard-coded 1: the figure stays honest when a stage runs jobs>1. *)
+  let per_core = throughput /. float_of_int jobs in
+  let verdict =
+    gate ~name:"per-core floor" ~ok:(per_core >= per_core_floor_rps)
+      (Printf.sprintf "throughput %.0f rps/core below floor %.0f" per_core
+         per_core_floor_rps)
+  in
   Json.Obj
     ([
        ("requests", Json.Int total);
        ("drain_inflight", Json.Int drain_inflight);
+       ("jobs", Json.Int jobs);
        ("wall_s", Json.Float wall);
        ("throughput_rps", Json.Float throughput);
        ("per_core_throughput_rps", Json.Float per_core);
+       ("per_core_floor_gate", verdict);
        ("latency_us", Hist.to_json latency);
        ("p50_us", Json.Int (Hist.quantile latency 0.5));
        ("p99_us", Json.Int (Hist.quantile latency 0.99));
@@ -343,7 +377,7 @@ let run_stage ~stage ~total ~with_telemetry =
       Some (Filename.temp_file "msts-serve-telemetry" ".jsonl")
     else None
   in
-  let pid, socket_path = start_daemon ~stage ~telemetry in
+  let pid, socket_path = start_daemon ~stage ~telemetry () in
   let finish () = if Sys.file_exists socket_path then Sys.remove socket_path in
   Fun.protect ~finally:finish @@ fun () ->
   let client = connect_or_fail socket_path in
@@ -370,7 +404,7 @@ let run_stage ~stage ~total ~with_telemetry =
         take "serve.queue_wait_us" @ take "serve.batch_size"
   in
   let extra = extra @ audit in
-  sections := (stage, stage_json ~total ~latency ~wall ~extra) :: !sections;
+  sections := (stage, stage_json ~jobs:1 ~total ~latency ~wall ~extra) :: !sections;
   write_bench ();
   Printf.printf
     "%s: %d requests + %d in-flight at SIGTERM, all answered; p50=%dus p99=%dus\n"
@@ -380,6 +414,217 @@ let run_stage ~stage ~total ~with_telemetry =
 let smoke () = run_stage ~stage:"smoke" ~total:2_000 ~with_telemetry:true
 let scaling () = run_stage ~stage:"scaling" ~total:100_000 ~with_telemetry:false
 
+(* ---------- compute-bound stages: serve-mcore, serve-fairness ---------- *)
+
+(* A spider large enough that one cold solve costs milliseconds: queue
+   position, not socket round-trips, dominates the latencies measured
+   below.  The task count is calibrated at runtime so the stages stay
+   meaningful across hosts of very different speeds. *)
+let heavy_platform =
+  lazy
+    (Msts.Platform_format.Spider_platform
+       (Msts.Generator.spider (Msts.Prng.create 21)
+          Msts.Generator.compute_bound_profile ~legs:4 ~max_depth:3))
+
+let heavy_problem ~tasks = Msts.Solve.problem ~tasks (Lazy.force heavy_platform)
+
+let heavy_solve_us ~tasks =
+  let t0 = Unix.gettimeofday () in
+  (match Msts.Solve.solve (heavy_problem ~tasks) with
+  | Ok _ -> ()
+  | Error msg -> failwith ("serve bench: heavy solve failed: " ^ msg));
+  int_of_float ((Unix.gettimeofday () -. t0) *. 1e6)
+
+(* Double the task count until one cold solve crosses [target_us].  The
+   cap keeps the stage bounded on very fast hosts going very wrong. *)
+let calibrate_heavy ~target_us =
+  let rec go tasks =
+    let us = heavy_solve_us ~tasks in
+    if us >= target_us || tasks >= 2048 then (tasks, us) else go (tasks * 2)
+  in
+  go 64
+
+(* Clean shutdown for stages that already drained every response:
+   SIGTERM, demand an immediate EOF and exit 0. *)
+let stop_daemon client pid =
+  Unix.kill pid Sys.sigterm;
+  (match Msts_serve.Client.recv_line client with
+  | None -> ()
+  | Some _ -> failwith "serve bench: unexpected frame after the drain");
+  Msts_serve.Client.close client;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n ->
+      failwith (Printf.sprintf "serve bench: daemon exited %d" n)
+  | _ -> failwith "serve bench: daemon died on a signal"
+
+(* The same compute-bound script (every problem distinct, so the solve
+   cache never short-circuits a request) against a jobs=1 and a jobs=4
+   daemon.  On hosts with >= 4 cores the speedup gates at 1.5x; below
+   that the figure is recorded but cannot mean anything, so the gate
+   reports itself skipped. *)
+let mcore () =
+  let cores = Domain.recommended_domain_count () in
+  let tasks, solve_us = calibrate_heavy ~target_us:3_000 in
+  let total = 48 in
+  let script i =
+    { Api.id = Some i; trace = None;
+      op = Api.Schedule (heavy_problem ~tasks:(tasks + i)) }
+  in
+  let run jobs =
+    let pid, socket_path =
+      start_daemon
+        ~stage:(Printf.sprintf "mcore%d" jobs)
+        ~engine:{ Msts_serve.Engine.default_config with jobs }
+        ~telemetry:None ()
+    in
+    let finish () =
+      if Sys.file_exists socket_path then Sys.remove socket_path
+    in
+    Fun.protect ~finally:finish @@ fun () ->
+    let client = connect_or_fail socket_path in
+    let latency, wall = replay ~script client ~total in
+    stop_daemon client pid;
+    (float_of_int total /. wall, latency)
+  in
+  let rps1, latency1 = run 1 in
+  let rps4, latency4 = run 4 in
+  let speedup = rps4 /. rps1 in
+  let verdict =
+    if cores >= 4 then
+      gate ~name:"multi-core speedup" ~ok:(speedup >= 1.5)
+        (Printf.sprintf "jobs=4 gave %.2fx over jobs=1 (want >= 1.5x)" speedup)
+    else Json.String (Printf.sprintf "skipped (%d core(s) < 4)" cores)
+  in
+  sections :=
+    ( "mcore",
+      Json.Obj
+        [
+          ("cores", Json.Int cores);
+          ("requests", Json.Int total);
+          ("solve_tasks", Json.Int tasks);
+          ("solve_us_calibrated", Json.Int solve_us);
+          ("jobs1_throughput_rps", Json.Float rps1);
+          ("jobs4_throughput_rps", Json.Float rps4);
+          ("jobs4_per_core_throughput_rps", Json.Float (rps4 /. 4.0));
+          ("speedup", Json.Float speedup);
+          ("speedup_gate", verdict);
+          ("jobs1_p99_us", Json.Int (Hist.quantile latency1 0.99));
+          ("jobs4_p99_us", Json.Int (Hist.quantile latency4 0.99));
+        ] )
+    :: !sections;
+  write_bench ();
+  Printf.printf
+    "mcore: %d cores, solve ~%dus; jobs=1 %.0f rps, jobs=4 %.0f rps (%.2fx)\n"
+    cores solve_us rps1 rps4 speedup
+
+(* One greedy connection floods a lockstep daemon (max_inflight=1,
+   max_batch=1, cache_capacity=1 so every request is a real solve) while
+   a polite connection keeps doing one-at-a-time RPCs.  Deficit round
+   robin bounds the polite wait by the connection count: its p99 must
+   stay within 3x of the uncontended baseline, where FIFO would put it
+   at backlog x solve time (~100x here). *)
+let fairness () =
+  let tasks, solve_us = calibrate_heavy ~target_us:3_000 in
+  let engine =
+    {
+      Msts_serve.Engine.default_config with
+      cache_capacity = 1;
+      max_batch = 1;
+      max_inflight = 1;
+    }
+  in
+  let pid, socket_path =
+    start_daemon ~stage:"fairness" ~engine ~telemetry:None ()
+  in
+  let finish () = if Sys.file_exists socket_path then Sys.remove socket_path in
+  Fun.protect ~finally:finish @@ fun () ->
+  let polite = connect_or_fail socket_path in
+  (* Globally unique ids; tasks cycle over a per-connection 4-value band
+     so adjacent solves never share a fingerprint (the capacity-1 cache
+     stays cold, and polite requests can never ride a greedy solve's
+     cache entry) while the per-solve cost stays flat. *)
+  let next = ref 0 in
+  let fresh_heavy ~band =
+    let k = !next in
+    incr next;
+    { Api.id = Some k; trace = None;
+      op = Api.Schedule (heavy_problem ~tasks:(tasks + band + (k mod 4))) }
+  in
+  let polite_rounds = 40 in
+  let lockstep () =
+    let hist = Hist.create () in
+    for _ = 1 to polite_rounds do
+      let frame = Api.request_to_line (fresh_heavy ~band:0) in
+      let t0 = Unix.gettimeofday () in
+      (match Api.response_of_line (exchange polite frame) with
+      | Ok { Api.result = Ok _; _ } -> ()
+      | Ok { Api.result = Error e; _ } ->
+          failwith ("serve bench: polite request refused: " ^ e.Api.message)
+      | Error e ->
+          failwith ("serve bench: unreadable polite response: " ^ e.Api.message));
+      Hist.add hist (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+    done;
+    hist
+  in
+  let baseline = lockstep () in
+  let greedy = connect_or_fail socket_path in
+  let backlog = 96 in
+  for _ = 1 to backlog do
+    Msts_serve.Client.send_line greedy
+      (Api.request_to_line (fresh_heavy ~band:8))
+  done;
+  let contended = lockstep () in
+  (* Server-side evidence for the record: per-connection queue waits,
+     deficits and delivery counts as the scheduler saw them. *)
+  let connections =
+    member_exn "stats"
+      (payload_of_line (exchange polite {|{"op":"stats"}|}))
+      "connections"
+  in
+  let drained = ref 0 in
+  while !drained < backlog do
+    match Msts_serve.Client.recv_line greedy with
+    | None -> failwith "serve bench: greedy connection lost responses"
+    | Some line ->
+        (match response_id line with
+        | _, Ok _ -> incr drained
+        | _, Error e ->
+            failwith ("serve bench: greedy request refused: " ^ e.Api.message))
+  done;
+  Msts_serve.Client.close greedy;
+  stop_daemon polite pid;
+  let p99_base = Hist.quantile baseline 0.99 in
+  let p99_cont = Hist.quantile contended 0.99 in
+  let ratio = float_of_int p99_cont /. float_of_int (max 1 p99_base) in
+  let verdict =
+    gate ~name:"fairness" ~ok:(ratio <= 3.0)
+      (Printf.sprintf
+         "contended polite p99 %dus is %.2fx the uncontended %dus (want <= 3x)"
+         p99_cont ratio p99_base)
+  in
+  sections :=
+    ( "fairness",
+      Json.Obj
+        [
+          ("solve_tasks", Json.Int tasks);
+          ("solve_us_calibrated", Json.Int solve_us);
+          ("polite_rounds", Json.Int polite_rounds);
+          ("greedy_backlog", Json.Int backlog);
+          ("baseline_p50_us", Json.Int (Hist.quantile baseline 0.5));
+          ("baseline_p99_us", Json.Int p99_base);
+          ("contended_p50_us", Json.Int (Hist.quantile contended 0.5));
+          ("contended_p99_us", Json.Int p99_cont);
+          ("p99_ratio", Json.Float ratio);
+          ("fairness_gate", verdict);
+          ("connections", connections);
+        ] )
+    :: !sections;
+  write_bench ();
+  Printf.printf
+    "fairness: solve ~%dus; polite p99 %dus uncontended, %dus against %d greedy (%.2fx)\n"
+    solve_us p99_base p99_cont backlog ratio
+
 let all =
   [
     ( "serve-smoke",
@@ -388,4 +633,10 @@ let all =
     ( "serve-scaling",
       "100k-request mixed replay against msts serve; per-core throughput gate",
       scaling );
+    ( "serve-mcore",
+      "compute-bound replay against jobs=1 and jobs=4 daemons; speedup gate on >=4-core hosts",
+      mcore );
+    ( "serve-fairness",
+      "greedy flood vs polite lockstep RPCs; polite p99 within 3x of uncontended",
+      fairness );
   ]

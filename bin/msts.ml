@@ -1219,8 +1219,30 @@ let serve_cmd =
     Arg.(value & opt int 0 & info [ "timeout-ms" ] ~docv:"MS" ~doc)
   in
   let batch_arg =
-    let doc = "Most requests dispatched per micro-batch." in
+    let doc = "Most work units launched per dispatch round." in
     Arg.(value & opt int 32 & info [ "max-batch" ] ~docv:"B" ~doc)
+  in
+  let conn_queue_arg =
+    let doc =
+      "Per-connection admission control: one connection's queued requests \
+       beyond $(docv) are rejected with $(b,overloaded) even when the \
+       global queue has room."
+    in
+    Arg.(value & opt int 256 & info [ "max-queue-per-conn" ] ~docv:"Q" ~doc)
+  in
+  let quantum_arg =
+    let doc =
+      "Deficit-round-robin credit per scheduler visit: work units one \
+       connection may launch per fairness turn."
+    in
+    Arg.(value & opt int 1 & info [ "quantum" ] ~docv:"N" ~doc)
+  in
+  let inflight_arg =
+    let doc =
+      "Most work units concurrently in flight on worker domains ($(b,0) = \
+       twice the pool size)."
+    in
+    Arg.(value & opt int 0 & info [ "max-inflight" ] ~docv:"N" ~doc)
   in
   let telemetry_arg =
     let doc = "Stream every observability event to $(docv) as JSONL." in
@@ -1254,8 +1276,9 @@ let serve_cmd =
     let doc = "Seconds between $(b,--metrics-out) rewrites." in
     Arg.(value & opt float 1.0 & info [ "metrics-interval" ] ~docv:"S" ~doc)
   in
-  let run () socket jobs cache_size queue_cap timeout_ms max_batch telemetry
-      ring quiet slow_log metrics_out metrics_interval =
+  let run () socket jobs cache_size queue_cap timeout_ms max_batch
+      max_queue_per_conn quantum max_inflight telemetry ring quiet slow_log
+      metrics_out metrics_interval =
     List.iter
       (fun (what, v) ->
         if v < 1 then begin
@@ -1267,6 +1290,8 @@ let serve_cmd =
         ("cache-size", cache_size);
         ("queue-cap", queue_cap);
         ("max-batch", max_batch);
+        ("max-queue-per-conn", max_queue_per_conn);
+        ("quantum", quantum);
         ("ring", ring);
       ];
     if timeout_ms < 0 then begin
@@ -1275,6 +1300,10 @@ let serve_cmd =
     end;
     if slow_log < 0 then begin
       Printf.eprintf "error: --slow-log must be >= 0\n";
+      exit 2
+    end;
+    if max_inflight < 0 then begin
+      Printf.eprintf "error: --max-inflight must be >= 0\n";
       exit 2
     end;
     if metrics_interval <= 0.0 then begin
@@ -1292,6 +1321,9 @@ let serve_cmd =
             timeout_us = timeout_ms * 1000;
             max_batch;
             slow_log;
+            max_queue_per_conn;
+            quantum;
+            max_inflight;
           };
         telemetry;
         ring_capacity = ring;
@@ -1311,8 +1343,9 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ kernel_setter $ socket_arg $ jobs_arg $ cache_arg $ queue_arg
-      $ timeout_arg $ batch_arg $ telemetry_arg $ ring_arg $ quiet_arg
-      $ slow_log_arg $ metrics_out_arg $ metrics_interval_arg)
+      $ timeout_arg $ batch_arg $ conn_queue_arg $ quantum_arg $ inflight_arg
+      $ telemetry_arg $ ring_arg $ quiet_arg $ slow_log_arg $ metrics_out_arg
+      $ metrics_interval_arg)
 
 (* ---------- call ---------- *)
 

@@ -42,10 +42,18 @@ type resolution =
   | Fresh of int (* index into the to-solve array *)
   | Duplicate of int (* same fingerprint as this earlier request *)
 
-let run ?pool ?jobs ?cache:shared ~solve requests =
+type plan = {
+  requests : request array;
+  fingerprints : string array;
+  resolutions : resolution array;
+  to_solve : int array; (* slot -> request index *)
+  plan_cache : cache;
+}
+
+let shard ?cache:shared requests =
   let n = Array.length requests in
   let fingerprints = Array.map fingerprint requests in
-  let cache =
+  let plan_cache =
     match shared with
     | Some c -> c
     | None -> cache ~capacity:(max 1 n)
@@ -62,7 +70,7 @@ let run ?pool ?jobs ?cache:shared ~solve requests =
         | Some j -> Duplicate j
         | None -> (
             Hashtbl.add first_of fp i;
-            match cache_find cache fp with
+            match cache_find plan_cache fp with
             | Some outcome -> Cached outcome
             | None ->
                 let slot = !n_solve in
@@ -70,38 +78,23 @@ let run ?pool ?jobs ?cache:shared ~solve requests =
                 to_solve := i :: !to_solve;
                 Fresh slot))
   in
-  let to_solve = Array.of_list (List.rev !to_solve) in
+  { requests; fingerprints; resolutions;
+    to_solve = Array.of_list (List.rev !to_solve); plan_cache }
+
+let shard_count plan = Array.length plan.to_solve
+let shard_request plan slot = plan.requests.(plan.to_solve.(slot))
+
+let assemble plan ~jobs:used_jobs ~solved ~wait_us ~busy_us =
+  let n = Array.length plan.requests in
+  if Array.length solved <> shard_count plan then
+    invalid_arg "Msts.Batch.assemble: solved array does not match the plan";
   (* hits = LRU hits + within-batch duplicates = everything not solved *)
-  let hits = n - Array.length to_solve in
-  (* Fan the distinct misses over the pool; per-slot timing cells are
-     written by exactly one worker each, read only after the barrier. *)
-  let wait_us = Array.make (Array.length to_solve) 0 in
-  let busy_us = Array.make (Array.length to_solve) 0 in
-  let run_on pool =
-    let submitted = Obs.now_us () in
-    ( Pool.jobs pool,
-      Pool.map pool
-        (fun slot ->
-          let started = Obs.now_us () in
-          let outcome = solve requests.(to_solve.(slot)) in
-          let finished = Obs.now_us () in
-          wait_us.(slot) <- max 0 (started - submitted);
-          busy_us.(slot) <- max 0 (finished - started);
-          outcome)
-        (Array.init (Array.length to_solve) Fun.id) )
-  in
-  let used_jobs, solved =
-    Obs.span "pool.batch"
-      ~args:[ ("requests", string_of_int n) ]
-      (fun () ->
-        match pool with
-        | Some pool -> run_on pool
-        | None -> Pool.with_pool ?jobs run_on)
-  in
+  let hits = n - Array.length plan.to_solve in
   (* Sequential epilogue: insert fresh outcomes in submission order (so the
      eviction sequence is deterministic), then resolve duplicates. *)
   Array.iteri
-    (fun slot outcome -> cache_add cache fingerprints.(to_solve.(slot)) outcome)
+    (fun slot outcome ->
+      cache_add plan.plan_cache plan.fingerprints.(plan.to_solve.(slot)) outcome)
     solved;
   let outcomes =
     Array.map
@@ -109,21 +102,21 @@ let run ?pool ?jobs ?cache:shared ~solve requests =
         | Cached outcome -> outcome
         | Fresh slot -> solved.(slot)
         | Duplicate _ -> Error "unresolved") (* patched below *)
-      resolutions
+      plan.resolutions
   in
   Array.iteri
     (fun i resolution ->
       match resolution with
       | Duplicate j -> outcomes.(i) <- outcomes.(j)
       | _ -> ())
-    resolutions;
+    plan.resolutions;
   let sum = Array.fold_left ( + ) 0 in
   let stats =
     {
       jobs = used_jobs;
       requests = n;
       cache_hits = hits;
-      cache_misses = Array.length to_solve;
+      cache_misses = Array.length plan.to_solve;
       queue_wait_us = sum wait_us;
       busy_us = sum busy_us;
     }
@@ -138,3 +131,33 @@ let run ?pool ?jobs ?cache:shared ~solve requests =
   Array.iter (fun w -> Obs.record "pool.queue_wait_us" w) wait_us;
   Array.iter (fun b -> Obs.record "pool.busy_us" b) busy_us;
   (outcomes, stats)
+
+let run ?pool ?jobs ?cache:shared ~solve requests =
+  let plan = shard ?cache:shared requests in
+  let shards = shard_count plan in
+  (* Fan the distinct misses over the pool; per-slot timing cells are
+     written by exactly one worker each, read only after the barrier. *)
+  let wait_us = Array.make shards 0 in
+  let busy_us = Array.make shards 0 in
+  let run_on pool =
+    let submitted = Obs.now_us () in
+    ( Pool.jobs pool,
+      Pool.map pool
+        (fun slot ->
+          let started = Obs.now_us () in
+          let outcome = solve (shard_request plan slot) in
+          let finished = Obs.now_us () in
+          wait_us.(slot) <- max 0 (started - submitted);
+          busy_us.(slot) <- max 0 (finished - started);
+          outcome)
+        (Array.init shards Fun.id) )
+  in
+  let used_jobs, solved =
+    Obs.span "pool.batch"
+      ~args:[ ("requests", string_of_int (Array.length requests)) ]
+      (fun () ->
+        match pool with
+        | Some pool -> run_on pool
+        | None -> Pool.with_pool ?jobs run_on)
+  in
+  assemble plan ~jobs:used_jobs ~solved ~wait_us ~busy_us

@@ -81,3 +81,45 @@ val run :
     [Domain.recommended_domain_count ()]) is spun up and shut down.
     Without [?cache] a private throw-away cache sized to the batch is
     used, so within-batch deduplication still applies. *)
+
+(** {2 Sharded execution}
+
+    {!run} split into its two sequential coordinator halves, so a caller
+    that owns its own scheduling — the [msts serve] engine interleaving
+    one batch's problems with other clients' requests — can run the
+    middle (the solves) as independent units on any pool, in any
+    completion order, and still assemble the exact bytes {!run} would
+    have produced: {!shard} performs the deduplication/cache-probe pass,
+    the caller solves [shard_request plan slot] for every slot (each a
+    distinct fingerprint, pure and independent), and {!assemble} inserts
+    the outcomes into the cache in slot order (deterministic eviction),
+    resolves duplicates, emits the [pool.*] counters and builds the
+    {!stats}.  [run = shard; solve each slot on a pool; assemble]. *)
+
+type plan
+(** The frozen coordinator pass: per-request resolutions plus the
+    distinct problems still to solve. *)
+
+val shard : ?cache:cache -> request array -> plan
+(** Probe the cache and deduplicate, in submission order.  Like {!run},
+    a missing [?cache] means a private throw-away cache sized to the
+    batch. *)
+
+val shard_count : plan -> int
+(** Distinct uncached problems — the units to solve. *)
+
+val shard_request : plan -> int -> request
+(** The slot's problem ([0 <= slot < shard_count]). *)
+
+val assemble :
+  plan ->
+  jobs:int ->
+  solved:outcome array ->
+  wait_us:int array ->
+  busy_us:int array ->
+  outcome array * stats
+(** Insert [solved] (slot-indexed, one per {!shard_count}) into the
+    cache, resolve every request, and emit the [pool.*] telemetry on the
+    calling domain.  [wait_us]/[busy_us] are per-slot timings summed into
+    the stats ([jobs] is reported verbatim).  Call exactly once per
+    plan.  @raise Invalid_argument on a mis-sized [solved] array. *)

@@ -20,7 +20,18 @@ type t = {
   stop : bool Atomic.t;
   mutable workers : unit Domain.t array;
   next : int Atomic.t; (* round-robin submission cursor *)
+  (* Asynchronous completions: every finished ticket bumps [completions]
+     and broadcasts [complete]; when a completion pipe exists (created
+     lazily by the first [completion_fd] call) one wake-up byte is also
+     written so a select loop can sleep on the read end.  The pipe is
+     never created for pools that are only ever [map]ed over. *)
+  completions : int Atomic.t;
+  complete_lock : Mutex.t;
+  complete : Condition.t;
+  pipe : (Unix.file_descr * Unix.file_descr) option Atomic.t;
 }
+
+type 'a ticket = ('a, exn) result option Atomic.t
 
 let clamp_jobs j = max 1 (min 64 j)
 
@@ -83,6 +94,10 @@ let create ?jobs () =
       stop = Atomic.make false;
       workers = [||];
       next = Atomic.make 0;
+      completions = Atomic.make 0;
+      complete_lock = Mutex.create ();
+      complete = Condition.create ();
+      pipe = Atomic.make None;
     }
   in
   if size > 1 then
@@ -91,7 +106,7 @@ let create ?jobs () =
 
 let jobs t = t.size
 
-let submit t task =
+let enqueue_task t task =
   let shard = t.shards.(Atomic.fetch_and_add t.next 1 mod t.size) in
   Mutex.lock shard.lock;
   Queue.push task shard.tasks;
@@ -99,6 +114,84 @@ let submit t task =
   Mutex.lock t.lock;
   Condition.broadcast t.work;
   Mutex.unlock t.lock
+
+(* ---------- asynchronous submission ---------- *)
+
+let wake_byte = Bytes.make 1 '!'
+
+let signal_completion t =
+  Atomic.incr t.completions;
+  Mutex.lock t.complete_lock;
+  Condition.broadcast t.complete;
+  Mutex.unlock t.complete_lock;
+  match Atomic.get t.pipe with
+  | None -> ()
+  | Some (_, w) -> (
+      (* Best-effort wake-up: a full pipe already guarantees the reader
+         has a pending readable event, and a closed one means shutdown. *)
+      try ignore (Unix.write w wake_byte 0 1) with Unix.Unix_error _ -> ())
+
+let completion_fd t =
+  Mutex.lock t.lock;
+  let r =
+    match Atomic.get t.pipe with
+    | Some (r, _) -> r
+    | None ->
+        let r, w = Unix.pipe ~cloexec:true () in
+        Unix.set_nonblock r;
+        Unix.set_nonblock w;
+        Atomic.set t.pipe (Some (r, w));
+        r
+  in
+  Mutex.unlock t.lock;
+  r
+
+let drain_buf = Bytes.create 4096
+
+let drain_completions t =
+  (match Atomic.get t.pipe with
+  | None -> ()
+  | Some (r, _) ->
+      let rec slurp () =
+        match Unix.read r drain_buf 0 (Bytes.length drain_buf) with
+        | n when n > 0 -> slurp ()
+        | _ -> ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            ()
+      in
+      slurp ());
+  Atomic.exchange t.completions 0
+
+let submit t f =
+  let ticket = Atomic.make None in
+  let scope = Obs.Scope.current () in
+  let run () =
+    Obs.Scope.set scope;
+    let outcome = try Ok (f ()) with e -> Error e in
+    Obs.Scope.set Obs.Scope.none;
+    Atomic.set ticket (Some outcome);
+    signal_completion t
+  in
+  if t.size <= 1 || Array.length t.workers = 0 then run ()
+  else enqueue_task t run;
+  ticket
+
+let poll ticket = Atomic.get ticket
+
+let await t ticket =
+  let rec wait () =
+    match Atomic.get ticket with
+    | Some outcome -> outcome
+    | None ->
+        Mutex.lock t.complete_lock;
+        (* Re-check under the lock: completions broadcast under it, so a
+           result set between the check and the wait cannot be missed. *)
+        if Atomic.get ticket = None then Condition.wait t.complete t.complete_lock;
+        Mutex.unlock t.complete_lock;
+        wait ()
+  in
+  wait ()
 
 let map t f items =
   let n = Array.length items in
@@ -116,7 +209,7 @@ let map t f items =
     let scope = Obs.Scope.current () in
     Array.iteri
       (fun i item ->
-        submit t (fun () ->
+        enqueue_task t (fun () ->
             Obs.Scope.set scope;
             (try results.(i) <- Some (f item)
              with e ->
@@ -146,7 +239,12 @@ let shutdown t =
     Condition.broadcast t.work;
     Mutex.unlock t.lock;
     Array.iter Domain.join t.workers;
-    t.workers <- [||]
+    t.workers <- [||];
+    match Atomic.exchange t.pipe None with
+    | None -> ()
+    | Some (r, w) ->
+        (try Unix.close r with Unix.Unix_error _ -> ());
+        (try Unix.close w with Unix.Unix_error _ -> ())
   end
 
 let with_pool ?jobs f =

@@ -40,6 +40,50 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
     re-raised after the whole batch has drained.  Not re-entrant: one
     [map] at a time per pool. *)
 
+(** {2 Asynchronous submission}
+
+    The daemon-facing half of the pool: {!submit} hands one thunk to a
+    worker and returns immediately with a {!ticket}; the caller collects
+    results later with {!poll} (non-blocking), {!await} (blocking), or —
+    the select-loop shape — by sleeping on {!completion_fd} and calling
+    {!drain_completions} when it turns readable.  Like {!map}, [submit]
+    carries the submitting domain's {!Msts_obs.Obs.Scope} onto the worker
+    for the duration of the thunk.
+
+    On a pool with no worker domains ([jobs <= 1], or after {!shutdown})
+    the thunk runs inline on the caller and the ticket is already
+    completed when [submit] returns — the degenerate case a single-core
+    deployment exercises, with the exact same observable protocol. *)
+
+type 'a ticket
+(** A handle to one submitted thunk's eventual result. *)
+
+val submit : t -> (unit -> 'a) -> 'a ticket
+(** Run the thunk on a worker domain (or inline, see above).  Never
+    blocks on worker availability: work queues in the pool's sharded
+    run queue.  An exception raised by the thunk is captured in the
+    ticket, never thrown at the submitter asynchronously. *)
+
+val poll : 'a ticket -> ('a, exn) result option
+(** [None] while the thunk is still queued or running; [Some] forever
+    after.  Never blocks. *)
+
+val await : t -> 'a ticket -> ('a, exn) result
+(** Block until the ticket completes.  Intended for drain paths and
+    tests; select loops should prefer {!completion_fd}. *)
+
+val completion_fd : t -> Unix.file_descr
+(** The read end of the pool's completion self-pipe, created on first
+    use (pools that are only [map]ed over never pay for it).  It becomes
+    readable when a submitted thunk completes; owned by the pool and
+    closed by {!shutdown} — do not close or read it directly, call
+    {!drain_completions}. *)
+
+val drain_completions : t -> int
+(** Consume all pending wake-up bytes (non-blocking) and return how many
+    tickets completed since the previous drain.  Returns 0 (and reads
+    nothing) when no completions are pending. *)
+
 val shutdown : t -> unit
 (** Stop and join the workers.  Idempotent; {!map} after [shutdown] runs
     inline. *)

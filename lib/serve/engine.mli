@@ -1,36 +1,56 @@
 (** The daemon's request engine, with no sockets in sight.
 
-    The engine owns the serving policy: a bounded FIFO request queue with
-    admission control, per-request queue-wait deadlines, a persistent
+    The engine owns the serving policy: per-connection FIFO queues under
+    a deficit-round-robin scheduler, admission control (a global cap and
+    a per-connection cap), per-request queue-wait deadlines, a persistent
     {!Msts.Pool} with the shared {!Msts.Batch} LRU solve cache, and the
     [serve.*] telemetry.  The socket layer ({!Server}) only moves bytes;
     everything observable about serving — which requests are admitted,
     rejected, timed out, answered, and in what order — is decided here, so
-    the whole policy is testable in-process (see [test/test_obs.ml]'s
-    drift guard and [test/test_api.ml]).
+    the whole policy is testable in-process (see [test/test_serve.ml],
+    [test/test_obs.ml]'s drift guard and [test/test_api.ml]).
 
     Flow: {!handle_line} (or {!submit}) either answers immediately
-    (control operations, parse errors, admission rejections) or enqueues;
-    {!dispatch} drains one micro-batch through {!Msts.Api.exec} backed by
-    a [Batch.run] solver over the engine's pool and cache.  Responses are
-    delivered through the per-request [reply] callback, always on the
-    calling domain.
+    (control operations, parse errors, admission rejections) or enqueues
+    work units on the submitting connection's queue — one [Whole] unit
+    per singleton request, one shard unit per distinct uncached problem
+    of a [batch] request ({!Msts.Batch.shard}).  {!dispatch} is
+    {e non-blocking}: it collects finished worker tickets
+    ({!Msts.Pool.poll}), pumps the fairness scheduler to launch new units
+    ({!Msts.Pool.submit}), and collects again — solves run on worker
+    domains while the caller keeps reading and writing frames.  Responses
+    are delivered through the per-request [reply] callback, always on the
+    calling domain, as completions arrive.
+
+    Fairness: each visit of the round-robin ring tops a connection's
+    deficit up by [quantum] and launches one unit per credit, so a
+    flooding (pipelining) client advances one unit per turn while every
+    other connection stays at its own front of line; [max_queue_per_conn]
+    bounds any one connection's backlog independently of [queue_cap].
 
     Telemetry (all emitted on the engine's domain, catalogued in
     docs/OBSERVABILITY.md): counters [serve.requests], [serve.accepted],
     [serve.rejected], [serve.timeouts], [serve.responses], [serve.errors];
-    histograms [serve.queue_wait_us] (admission-to-dispatch latency) and
-    [serve.batch_size] (requests per dispatch round).  Dispatch also emits
-    the usual [pool.*] counters via {!Msts.Batch.run}.
+    histograms [serve.queue_wait_us] (admission-to-launch latency, one
+    sample per request), [serve.batch_size] (units launched per pump),
+    [serve.inflight] (in-flight units after each pump),
+    [serve.fairness.deficit] (a connection's deficit at each scheduler
+    visit) and [pool.completion_wait_us] (completion-to-collection
+    latency per ticket).  The [pool.*] solve counters are re-emitted
+    engine-side from the stats each worker hands back (worker domains
+    have no sink).
 
-    Per-request attribution: every dispatched solve runs under a fresh
-    {!Msts.Obs.Scope} inside a [serve.request] span (args: op name and
-    trace label), and records its latency breakdown as the
-    [request.queue_wait_us] / [request.solve_us] / [request.encode_us]
-    histograms — both through {!Msts.Obs.record} (scoped, sink-visible)
-    and into engine-side histograms that feed {!stats_json} and
-    {!exposition} even with no sink installed.  The slowest requests are
-    kept in a bounded top-K log ({!slow_requests}). *)
+    Per-request attribution: every launched unit runs under a fresh
+    {!Msts.Obs.Scope} that {!Msts.Pool.submit} carries onto the worker
+    domain, so [request.solve_us] and solver-side events stay attributed
+    to their request; delivery happens inside a [serve.request] span
+    (args: op name and trace label).  The latency breakdown is recorded
+    as the [request.queue_wait_us] / [request.solve_us] /
+    [request.encode_us] histograms — both through {!Msts.Obs.record}
+    (scoped, sink-visible) and into engine-side histograms that feed
+    {!stats_json} and {!exposition} even with no sink installed.  The
+    slowest requests are kept in a bounded top-K log
+    ({!slow_requests}). *)
 
 type config = {
   jobs : int;  (** pool worker domains (clamped by {!Msts.Pool.create}) *)
@@ -42,54 +62,113 @@ type config = {
       (** per-request queue-wait deadline in microseconds; a request
           still queued past it is answered [`timeout] instead of solved
           (a pure OCaml solve cannot be preempted, so the deadline is
-          checked at dispatch).  0 disables timeouts. *)
-  max_batch : int;  (** most requests dispatched per {!dispatch} round *)
+          checked at launch; a batch whose first shard already launched
+          runs to completion).  0 disables timeouts. *)
+  max_batch : int;  (** most units launched per {!dispatch} round *)
   slow_log : int;
       (** how many slowest requests {!slow_requests} retains (top-K by
           total latency); 0 disables the log *)
+  max_queue_per_conn : int;
+      (** per-connection admission control: one connection's queued
+          requests beyond this are rejected with [`overloaded] even when
+          the global queue has room, >= 1 *)
+  quantum : int;
+      (** deficit-round-robin credit added per scheduler visit (units a
+          connection may launch per turn), >= 1 *)
+  max_inflight : int;
+      (** most units concurrently on worker domains; 0 means
+          [2 * jobs] *)
 }
 
 val default_config : config
 (** [jobs = 1], [cache_capacity = 256], [queue_cap = 1024],
-    [timeout_us = 0], [max_batch = 32], [slow_log = 16]. *)
+    [timeout_us = 0], [max_batch = 32], [slow_log = 16],
+    [max_queue_per_conn = 256], [quantum = 1], [max_inflight = 0]. *)
 
 type t
 
 val create : config -> t
-(** Starts the worker pool.  @raise Invalid_argument on a non-positive
-    [cache_capacity], [queue_cap] or [max_batch], or a negative
-    [slow_log]. *)
+(** Starts the worker pool (and its completion pipe, see {!wakeup_fd}).
+    @raise Invalid_argument on a non-positive [cache_capacity],
+    [queue_cap], [max_batch], [max_queue_per_conn] or [quantum], a
+    negative [slow_log] or [max_inflight], or [jobs < 1]. *)
 
 val config : t -> config
 
-val submit : t -> reply:(Msts.Api.response -> unit) -> Msts.Api.request -> unit
-(** Admit one request.  Control operations ([Ping]/[Stats]/[Shutdown])
-    are answered synchronously — [Shutdown] flips {!stopping} and answers
+(** {2 Connections}
+
+    The fairness scheduler needs to know which requests belong to the
+    same client.  The server opens one {!conn} per accepted socket;
+    callers that never open one (tests, in-process embedding) share an
+    implicit default connection. *)
+
+type conn
+
+val open_conn : t -> conn
+(** Register a new connection (its own queue, deficit and counters). *)
+
+val close_conn : t -> conn -> unit
+(** The peer is gone.  Already-queued work is still processed (replies
+    land in the closed socket's dead-letter buffer); the record is
+    forgotten once its queue and in-flight units drain. *)
+
+val conn_id : conn -> int
+(** Stable id, as reported in {!stats_json}'s ["connections"]. *)
+
+val submit :
+  t -> ?conn:conn -> reply:(Msts.Api.response -> unit) -> Msts.Api.request -> unit
+(** Admit one request on [conn] (default: the shared implicit
+    connection).  Control operations ([Ping]/[Stats]/[Shutdown]) are
+    answered synchronously — [Shutdown] flips {!stopping} and answers
     [Bye].  Online operations ([Online_*]) are answered synchronously by
     the engine's {!Msts_online.Service} — also while draining, so an
     in-flight online session loses no deltas to a SIGTERM.  Solve
     operations are enqueued (reply comes from a later {!dispatch}), or
     answered immediately with [`shutting_down] when {!stopping}, or
-    [`overloaded] when the queue is full. *)
+    [`overloaded] when the global queue or the connection's queue is
+    full.  A [batch] request is sharded at admission
+    ({!Msts.Batch.shard}): its distinct uncached problems become
+    independent units, and the reply is assembled
+    ({!Msts.Batch.assemble}) when the last one completes — byte-identical
+    to the unsharded reply. *)
 
-val handle_line : t -> reply:(string -> unit) -> string -> unit
+val handle_line : t -> ?conn:conn -> reply:(string -> unit) -> string -> unit
 (** The full wire step: parse one JSONL frame, {!submit} it, and deliver
     every response as a newline-terminated frame.  Malformed frames are
     answered with a [`bad_request] error response (never dropped, never a
     closed connection). *)
 
 val dispatch : t -> int
-(** Process one micro-batch (at most [max_batch] queued requests):
-    time out the expired, solve the rest on the pool, deliver every
-    reply.  Returns the number of responses delivered; 0 when idle. *)
+(** One non-blocking engine turn: collect finished worker tickets and
+    deliver their replies, pump the fairness scheduler (launch up to
+    [max_batch] units, bounded by [max_inflight]; expired requests are
+    answered [`timeout] instead of launched), collect again.  Returns the
+    number of responses delivered; 0 when nothing completed (solves may
+    still be in flight — see {!inflight} and {!wakeup_fd}). *)
 
 val drain : t -> int
-(** {!dispatch} until the queue is empty (used at shutdown — queued
-    requests are in-flight work and are never dropped).  Returns the
-    number of responses delivered. *)
+(** {!dispatch} until no unit is queued or in flight, sleeping on the
+    completion pipe between rounds (used at shutdown — queued and
+    in-flight work is never dropped, every admitted frame is answered).
+    Returns the number of responses delivered. *)
 
 val pending : t -> int
-(** Currently queued (admitted, not yet dispatched) requests. *)
+(** Admitted requests with units still queued (not yet fully launched). *)
+
+val inflight : t -> int
+(** Units currently executing (or completed but uncollected) on the
+    pool. *)
+
+val runnable : t -> bool
+(** Whether {!dispatch} could launch work right now: units are queued
+    and the in-flight cap has room.  The server polls with a zero select
+    timeout only when this holds; otherwise it sleeps on {!wakeup_fd}. *)
+
+val wakeup_fd : t -> Unix.file_descr
+(** The pool's completion self-pipe ({!Msts.Pool.completion_fd}):
+    becomes readable when a worker finishes a unit, so a select loop
+    wakes immediately to {!dispatch}.  Owned by the engine's pool; never
+    read or close it directly. *)
 
 val stop : t -> unit
 (** Enter the draining state: subsequent solve submissions are rejected
@@ -108,11 +187,13 @@ val online_sessions : t -> int
 
 val stats_json : t -> Msts.Json.t
 (** The [Stats] reply payload: version, pool size, cache
-    capacity/occupancy, queue length, served/rejected totals, the
-    stopping flag, the per-request latency breakdown (["request"]: one
-    {!Msts.Obs.Histogram.to_json} blob each for queue-wait, solve and
-    encode) and the slow-request log (["slow_requests"], slowest
-    first). *)
+    capacity/occupancy, queue length, in-flight unit count,
+    served/rejected totals, the stopping flag, the per-request latency
+    breakdown (["request"]: one {!Msts.Obs.Histogram.to_json} blob each
+    for queue-wait, solve and encode), the per-connection scheduler state
+    (["connections"]: id, queue depth, deficit, in-flight units,
+    admitted/delivered totals and the connection's queue-wait histogram)
+    and the slow-request log (["slow_requests"], slowest first). *)
 
 type slow_entry = {
   trace_label : string;  (** client trace context, or engine-assigned "r<n>" *)
@@ -134,11 +215,11 @@ val metrics_sink : t -> Msts.Obs.sink
 val exposition : t -> string
 (** The live Prometheus text exposition ({!Msts.Obs.Prometheus}): all
     counters and histograms accumulated by {!metrics_sink}, the exact
-    engine-side [request.*] breakdown, and gauges for queue depth, open
-    online sessions, cache occupancy/capacity and the draining flag.
-    This is the [Metrics_dump] reply body and what [--metrics-out]
-    writes. *)
+    engine-side [request.*] breakdown, and gauges for queue depth,
+    in-flight units, open online sessions, cache occupancy/capacity and
+    the draining flag.  This is the [Metrics_dump] reply body and what
+    [--metrics-out] writes. *)
 
 val shutdown : t -> unit
-(** Shut the worker pool down.  Idempotent; call after the final
-    {!drain}. *)
+(** Shut the worker pool down (closing {!wakeup_fd}).  Idempotent; call
+    after the final {!drain}. *)

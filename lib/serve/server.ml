@@ -32,10 +32,12 @@ let write_metrics_file engine path =
   with Sys_error msg ->
     Printf.eprintf "msts serve: cannot write metrics to %s: %s\n%!" path msg
 
-(* One connected client: accumulated input bytes (split on '\n') and an
-   output backlog drained as the socket accepts writes. *)
+(* One connected client: accumulated input bytes (split on '\n'), an
+   output backlog drained as the socket accepts writes, and the engine's
+   per-connection scheduling handle. *)
 type client = {
   fd : Unix.file_descr;
+  conn : Engine.conn;
   inbuf : Buffer.t;
   mutable out : string;
   mutable out_off : int;
@@ -81,7 +83,8 @@ let consume engine client bytes n =
     | Some nl ->
         let line = String.sub data from (nl - from) in
         if String.trim line <> "" then
-          Engine.handle_line engine ~reply:(queue_out client) line;
+          Engine.handle_line engine ~conn:client.conn
+            ~reply:(queue_out client) line;
         split (nl + 1)
   in
   split 0
@@ -188,7 +191,10 @@ let run cfg =
         clients :=
           List.filter
             (fun c ->
-              if c.dead then close_quietly c.fd;
+              if c.dead then begin
+                close_quietly c.fd;
+                Engine.close_conn engine c.conn
+              end;
               not c.dead)
             !clients
       in
@@ -199,7 +205,14 @@ let run cfg =
               Unix.set_nonblock fd;
               Obs.count "serve.connections";
               clients :=
-                { fd; inbuf = Buffer.create 256; out = ""; out_off = 0; dead = false }
+                {
+                  fd;
+                  conn = Engine.open_conn engine;
+                  inbuf = Buffer.create 256;
+                  out = "";
+                  out_off = 0;
+                  dead = false;
+                }
                 :: !clients;
               go ()
           | exception
@@ -212,13 +225,19 @@ let run cfg =
       let serve_loop () =
         while not (!stop || Engine.stopping engine) do
           drop_dead ();
-          let read_fds = listen_fd :: List.map (fun c -> c.fd) !clients in
+          (* The pool's completion pipe joins the read set: a worker
+             finishing a solve wakes the loop exactly like socket bytes
+             would, so responses leave as soon as they exist. *)
+          let read_fds =
+            listen_fd :: Engine.wakeup_fd engine
+            :: List.map (fun c -> c.fd) !clients
+          in
           let write_fds =
             List.filter_map
               (fun c -> if has_out c then Some c.fd else None)
               !clients
           in
-          let timeout = if Engine.pending engine > 0 then 0.0 else 0.05 in
+          let timeout = if Engine.runnable engine then 0.0 else 0.05 in
           let readable, writable, _ =
             try Unix.select read_fds write_fds [] timeout
             with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])

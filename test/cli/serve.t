@@ -71,3 +71,25 @@ Every request — including the rejected ones — got exactly one response:
   $ cat serve.log
   msts serve: listening on msts.sock (jobs=1, cache=256, queue=1024)
   msts serve: drained 0 request(s), served 7, bye
+
+A batch request is sharded across the worker pool at admission (one
+unit per distinct uncached solve — note the duplicate below) and
+reassembled in submission order.  Whatever --jobs, the raw reply frame
+is byte-identical:
+
+  $ REQ="{\"op\":\"batch\",\"problems\":[{\"platform\":\"$P\",\"tasks\":3},{\"platform\":\"$P\",\"tasks\":5},{\"platform\":\"$P\",\"tasks\":4},{\"platform\":\"$P\",\"tasks\":3},{\"platform\":\"$P\",\"tasks\":6}]}"
+
+  $ ../../bin/msts.exe serve --socket j1.sock --jobs 1 > j1.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S j1.sock ] && break; sleep 0.1; done
+  $ echo "$REQ" | ../../bin/msts.exe call --socket j1.sock --stdin --raw > batch-j1.raw
+  $ ../../bin/msts.exe call --socket j1.sock '{"op":"shutdown"}' > /dev/null
+  $ wait
+
+  $ ../../bin/msts.exe serve --socket j4.sock --jobs 4 > j4.log 2>&1 &
+  $ for i in $(seq 1 100); do [ -S j4.sock ] && break; sleep 0.1; done
+  $ echo "$REQ" | ../../bin/msts.exe call --socket j4.sock --stdin --raw > batch-j4.raw
+  $ ../../bin/msts.exe call --socket j4.sock '{"op":"shutdown"}' > /dev/null
+  $ wait
+
+  $ cmp batch-j1.raw batch-j4.raw && echo batch-identical-across-jobs
+  batch-identical-across-jobs

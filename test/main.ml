@@ -32,6 +32,7 @@ let () =
          Test_solve.suites;
          Test_batch.suites;
          Test_api.suites;
+         Test_serve.suites;
          Test_integration.suites;
          Test_online.suites;
        ])

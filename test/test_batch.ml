@@ -257,6 +257,100 @@ let pool_batch_through_shared_pool () =
             Alcotest.failf "instance %d differs through shared pool" i)
         outcomes)
 
+(* ---------- asynchronous submission ---------- *)
+
+let tickets_complete_in_any_order () =
+  Msts.Pool.with_pool ~jobs:3 (fun pool ->
+      let tickets =
+        List.init 20 (fun i -> (i, Msts.Pool.submit pool (fun () -> i * i)))
+      in
+      List.iter
+        (fun (i, ticket) ->
+          match Msts.Pool.await pool ticket with
+          | Ok v -> Alcotest.(check int) "ticket value" (i * i) v
+          | Error e -> raise e)
+        (List.rev tickets))
+
+let ticket_captures_exceptions () =
+  Msts.Pool.with_pool ~jobs:2 (fun pool ->
+      let t = Msts.Pool.submit pool (fun () -> failwith "ticket boom") in
+      match Msts.Pool.await pool t with
+      | Error (Failure msg) -> Alcotest.(check string) "payload" "ticket boom" msg
+      | Error e -> Alcotest.failf "wrong exception: %s" (Printexc.to_string e)
+      | Ok () -> Alcotest.fail "the thunk must fail")
+
+let inline_pool_completes_on_submit () =
+  Msts.Pool.with_pool ~jobs:1 (fun pool ->
+      let t = Msts.Pool.submit pool (fun () -> 41 + 1) in
+      (match Msts.Pool.poll t with
+      | Some (Ok 42) -> ()
+      | _ -> Alcotest.fail "inline submit must complete before returning");
+      Alcotest.(check int) "inline completion counted" 1
+        (Msts.Pool.drain_completions pool))
+
+let completion_pipe_wakes_a_select_loop () =
+  Msts.Pool.with_pool ~jobs:2 (fun pool ->
+      let fd = Msts.Pool.completion_fd pool in
+      let tickets =
+        Array.init 5 (fun i -> Msts.Pool.submit pool (fun () -> i))
+      in
+      Array.iter (fun t -> ignore (Msts.Pool.await pool t)) tickets;
+      let readable, _, _ = Unix.select [ fd ] [] [] 1.0 in
+      Alcotest.(check bool) "pipe turned readable" true (readable <> []);
+      Alcotest.(check int) "drain counts every completion" 5
+        (Msts.Pool.drain_completions pool);
+      Alcotest.(check int) "drain is idempotent" 0
+        (Msts.Pool.drain_completions pool);
+      (* drained pipe no longer readable *)
+      let readable, _, _ = Unix.select [ fd ] [] [] 0.0 in
+      Alcotest.(check bool) "pipe drained" true (readable = []))
+
+(* ---------- sharded execution ---------- *)
+
+(* shard / solve-in-any-order / assemble must reproduce run's bytes:
+   same outcomes, same hit/miss accounting, same cache content. *)
+let shard_assemble_equals_run () =
+  let problems = Array.sub (campaign_instances ()) 0 30 in
+  let ref_cache = Batch.cache ~capacity:16 in
+  let reference, ref_stats =
+    Batch.run ~jobs:1 ~cache:ref_cache ~solve:Solve.solve problems
+  in
+  let cache = Batch.cache ~capacity:16 in
+  let plan = Batch.shard ~cache problems in
+  let k = Batch.shard_count plan in
+  Alcotest.(check int) "shards = misses" ref_stats.Batch.cache_misses k;
+  (* solve the slots in reverse, proving completion order is irrelevant *)
+  let solved = Array.make k (Error "pending") in
+  for slot = k - 1 downto 0 do
+    solved.(slot) <- Solve.solve (Batch.shard_request plan slot)
+  done;
+  let outcomes, stats =
+    Batch.assemble plan ~jobs:1 ~solved ~wait_us:(Array.make k 0)
+      ~busy_us:(Array.make k 0)
+  in
+  Array.iteri
+    (fun i o ->
+      if not (outcome_equal reference.(i) o) then
+        Alcotest.failf "instance %d differs from run" i)
+    outcomes;
+  Alcotest.(check int) "hits agree" ref_stats.Batch.cache_hits
+    stats.Batch.cache_hits;
+  Alcotest.(check int) "misses agree" ref_stats.Batch.cache_misses
+    stats.Batch.cache_misses;
+  Alcotest.(check int) "same cache occupancy"
+    (Batch.cache_length ref_cache) (Batch.cache_length cache)
+
+let assemble_rejects_mis_sized_solved () =
+  let problems = Array.sub (campaign_instances ()) 0 6 in
+  let plan = Batch.shard problems in
+  Alcotest.check_raises "mis-sized solved array"
+    (Invalid_argument "Msts.Batch.assemble: solved array does not match the plan")
+    (fun () ->
+      ignore
+        (Batch.assemble plan ~jobs:1
+           ~solved:(Array.make (Batch.shard_count plan + 1) (Error "x"))
+           ~wait_us:[||] ~busy_us:[||]))
+
 let suites =
   [
     ( "batch.differential",
@@ -279,5 +373,20 @@ let suites =
         case "pool survives many batches" pool_reuse_across_batches;
         case "exceptions propagate" pool_propagates_exceptions;
         case "facade over a shared pool" pool_batch_through_shared_pool;
+      ] );
+    ( "batch.tickets",
+      [
+        case "tickets complete in any order" tickets_complete_in_any_order;
+        case "exceptions are captured, not thrown" ticket_captures_exceptions;
+        case "inline pool completes on submit" inline_pool_completes_on_submit;
+        case "completion pipe wakes a select loop"
+          completion_pipe_wakes_a_select_loop;
+      ] );
+    ( "batch.sharding",
+      [
+        case "shard + assemble = run, any completion order"
+          shard_assemble_equals_run;
+        case "assemble rejects a mis-sized solved array"
+          assemble_rejects_mis_sized_solved;
       ] );
   ]

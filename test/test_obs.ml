@@ -763,6 +763,9 @@ let metric_names_documented () =
       "serve.errors";
       "serve.queue_wait_us";
       "serve.batch_size";
+      "serve.inflight";
+      "serve.fairness.deficit";
+      "pool.completion_wait_us";
       "serve.request";
       "request.queue_wait_us";
       "request.solve_us";
